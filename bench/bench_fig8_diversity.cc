@@ -1,0 +1,150 @@
+// Regenerates Figure 8 and the §4.5.3 diversity analysis:
+//   - learners/transformers KGpip selects in the FIRST position,
+//   - selections across ALL positions,
+//   - learners of the TOP (winning) model,
+//   - cross-run correlations of the predicted learner lists for the same
+//     dataset (paper: 0.60-0.64 — diverse but not random).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "graph4ml/vocab.h"
+#include "util/stats.h"
+
+namespace kgpip::bench {
+namespace {
+
+void PrintHistogram(const char* title,
+                    const std::map<std::string, int>& counts) {
+  std::printf("\n%s\n", title);
+  std::vector<std::pair<int, std::string>> ordered;
+  int total = 0;
+  for (const auto& [name, count] : counts) {
+    ordered.emplace_back(count, name);
+    total += count;
+  }
+  std::sort(ordered.rbegin(), ordered.rend());
+  for (const auto& [count, name] : ordered) {
+    int bars = total > 0 ? count * 50 / total : 0;
+    std::printf("  %-22s %5d  ", name.c_str(), count);
+    for (int i = 0; i < bars; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+int Run(int argc, char** argv) {
+  HarnessOptions options = ParseOptions(argc, argv);
+  EvalHarness harness(options);
+  Status trained = harness.TrainKgpip();
+  if (!trained.ok()) {
+    std::fprintf(stderr, "KGpip training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  // Classification evaluation datasets (Figure 8 reports learner picks).
+  std::vector<DatasetSpec> specs;
+  for (const DatasetSpec& spec : harness.registry().eval_specs()) {
+    if (spec.task == TaskType::kRegression) continue;
+    specs.push_back(spec);
+    if (options.quick && specs.size() >= 10) break;
+  }
+
+  std::map<std::string, int> first_position;
+  std::map<std::string, int> all_positions;
+  std::map<std::string, int> top_model;
+  // Per dataset: the predicted learner list of each run.
+  std::map<std::string, std::vector<std::vector<std::string>>> run_lists;
+
+  const int kRuns = 3;
+  for (const DatasetSpec& spec : specs) {
+    Table table = GenerateDataset(spec);
+    auto split = SplitTable(table, 0.25, options.seed);
+    for (int run = 0; run < kRuns; ++run) {
+      auto skeletons = harness.kgpip_flaml().PredictSkeletons(
+          split.train, spec.task,
+          options.seed + static_cast<uint64_t>(run) * 7717);
+      if (!skeletons.ok()) continue;
+      std::vector<std::string> learners;
+      for (size_t i = 0; i < skeletons->size(); ++i) {
+        const auto& s = (*skeletons)[i];
+        if (i == 0) {
+          ++first_position[s.spec.learner];
+          for (const std::string& p : s.spec.preprocessors) {
+            ++first_position[p];
+          }
+        }
+        ++all_positions[s.spec.learner];
+        for (const std::string& p : s.spec.preprocessors) {
+          ++all_positions[p];
+        }
+        learners.push_back(s.spec.learner);
+      }
+      run_lists[spec.name].push_back(std::move(learners));
+    }
+    // Top model: run one budgeted fit and record the winning learner.
+    automl::AutoMlResult result;
+    double score = harness.EvaluateOnce(harness.kgpip_flaml(), spec, 0,
+                                        options.half_trials, &result);
+    if (!std::isnan(score)) ++top_model[result.best_spec.learner];
+  }
+
+  PrintHistogram(
+      "Figure 8a. Learner/transformer chosen FIRST by KGpip:",
+      first_position);
+  PrintHistogram(
+      "Figure 8b. Learners/transformers selected across ALL positions:",
+      all_positions);
+  PrintHistogram("Figure 8c. Learner of the TOP (winning) model:",
+                 top_model);
+
+  // ---- Cross-run correlation of learner lists (§4.5.3). ----
+  // Encode learners as vocabulary ids and correlate the common prefix of
+  // each pair of runs, averaged over datasets.
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  auto encode = [&](const std::vector<std::string>& learners) {
+    std::vector<double> ids;
+    for (const std::string& learner : learners) {
+      ids.push_back(static_cast<double>(vocab.TypeOf(learner)));
+    }
+    return ids;
+  };
+  std::vector<double> pair_correlations[3];  // (1,2), (1,3), (2,3)
+  for (const auto& [name, lists] : run_lists) {
+    if (lists.size() < 3) continue;
+    const std::pair<int, int> pairs[3] = {{0, 1}, {0, 2}, {1, 2}};
+    for (int p = 0; p < 3; ++p) {
+      std::vector<double> a = encode(lists[pairs[p].first]);
+      std::vector<double> b = encode(lists[pairs[p].second]);
+      size_t n = std::min(a.size(), b.size());
+      if (n < 2) continue;
+      a.resize(n);
+      b.resize(n);
+      pair_correlations[p].push_back(SpearmanCorrelation(a, b));
+    }
+  }
+  std::printf("\nCross-run correlations of predicted learner lists "
+              "(same dataset, runs 1/2/3):\n");
+  const char* pair_names[3] = {"runs 1-2", "runs 1-3", "runs 2-3"};
+  double lo = 1.0, hi = -1.0;
+  for (int p = 0; p < 3; ++p) {
+    double mean = Mean(pair_correlations[p]);
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+    std::printf("  %-10s mean correlation %.2f over %zu datasets\n",
+                pair_names[p], mean, pair_correlations[p].size());
+  }
+  std::printf("Range: %.2f - %.2f (paper: 0.60 - 0.64; imperfect "
+              "correlation = genuine diversity).\n", lo, hi);
+  std::printf("\nPaper reference (Fig. 8): first picks dominated by "
+              "xgboost / gradient boosting, broad coverage\nacross all "
+              "positions, and wide learner variety among top models.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgpip::bench
+
+int main(int argc, char** argv) { return kgpip::bench::Run(argc, argv); }

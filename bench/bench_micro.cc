@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the KGpip
+// substrate: CSV scanning, static analysis + filtering, content
+// embedding, similarity search, generator decisions, and learner fits.
+#include <benchmark/benchmark.h>
+
+#include "codegraph/analyzer.h"
+#include "codegraph/corpus.h"
+#include "core/kgpip.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "embed/embedder.h"
+#include "embed/sim_index.h"
+#include "gen/graph_generator.h"
+#include "graph4ml/filter.h"
+#include "ml/learner.h"
+
+namespace kgpip {
+namespace {
+
+DatasetSpec DefaultSpec() {
+  DatasetSpec spec;
+  spec.name = "micro";
+  spec.rows = 300;
+  spec.num_numeric = 8;
+  spec.num_categorical = 2;
+  return spec;
+}
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  Table table = GenerateDataset(DefaultSpec());
+  std::string text = WriteCsvText(table);
+  for (auto _ : state) {
+    auto parsed = ReadCsvText(text, CsvOptions{});
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+void BM_StaticAnalysis(benchmark::State& state) {
+  codegraph::CorpusGenerator corpus(codegraph::CorpusOptions{});
+  auto scripts = corpus.GenerateForDataset(DefaultSpec());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& script = scripts[i++ % scripts.size()];
+    auto graph = codegraph::AnalyzeScript(script.name, script.text);
+    benchmark::DoNotOptimize(graph.ok());
+  }
+}
+BENCHMARK(BM_StaticAnalysis);
+
+void BM_GraphFiltering(benchmark::State& state) {
+  codegraph::CorpusGenerator corpus(codegraph::CorpusOptions{});
+  auto scripts = corpus.GenerateForDataset(DefaultSpec());
+  std::vector<codegraph::CodeGraph> graphs;
+  for (const auto& script : scripts) {
+    auto graph = codegraph::AnalyzeScript(script.name, script.text);
+    if (graph.ok()) graphs.push_back(std::move(*graph));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto pipeline =
+        graph4ml::FilterCodeGraph(graphs[i++ % graphs.size()], "micro");
+    benchmark::DoNotOptimize(pipeline.valid());
+  }
+}
+BENCHMARK(BM_GraphFiltering);
+
+void BM_TableEmbedding(benchmark::State& state) {
+  Table table = GenerateDataset(DefaultSpec());
+  embed::TableEmbedder embedder;
+  for (auto _ : state) {
+    auto v = embedder.Embed(table);
+    benchmark::DoNotOptimize(v[0]);
+  }
+}
+BENCHMARK(BM_TableEmbedding);
+
+void BM_SimIndexSearch(benchmark::State& state) {
+  embed::SimIndex index;
+  Rng rng(1);
+  std::vector<double> query(embed::TableEmbedder::kDims);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> v(embed::TableEmbedder::kDims);
+    for (double& x : v) x = rng.Normal();
+    index.Add("d" + std::to_string(i), v);
+  }
+  index.Build();
+  for (double& x : query) x = rng.Normal();
+  for (auto _ : state) {
+    auto hits = index.Search(query, 5);
+    benchmark::DoNotOptimize(hits.ok());
+  }
+}
+BENCHMARK(BM_SimIndexSearch);
+
+void BM_GeneratorSample(benchmark::State& state) {
+  gen::GeneratorConfig config;
+  config.vocab_size = graph4ml::PipelineVocab::Get().size();
+  config.hidden = 32;
+  gen::GraphGenerator generator(config, 7);
+  graph4ml::TypedGraph seed;
+  seed.node_types = {0, 1};
+  seed.edges = {{0, 1}};
+  Rng rng(3);
+  for (auto _ : state) {
+    auto g = generator.Generate(seed, {}, &rng, 0.9);
+    benchmark::DoNotOptimize(g.graph.num_nodes());
+  }
+}
+BENCHMARK(BM_GeneratorSample);
+
+void BM_LearnerFit(benchmark::State& state) {
+  static const char* kLearners[] = {"logistic_regression", "decision_tree",
+                                    "xgboost", "knn"};
+  const char* learner = kLearners[state.range(0)];
+  DatasetSpec spec = DefaultSpec();
+  Table table = GenerateDataset(spec);
+  ml::Featurizer featurizer;
+  featurizer.Fit(table, spec.task);
+  auto data = featurizer.Transform(table);
+  for (auto _ : state) {
+    auto model =
+        ml::CreateLearner(learner, spec.task, ml::HyperParams{}, 1);
+    benchmark::DoNotOptimize(model.value()->Fit(*data).ok());
+  }
+  state.SetLabel(learner);
+}
+BENCHMARK(BM_LearnerFit)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace kgpip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,304 @@
+// Regenerates Table 3: the code-graph-filtering ablation. One model is
+// trained on the *raw* static-analysis code graphs of 82 pipeline scripts
+// for a single dataset, the other on the filtered Graph4ML graphs of the
+// same scripts. Reported, as in the paper: node/edge counts, training
+// time, and the F1 each model's generated pipelines reach on the five
+// most trivial AutoML-benchmark datasets.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "codegraph/analyzer.h"
+#include "codegraph/corpus.h"
+#include "codegraph/ml_api.h"
+#include "gen/graph_generator.h"
+#include "gen/skeleton.h"
+#include "graph4ml/filter.h"
+#include "hpo/optimizer.h"
+#include "util/stopwatch.h"
+
+namespace kgpip::bench {
+namespace {
+
+using codegraph::CodeGraph;
+using gen::GeneratedGraph;
+using gen::GeneratorConfig;
+using gen::GraphExample;
+using gen::GraphGenerator;
+using graph4ml::PipelineVocab;
+using graph4ml::TypedGraph;
+
+/// Raw code graphs use an open label vocabulary; this maps labels to
+/// dense type ids (capped) so the generator can model them.
+class RawVocab {
+ public:
+  int TypeOf(const std::string& label) {
+    auto it = ids_.find(label);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(labels_.size());
+    ids_[label] = id;
+    labels_.push_back(label);
+    return id;
+  }
+  const std::string& LabelOf(int id) const { return labels_[id]; }
+  int size() const { return static_cast<int>(labels_.size()); }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> labels_;
+};
+
+/// Converts a raw code graph to a typed graph over `vocab`, truncated to
+/// `max_nodes` (the 1-core scale-down; the paper trained 175 minutes on
+/// full graphs — the *ratio* is what matters here).
+TypedGraph RawToTyped(const CodeGraph& graph, RawVocab* vocab,
+                      size_t max_nodes) {
+  TypedGraph out;
+  size_t n = std::min(graph.nodes.size(), max_nodes);
+  for (size_t i = 0; i < n; ++i) {
+    std::string label = std::string(NodeKindName(graph.nodes[i].kind)) +
+                        ":" + graph.nodes[i].label;
+    out.node_types.push_back(vocab->TypeOf(label));
+  }
+  for (const auto& edge : graph.edges) {
+    if (edge.src < static_cast<int>(n) && edge.dst < static_cast<int>(n) &&
+        edge.src != edge.dst) {
+      // The generator's sequential formulation needs dst > src.
+      int lo = std::min(edge.src, edge.dst);
+      int hi = std::max(edge.src, edge.dst);
+      out.edges.emplace_back(lo, hi);
+    }
+  }
+  return out;
+}
+
+/// Maps a raw-vocab generated graph back to a skeleton, giving the raw
+/// model a fair chance: any generated node whose label canonicalizes to a
+/// supported ML op counts.
+Result<ml::PipelineSpec> RawGraphToSkeleton(const GeneratedGraph& generated,
+                                            const RawVocab& vocab,
+                                            TaskType task) {
+  ml::PipelineSpec spec;
+  for (int type : generated.graph.node_types) {
+    if (type < 0 || type >= vocab.size()) continue;
+    std::string label = vocab.LabelOf(type);
+    size_t colon = label.find(':');
+    if (colon == std::string::npos) continue;
+    if (label.substr(0, colon) != "call") continue;
+    bool is_estimator = false;
+    std::string canonical = codegraph::CanonicalizeMlCall(
+        label.substr(colon + 1), &is_estimator);
+    if (canonical.empty()) continue;
+    if (is_estimator) {
+      spec.learner = canonical;
+    } else if (ml::IsKnownTransformer(canonical)) {
+      spec.preprocessors.push_back(canonical);
+    }
+  }
+  if (spec.learner.empty() || !ml::LearnerSupports(spec.learner, task)) {
+    return Status::InvalidArgument("no valid estimator generated");
+  }
+  return spec;
+}
+
+struct AblationArm {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  double train_seconds = 0.0;
+  std::map<std::string, double> f1;  // per trivial dataset
+  double avg_f1 = 0.0;
+  int valid_skeletons = 0;
+};
+
+int Run(int argc, char** argv) {
+  HarnessOptions options = ParseOptions(argc, argv);
+  const int epochs = options.quick ? 5 : 15;  // paper: 15 epochs
+  const size_t raw_node_cap = options.quick ? 30 : 60;
+
+  // ---- 82 pipeline scripts for ONE classification dataset. ----
+  BenchmarkRegistry registry;
+  DatasetSpec corpus_spec;
+  corpus_spec.name = "ablation_dataset";
+  corpus_spec.family = ConceptFamily::kRules;
+  corpus_spec.domain = Domain::kGames;
+  corpus_spec.task = TaskType::kBinaryClassification;
+  corpus_spec.rows = 300;
+  codegraph::CorpusOptions corpus_options;
+  corpus_options.pipelines_per_dataset = 82;  // paper: 82 pipelines
+  corpus_options.noise_scripts_per_dataset = 0;
+  corpus_options.seed = options.seed;
+  codegraph::CorpusGenerator corpus(corpus_options);
+  auto scripts = corpus.GenerateForDataset(corpus_spec);
+
+  // ---- Build both training sets from the exact same scripts. ----
+  RawVocab raw_vocab;
+  std::vector<GraphExample> raw_examples;
+  std::vector<GraphExample> filtered_examples;
+  AblationArm raw_arm{"Code Graph"};
+  AblationArm filtered_arm{"Filtered Graph"};
+  for (const auto& script : scripts) {
+    auto graph = codegraph::AnalyzeScript(script.name, script.text);
+    if (!graph.ok()) continue;
+    raw_arm.nodes += graph->nodes.size();
+    raw_arm.edges += graph->edges.size();
+    GraphExample raw_example;
+    raw_example.graph = RawToTyped(*graph, &raw_vocab, raw_node_cap);
+    raw_example.given_nodes = 1;
+    raw_examples.push_back(std::move(raw_example));
+
+    auto pipeline =
+        graph4ml::FilterCodeGraph(*graph, script.dataset_name);
+    if (!pipeline.valid()) continue;
+    filtered_arm.nodes += pipeline.graph.num_nodes();
+    filtered_arm.edges += pipeline.graph.num_edges();
+    GraphExample filtered_example;
+    filtered_example.graph = pipeline.graph;
+    filtered_example.given_nodes = 2;
+    filtered_examples.push_back(std::move(filtered_example));
+  }
+  std::printf("Table 3 ablation corpus: %zu pipeline scripts for one "
+              "dataset.\n", scripts.size());
+  std::printf("Raw code graphs:      %zu nodes, %zu edges (generator sees "
+              "the first %zu nodes per graph)\n",
+              raw_arm.nodes, raw_arm.edges, raw_node_cap);
+  std::printf("Filtered graphs:      %zu nodes, %zu edges\n",
+              filtered_arm.nodes, filtered_arm.edges);
+  std::printf("Reduction:            %.1f%% nodes, %.1f%% edges (paper: "
+              ">= 96%%)\n\n",
+              100.0 * (1.0 - static_cast<double>(filtered_arm.nodes) /
+                                 raw_arm.nodes),
+              100.0 * (1.0 - static_cast<double>(filtered_arm.edges) /
+                                 raw_arm.edges));
+
+  // ---- Train both models for the same number of epochs. ----
+  GeneratorConfig raw_config;
+  raw_config.vocab_size = raw_vocab.size();
+  raw_config.hidden = 24;
+  raw_config.max_nodes = static_cast<int>(raw_node_cap);
+  GraphGenerator raw_model(raw_config, options.seed);
+  Rng rng(options.seed);
+  Stopwatch raw_watch;
+  for (int e = 0; e < epochs; ++e) raw_model.TrainEpoch(raw_examples, &rng);
+  raw_arm.train_seconds = raw_watch.ElapsedSeconds();
+
+  GeneratorConfig filtered_config;
+  filtered_config.vocab_size = PipelineVocab::Get().size();
+  filtered_config.hidden = 24;
+  filtered_config.max_nodes = 10;
+  GraphGenerator filtered_model(filtered_config, options.seed);
+  Stopwatch filtered_watch;
+  for (int e = 0; e < epochs; ++e) {
+    filtered_model.TrainEpoch(filtered_examples, &rng);
+  }
+  filtered_arm.train_seconds = filtered_watch.ElapsedSeconds();
+
+  // ---- Evaluate generated pipelines on the 5 trivial datasets. ----
+  auto trivial = registry.TrivialSubset();
+  auto optimizer = hpo::CreateOptimizer("autosklearn");
+  const int hpo_trials = options.quick ? 6 : 12;
+  auto evaluate_arm = [&](GraphGenerator& model, bool raw,
+                          AblationArm* arm) {
+    Rng sample_rng(options.seed ^ 0x77);
+    for (const DatasetSpec& spec : trivial) {
+      Table table = GenerateDataset(spec);
+      auto split = SplitTable(table, 0.25, options.seed);
+      // Generate up to 3 valid skeletons (paper: 3 graphs per dataset).
+      std::vector<ml::PipelineSpec> skeletons;
+      for (int attempt = 0; attempt < 12 && skeletons.size() < 3;
+           ++attempt) {
+        TypedGraph seed_graph;
+        if (raw) {
+          seed_graph.node_types = {
+              raw_examples.front().graph.node_types.front()};
+        } else {
+          seed_graph.node_types = {PipelineVocab::kDatasetType,
+                                   PipelineVocab::kReadCsvType};
+          seed_graph.edges = {{0, 1}};
+        }
+        GeneratedGraph g =
+            model.Generate(seed_graph, {}, &sample_rng, 0.9);
+        if (raw) {
+          auto spec_or = RawGraphToSkeleton(g, raw_vocab, spec.task);
+          if (spec_or.ok()) skeletons.push_back(*spec_or);
+        } else {
+          auto skeleton = gen::GraphToSkeleton(g, spec.task);
+          if (skeleton.ok()) skeletons.push_back(skeleton->spec);
+        }
+      }
+      arm->valid_skeletons += static_cast<int>(skeletons.size());
+      if (skeletons.empty()) {
+        // "the model trained using code graphs did not manage to
+        // generate any valid ML pipeline"
+        arm->f1[spec.name] = 0.0;
+        continue;
+      }
+      auto evaluator = hpo::TrialEvaluator::Create(
+          split.train, spec.task, 0.25, options.seed);
+      double best = 0.0;
+      ml::PipelineSpec best_spec;
+      for (const auto& skeleton : skeletons) {
+        hpo::Budget budget(hpo_trials / static_cast<int>(skeletons.size()) +
+                               1, 1e9);
+        auto result = (*optimizer)->OptimizeSkeleton(skeleton, &*evaluator,
+                                                     &budget, options.seed);
+        if (result.best_score > best) {
+          best = result.best_score;
+          best_spec = result.best_spec;
+        }
+      }
+      double test_f1 = 0.0;
+      if (!best_spec.learner.empty()) {
+        auto fitted = ml::Pipeline::FitOnTable(best_spec, split.train,
+                                               spec.task, options.seed);
+        if (fitted.ok()) {
+          auto score = fitted->ScoreTable(split.test);
+          if (score.ok()) test_f1 = std::max(0.0, *score);
+        }
+      }
+      arm->f1[spec.name] = test_f1;
+    }
+    double sum = 0.0;
+    for (const auto& [name, f1] : arm->f1) sum += f1;
+    arm->avg_f1 = arm->f1.empty() ? 0.0 : sum / arm->f1.size();
+  };
+  evaluate_arm(raw_model, /*raw=*/true, &raw_arm);
+  evaluate_arm(filtered_model, /*raw=*/false, &filtered_arm);
+
+  // ---- Table 3 ----
+  std::printf("Table 3. Code graphs vs filtered graphs (both trained %d "
+              "epochs).\n", epochs);
+  std::printf("%-18s %12s %16s\n", "Dataset/Aspect", "Code Graph",
+              "Filtered Graph");
+  PrintRule(50);
+  for (const DatasetSpec& spec : trivial) {
+    std::printf("%-18s %12.2f %16.2f\n", spec.name.c_str(),
+                raw_arm.f1[spec.name], filtered_arm.f1[spec.name]);
+  }
+  std::printf("%-18s %12.2f %16.2f\n", "Avg. F1", raw_arm.avg_f1,
+              filtered_arm.avg_f1);
+  std::printf("%-18s %12zu %16zu\n", "No. Nodes", raw_arm.nodes,
+              filtered_arm.nodes);
+  std::printf("%-18s %12zu %16zu\n", "No. Edges", raw_arm.edges,
+              filtered_arm.edges);
+  std::printf("%-18s %11.1fs %15.1fs\n", "Training Time",
+              raw_arm.train_seconds, filtered_arm.train_seconds);
+  PrintRule(50);
+  std::printf("Valid skeletons generated: code-graph model %d, filtered "
+              "model %d.\n",
+              raw_arm.valid_skeletons, filtered_arm.valid_skeletons);
+  std::printf("Training speedup from filtering: %.0fx (paper: 175 min -> "
+              "2 min, ~99%% reduction).\n",
+              raw_arm.train_seconds /
+                  std::max(1e-9, filtered_arm.train_seconds));
+  std::printf("Paper reference: code-graph model scores 0.00 everywhere; "
+              "filtered model avg F1 = 0.97.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgpip::bench
+
+int main(int argc, char** argv) { return kgpip::bench::Run(argc, argv); }

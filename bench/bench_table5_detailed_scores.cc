@@ -1,0 +1,65 @@
+// Regenerates Table 5 standalone: detailed per-dataset F1 / R^2 scores
+// for FLAML, KGpipFLAML, Auto-Sklearn and KGpipAutoSklearn on all 77
+// datasets. Defaults to a single run (the full 3-run averages come from
+// bench_table2_main_comparison, which shares this protocol).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/harness.h"
+
+namespace kgpip::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  HarnessOptions options = ParseOptions(argc, argv);
+  bool runs_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--runs=", 7) == 0) runs_overridden = true;
+  }
+  if (!runs_overridden) options.runs = 1;
+
+  EvalHarness harness(options);
+  Status trained = harness.TrainKgpip();
+  if (!trained.ok()) {
+    std::fprintf(stderr, "KGpip training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+  const std::vector<DatasetSpec>& specs = harness.registry().eval_specs();
+  std::vector<const automl::AutoMlSystem*> systems = {
+      &harness.flaml(), &harness.kgpip_flaml(), &harness.ask(),
+      &harness.kgpip_ask()};
+  std::vector<SystemScores> all =
+      harness.RunComparison(specs, systems, options.trials);
+
+  std::printf("Table 5. Detailed F1 / R^2 scores on all %zu datasets "
+              "(%d run(s), budget %d trials). Best per row marked *.\n",
+              specs.size(), options.runs, options.trials);
+  std::printf("%3s %-40s %8s %12s %13s %17s  %-11s %-7s\n", "#", "Dataset",
+              "FLAML", "KGpipFLAML", "AutoSklearn", "KGpipAutoSkl", "Task",
+              "Source");
+  PrintRule(122);
+  int index = 1;
+  for (const DatasetSpec& spec : specs) {
+    double scores[4];
+    double best = -1.0;
+    for (int s = 0; s < 4; ++s) {
+      scores[s] = MeanScore(all[s].scores.at(spec.name));
+      if (std::isnan(scores[s])) scores[s] = 0.0;
+      best = std::max(best, scores[s]);
+    }
+    auto mark = [&](int s) { return scores[s] >= best - 1e-9 ? '*' : ' '; };
+    std::printf("%3d %-40s %7.2f%c %11.2f%c %12.2f%c %16.2f%c  %-11s %-7s\n",
+                index++, spec.name.c_str(), scores[0], mark(0), scores[1],
+                mark(1), scores[2], mark(2), scores[3], mark(3),
+                TaskTypeName(spec.task), spec.source.c_str());
+  }
+  PrintRule(122);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgpip::bench
+
+int main(int argc, char** argv) { return kgpip::bench::Run(argc, argv); }

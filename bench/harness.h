@@ -1,0 +1,108 @@
+#ifndef KGPIP_BENCH_HARNESS_H_
+#define KGPIP_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automl/al_system.h"
+#include "automl/autosklearn_system.h"
+#include "automl/flaml_system.h"
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+
+namespace kgpip::bench {
+
+/// Options shared by the experiment binaries. `--quick` shrinks every
+/// knob for smoke runs; the defaults regenerate the paper-shaped tables.
+struct HarnessOptions {
+  int runs = 3;              // paper: averages over 3 runs
+  int trials = 45;           // budget stand-in for the 1 h wall budget
+  int half_trials = 22;      // stand-in for the 30 min budget (Fig. 7)
+  int generator_epochs = 25;
+  int corpus_pipelines_per_dataset = 10;
+  int corpus_noise_per_dataset = 6;
+  uint64_t seed = 2022;
+  bool quick = false;
+};
+
+/// Parses --quick, --runs=N, --trials=N, --seed=N.
+HarnessOptions ParseOptions(int argc, char** argv);
+
+/// Scores of one system over datasets and runs (NaN marks a failed fit,
+/// which happens for AL by design).
+struct SystemScores {
+  std::string system;
+  std::map<std::string, std::vector<double>> scores;
+  std::map<std::string, std::vector<int>> skeleton_ranks;
+  std::map<std::string, std::vector<std::vector<std::string>>>
+      learner_sequences;
+  std::map<std::string, std::vector<std::vector<std::string>>>
+      predicted_learners;  // skeleton learners in rank order (KGpip)
+  std::map<std::string, std::vector<std::string>> best_learners;
+};
+
+/// Trains both KGpip variants once and evaluates systems over dataset
+/// specs with the shared protocol: 75/25 train/test split per run,
+/// Fit(train) under the trial budget, macro-F1 / R² on the test split.
+class EvalHarness {
+ public:
+  explicit EvalHarness(HarnessOptions options);
+
+  /// Mines the corpus and trains the shared KGpip artifacts (one
+  /// generator reused by both variants).
+  Status TrainKgpip();
+
+  /// Evaluates one system on one dataset spec for `run_index`.
+  /// Returns NaN on system failure (AL's brittleness).
+  double EvaluateOnce(const automl::AutoMlSystem& system,
+                      const DatasetSpec& spec, int run_index, int trials,
+                      automl::AutoMlResult* result_out = nullptr);
+
+  /// Full protocol over `specs` for the given systems.
+  std::vector<SystemScores> RunComparison(
+      const std::vector<DatasetSpec>& specs,
+      const std::vector<const automl::AutoMlSystem*>& systems, int trials);
+
+  const HarnessOptions& options() const { return options_; }
+  BenchmarkRegistry& registry() { return registry_; }
+  core::Kgpip& kgpip_flaml() { return *kgpip_flaml_; }
+  core::Kgpip& kgpip_ask() { return *kgpip_ask_; }
+  const automl::FlamlSystem& flaml() const { return flaml_; }
+  const automl::AutoSklearnSystem& ask() const { return ask_; }
+  const automl::AlSystem& al() const { return al_; }
+
+ private:
+  HarnessOptions options_;
+  BenchmarkRegistry registry_;
+  automl::FlamlSystem flaml_;
+  automl::AutoSklearnSystem ask_;
+  automl::AlSystem al_;
+  std::unique_ptr<core::Kgpip> kgpip_flaml_;
+  std::unique_ptr<core::Kgpip> kgpip_ask_;
+};
+
+/// Mean over the non-NaN entries (empty -> NaN).
+double MeanScore(const std::vector<double>& scores);
+
+/// Per-task aggregate rows + paired t-tests for Table 2-style output.
+struct TaskAggregate {
+  double binary_mean = 0.0, binary_std = 0.0;
+  double multi_mean = 0.0, multi_std = 0.0;
+  double regression_mean = 0.0, regression_std = 0.0;
+};
+TaskAggregate AggregateByTask(const SystemScores& scores,
+                              const std::vector<DatasetSpec>& specs);
+
+/// Mean per-dataset score vectors (dataset order of `specs`) for paired
+/// tests; NaN-failing datasets score 0 (a failed system scores nothing).
+std::vector<double> PerDatasetMeans(const SystemScores& scores,
+                                    const std::vector<DatasetSpec>& specs);
+
+/// Fixed-width table-row printing helper.
+void PrintRule(int width);
+
+}  // namespace kgpip::bench
+
+#endif  // KGPIP_BENCH_HARNESS_H_

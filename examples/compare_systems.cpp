@@ -1,0 +1,84 @@
+// Head-to-head on one dataset: FLAML, Auto-Sklearn, AL, KGpipFLAML and
+// KGpipAutoSklearn under the same trial budget, with the trial-by-trial
+// learner schedule each system followed — a compact view of why
+// warm-started learner selection wins.
+//
+//   $ ./build/examples/example_compare_systems
+#include <cmath>
+#include <cstdio>
+
+#include "automl/al_system.h"
+#include "automl/autosklearn_system.h"
+#include "automl/flaml_system.h"
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+
+using namespace kgpip;  // NOLINT — example brevity
+
+int main() {
+  BenchmarkRegistry registry;
+  // An interactions-family dataset: boosting wins, linear models fail, so
+  // budget spent screening the wrong learners is clearly visible.
+  auto spec = registry.Find("higgs");
+  if (!spec.ok()) return 1;
+  Table table = GenerateDataset(*spec);
+  auto split = SplitTable(table, 0.25, 11);
+  const int kTrials = 30;
+
+  // Train the KGpip variants (shared artifacts, different host HPO).
+  auto training = registry.TrainingSpecs();
+  core::KgpipConfig config;
+  config.generator_epochs = 15;
+  core::Kgpip kgpip_flaml(config);
+  codegraph::CorpusOptions corpus;
+  corpus.pipelines_per_dataset = 8;
+  if (!kgpip_flaml.Train(training, corpus, 5).ok()) return 1;
+  config.optimizer = "autosklearn";
+  core::Kgpip kgpip_ask(config);
+  if (!kgpip_ask.LoadJson(kgpip_flaml.ToJson()).ok()) return 1;
+
+  automl::FlamlSystem flaml;
+  automl::AutoSklearnSystem ask;
+  automl::AlSystem al;
+  const automl::AutoMlSystem* systems[] = {&flaml, &ask, &al, &kgpip_flaml,
+                                           &kgpip_ask};
+
+  std::printf("dataset: %s (%s family, %s) — budget %d trials\n\n",
+              spec->name.c_str(), ConceptFamilyName(spec->family),
+              TaskTypeName(spec->task), kTrials);
+  for (const automl::AutoMlSystem* system : systems) {
+    auto result = system->Fit(split.train, spec->task,
+                              hpo::Budget(kTrials, 300.0), 17);
+    if (!result.ok()) {
+      std::printf("%-18s FAILED: %s\n", system->name().c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto score = result->fitted.ScoreTable(split.test);
+    std::printf("%-18s test F1 %.3f  (val %.3f, %d trials)\n",
+                system->name().c_str(), score.ok() ? *score : std::nan(""),
+                result->validation_score, result->trials);
+    std::printf("  best: %s\n", result->best_spec.ToString().c_str());
+    std::printf("  learner schedule:");
+    std::string last;
+    int streak = 0;
+    auto flush = [&] {
+      if (streak > 0) std::printf(" %s x%d", last.c_str(), streak);
+    };
+    for (const std::string& learner : result->learner_sequence) {
+      if (learner == last) {
+        ++streak;
+      } else {
+        flush();
+        last = learner;
+        streak = 1;
+      }
+    }
+    flush();
+    std::printf("\n\n");
+  }
+  std::printf("Takeaway: the baselines spend most of the budget screening "
+              "learners that cannot fit this\nconcept; KGpip starts on the "
+              "right ones and spends the budget tuning them.\n");
+  return 0;
+}

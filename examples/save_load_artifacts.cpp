@@ -1,0 +1,75 @@
+// Artifact persistence: train KGpip once, save the mined Graph4ML store,
+// generator weights and dataset embeddings to a single JSON artifact,
+// then load it into a fresh process-like instance and serve predictions.
+// This is the deployment flow for KGpip as an AutoML sub-component.
+//
+//   $ ./build/examples/example_save_load_artifacts
+#include <cstdio>
+
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+
+using namespace kgpip;  // NOLINT — example brevity
+
+int main() {
+  const std::string artifact_path = "/tmp/kgpip_artifacts.json";
+
+  // ---- Training side (e.g. an offline mining job) ----
+  BenchmarkRegistry registry;
+  auto corpus_datasets = registry.TrainingSpecs();
+  corpus_datasets.resize(20);
+
+  core::KgpipConfig config;
+  config.generator_epochs = 12;
+  {
+    core::Kgpip trainer(config);
+    codegraph::CorpusOptions corpus;
+    corpus.pipelines_per_dataset = 8;
+    Status trained = trainer.Train(corpus_datasets, corpus, 7);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      return 1;
+    }
+    Status saved = trainer.SaveFile(artifact_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("trained and saved artifacts to %s\n",
+                artifact_path.c_str());
+  }  // trainer destroyed: everything lives in the artifact now
+
+  // ---- Serving side (e.g. inside a host AutoML system) ----
+  core::Kgpip server(config);
+  Status loaded = server.LoadFile(artifact_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded: %zu pipelines over %zu datasets\n",
+              server.store().NumPipelines(), server.store().NumDatasets());
+
+  // Serve skeleton predictions for a few unseen datasets.
+  const ConceptFamily families[] = {ConceptFamily::kLinear,
+                                    ConceptFamily::kRules,
+                                    ConceptFamily::kClusters};
+  for (ConceptFamily family : families) {
+    DatasetSpec unseen;
+    unseen.name = std::string("serve_") + ConceptFamilyName(family);
+    unseen.family = family;
+    unseen.rows = 220;
+    unseen.seed = 1234 + static_cast<uint64_t>(family);
+    Table table = GenerateDataset(unseen);
+    auto skeletons = server.PredictSkeletons(
+        table, TaskType::kBinaryClassification, 3);
+    if (!skeletons.ok()) continue;
+    std::printf("\n%s-family dataset -> predicted pipelines:\n",
+                ConceptFamilyName(family));
+    for (const auto& s : *skeletons) {
+      std::printf("  %s\n", s.spec.ToString().c_str());
+    }
+  }
+  std::remove(artifact_path.c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Text-column AutoML: the scenario that broke AL in the paper's
+// evaluation (Kaggle datasets "include datasets with textual features").
+// KGpip's automatic featurizer vectorizes text columns and its corpus
+// carries tfidf-pipeline knowledge, so text datasets just work — while
+// the AL baseline refuses them.
+//
+//   $ ./build/examples/example_text_classification
+#include <cstdio>
+
+#include "automl/al_system.h"
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+#include "data/csv.h"
+#include "data/type_inference.h"
+
+using namespace kgpip;  // NOLINT — example brevity
+
+int main() {
+  // A sentiment-like dataset: one text column carries the label signal.
+  DatasetSpec spec;
+  spec.name = "support-ticket-triage";
+  spec.family = ConceptFamily::kText;
+  spec.domain = Domain::kReviews;
+  spec.rows = 360;
+  spec.num_numeric = 3;
+  spec.num_text = 1;
+  spec.num_classes = 3;
+  spec.task = TaskType::kMultiClassification;
+  Table table = GenerateDataset(spec);
+
+  // Round-trip through CSV to show the full ingestion path a user would
+  // take with their own file: parse, infer column types, detect task.
+  std::string csv = WriteCsvText(table);
+  auto parsed = ReadCsvText(csv, CsvOptions{});
+  if (!parsed.ok()) return 1;
+  parsed->set_name(spec.name);
+  parsed->set_target_name("target");
+  if (!InferColumnTypes(&*parsed).ok()) return 1;
+  auto task = DetectTask(*parsed);
+  if (!task.ok()) return 1;
+  std::printf("ingested %zu rows; inferred %zu numeric / %zu categorical "
+              "/ %zu text columns; task: %s\n",
+              parsed->num_rows(), parsed->CountType(ColumnType::kNumeric),
+              parsed->CountType(ColumnType::kCategorical),
+              parsed->CountType(ColumnType::kText), TaskTypeName(*task));
+
+  auto split = SplitTable(*parsed, 0.25, 3);
+
+  // AL fails here, exactly as in the paper.
+  automl::AlSystem al;
+  auto al_result =
+      al.Fit(split.train, *task, hpo::Budget(20, 30.0), 1);
+  std::printf("\nAL on text data: %s\n",
+              al_result.ok() ? "unexpectedly succeeded"
+                             : al_result.status().ToString().c_str());
+
+  // KGpip handles it.
+  BenchmarkRegistry registry;
+  std::vector<DatasetSpec> corpus_datasets;
+  for (const auto& s : registry.TrainingSpecs()) {
+    // Text-family corpus plus some general classification datasets.
+    if (s.family == ConceptFamily::kText ||
+        corpus_datasets.size() < 12) {
+      corpus_datasets.push_back(s);
+    }
+  }
+  core::KgpipConfig config;
+  config.generator_epochs = 15;
+  core::Kgpip kgpip(config);
+  Status trained =
+      kgpip.Train(corpus_datasets, codegraph::CorpusOptions{}, 5);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  auto skeletons = kgpip.PredictSkeletons(split.train, *task, 3);
+  if (skeletons.ok()) {
+    std::printf("\nKGpip predicted skeletons for the text dataset:\n");
+    for (const auto& s : *skeletons) {
+      std::printf("  %s\n", s.spec.ToString().c_str());
+    }
+  }
+  auto result =
+      kgpip.Fit(split.train, *task, hpo::Budget(24, 120.0), 7);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  auto score = result->fitted.ScoreTable(split.test);
+  std::printf("\nKGpip best pipeline: %s\n",
+              result->best_spec.ToString().c_str());
+  if (score.ok()) {
+    std::printf("held-out macro-F1: %.3f (random guessing would be "
+                "~0.33 on 3 classes)\n", *score);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary, teeing combined output.
+set -u
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b =====" | tee -a "$out"
+  "$b" 2>>/tmp/bench_stderr.log | tee -a "$out"
+  echo "" | tee -a "$out"
+done
+echo "ALL_BENCHES_DONE"

@@ -1,0 +1,156 @@
+#include "automl/al_system.h"
+
+#include <algorithm>
+
+#include "automl/meta_features.h"
+#include "data/synthetic.h"
+#include "hpo/optimizer.h"
+#include "ml/learner.h"
+
+namespace kgpip::automl {
+
+namespace {
+
+/// One dynamically-analyzed pipeline in AL's database. AL executed whole
+/// notebooks, so each record is a complete frozen pipeline.
+struct AlRecord {
+  std::vector<double> meta;
+  ml::PipelineSpec spec;
+  TaskType task;
+  int max_classes;
+  bool handles_text;
+};
+
+/// AL's database covers fewer than 10 datasets (the paper: dynamic
+/// analysis "on fewer than 10 datasets").
+const std::vector<AlRecord>& AlDatabase() {
+  static const std::vector<AlRecord>& kDb = *new std::vector<AlRecord>([] {
+    struct Seedling {
+      ConceptFamily family;
+      TaskType task;
+      const char* learner;
+      const char* preprocessor;  // "" = none
+      int classes;
+    };
+    const Seedling seeds[] = {
+        {ConceptFamily::kLinear, TaskType::kBinaryClassification,
+         "logistic_regression", "standard_scaler", 2},
+        {ConceptFamily::kRules, TaskType::kBinaryClassification,
+         "decision_tree", "", 2},
+        {ConceptFamily::kClusters, TaskType::kMultiClassification, "knn",
+         "standard_scaler", 4},
+        {ConceptFamily::kInteractions, TaskType::kBinaryClassification,
+         "gradient_boosting", "", 2},
+        {ConceptFamily::kLinear, TaskType::kMultiClassification,
+         "linear_svm", "standard_scaler", 3},
+        {ConceptFamily::kRules, TaskType::kRegression, "decision_tree", "",
+         0},
+        {ConceptFamily::kLinear, TaskType::kRegression,
+         "linear_regression", "standard_scaler", 0},
+    };
+    std::vector<AlRecord> db;
+    int index = 0;
+    for (const Seedling& s : seeds) {
+      DatasetSpec spec;
+      spec.name = "al_seed";
+      spec.family = s.family;
+      spec.task = s.task;
+      spec.rows = 150;
+      spec.num_numeric = 7;
+      spec.num_classes = s.classes;
+      spec.seed = 0xA1 + static_cast<uint64_t>(index);
+      AlRecord record;
+      record.meta = ComputeMetaFeatures(GenerateDataset(spec));
+      record.spec.learner = s.learner;
+      if (s.preprocessor[0] != '\0') {
+        record.spec.preprocessors.push_back(s.preprocessor);
+      }
+      record.task = s.task;
+      record.max_classes = s.classes;
+      record.handles_text = false;
+      db.push_back(std::move(record));
+      ++index;
+    }
+    return db;
+  }());
+  return kDb;
+}
+
+}  // namespace
+
+Result<AutoMlResult> AlSystem::Fit(const Table& train, TaskType task,
+                                   hpo::Budget budget,
+                                   uint64_t seed) const {
+  // Brittleness model, matching the failure modes the paper reports.
+  size_t text_columns = train.CountType(ColumnType::kText);
+  int classes = 0;
+  if (auto target = train.TargetColumn(); target.ok()) {
+    classes = static_cast<int>((*target)->DistinctCount());
+  }
+
+  // Pick the nearest dynamically-analyzed dataset with a compatible task.
+  std::vector<double> meta = ComputeMetaFeatures(train);
+  const AlRecord* nearest = nullptr;
+  double nearest_distance = 1e300;
+  for (const AlRecord& record : AlDatabase()) {
+    if (IsClassification(task) != IsClassification(record.task)) continue;
+    double d = MetaFeatureDistance(meta, record.meta);
+    if (d < nearest_distance) {
+      nearest_distance = d;
+      nearest = &record;
+    }
+  }
+  if (nearest == nullptr) {
+    return Status::FailedPrecondition(
+        "AL: no transferable pipeline for this task");
+  }
+  if (text_columns > 0 && !nearest->handles_text) {
+    return Status::FailedPrecondition(
+        "AL: transferred pipeline cannot vectorize text columns");
+  }
+  if (IsClassification(task) && classes > 2 * nearest->max_classes) {
+    return Status::FailedPrecondition(
+        "AL: class count far outside the analyzed notebooks");
+  }
+  if (!ml::LearnerSupports(nearest->spec.learner, task)) {
+    return Status::FailedPrecondition(
+        "AL: transferred estimator incompatible with task");
+  }
+
+  // AL replays the transferred pipeline nearly verbatim: a frozen
+  // skeleton with a small grid around its original hyper-parameters.
+  KGPIP_ASSIGN_OR_RETURN(
+      hpo::TrialEvaluator evaluator,
+      hpo::TrialEvaluator::Create(train, task, 0.25, seed));
+  AutoMlResult result;
+  hpo::RandomSearch search(
+      hpo::SpaceForSkeleton(nearest->spec.learner,
+                            nearest->spec.preprocessors),
+      seed);
+  // AL does not budget-optimize; it tries only a handful of variants.
+  hpo::Budget al_budget(std::min(5, budget.max_trials()), 1e9);
+  uint64_t trial_seed = seed;
+  while (al_budget.ConsumeTrial()) {
+    ml::HyperParams config = search.Propose();
+    ml::PipelineSpec spec = nearest->spec;
+    for (const auto& [k, v] : config.numeric()) spec.params.SetNum(k, v);
+    for (const auto& [k, v] : config.strings()) spec.params.SetStr(k, v);
+    auto score = evaluator.Evaluate(spec, ++trial_seed);
+    double value = score.ok() ? *score : -1e18;
+    search.Tell(config, value);
+    ++result.trials;
+    result.learner_sequence.push_back(spec.learner);
+    if (value > result.validation_score) {
+      result.validation_score = value;
+      result.best_spec = spec;
+    }
+  }
+  if (result.best_spec.learner.empty()) {
+    return Status::Internal("AL produced no candidate");
+  }
+  KGPIP_RETURN_IF_ERROR(
+      FinalizeResult(result.best_spec, train, task, seed, &result));
+  return result;
+}
+
+}  // namespace kgpip::automl

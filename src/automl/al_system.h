@@ -1,0 +1,27 @@
+#ifndef KGPIP_AUTOML_AL_SYSTEM_H_
+#define KGPIP_AUTOML_AL_SYSTEM_H_
+
+#include "automl/system.h"
+
+namespace kgpip::automl {
+
+/// AL-style baseline (Cambronero & Rinard 2019): pipelines mined by
+/// *dynamic* analysis of a handful of Kaggle notebooks (fewer than 10
+/// datasets), transferred to a new dataset via meta-feature nearest
+/// neighbour. Faithful to the paper's findings, the system is brittle:
+/// it refuses datasets that fall outside its tiny experience (text
+/// columns its pipelines cannot vectorize, class counts it never saw) —
+/// "it failed on many of the datasets during the fitting process".
+class AlSystem : public AutoMlSystem {
+ public:
+  AlSystem() = default;
+
+  Result<AutoMlResult> Fit(const Table& train, TaskType task,
+                           hpo::Budget budget,
+                           uint64_t seed) const override;
+  std::string name() const override { return "AL"; }
+};
+
+}  // namespace kgpip::automl
+
+#endif  // KGPIP_AUTOML_AL_SYSTEM_H_

@@ -1,0 +1,26 @@
+#ifndef KGPIP_AUTOML_AUTOSKLEARN_SYSTEM_H_
+#define KGPIP_AUTOML_AUTOSKLEARN_SYSTEM_H_
+
+#include "automl/system.h"
+
+namespace kgpip::automl {
+
+/// Auto-Sklearn-style baseline (Feurer et al. 2015/2020): a learner
+/// selection component driven by shape-based meta-features — a built-in
+/// experience database maps meta-feature neighbours to promising learners
+/// (v1.0 behaviour), backed by a static cross-dataset portfolio (v2.0
+/// behaviour) — followed by random-search refinement of the most
+/// promising configurations.
+class AutoSklearnSystem : public AutoMlSystem {
+ public:
+  AutoSklearnSystem() = default;
+
+  Result<AutoMlResult> Fit(const Table& train, TaskType task,
+                           hpo::Budget budget,
+                           uint64_t seed) const override;
+  std::string name() const override { return "Auto-Sklearn"; }
+};
+
+}  // namespace kgpip::automl
+
+#endif  // KGPIP_AUTOML_AUTOSKLEARN_SYSTEM_H_

@@ -1,0 +1,102 @@
+#include "automl/flaml_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpo/optimizer.h"
+#include "ml/learner.h"
+
+namespace kgpip::automl {
+
+Status FinalizeResult(const ml::PipelineSpec& spec, const Table& train,
+                      TaskType task, uint64_t seed, AutoMlResult* result) {
+  KGPIP_ASSIGN_OR_RETURN(result->fitted,
+                         ml::Pipeline::FitOnTable(spec, train, task, seed));
+  result->best_spec = spec;
+  return Status::Ok();
+}
+
+Result<AutoMlResult> FlamlSystem::Fit(const Table& train, TaskType task,
+                                      hpo::Budget budget,
+                                      uint64_t seed) const {
+  KGPIP_ASSIGN_OR_RETURN(
+      hpo::TrialEvaluator evaluator,
+      hpo::TrialEvaluator::Create(train, task, 0.25, seed));
+
+  // One CFO state per supported learner.
+  struct LearnerState {
+    std::string name;
+    double cost = 1.0;
+    hpo::CfoSearch search;
+    double best = -1e18;
+    int trials = 0;
+  };
+  std::vector<LearnerState> states;
+  uint64_t salt = 0;
+  for (const ml::LearnerInfo& info : ml::LearnerRegistry()) {
+    if (!ml::LearnerSupports(info.name, task)) continue;
+    states.push_back(LearnerState{
+        info.name, info.relative_cost,
+        hpo::CfoSearch(hpo::SpaceForLearner(info.name), seed + (++salt)),
+        -1e18, 0});
+  }
+  // Cheap learners first, FLAML-style.
+  std::sort(states.begin(), states.end(),
+            [](const LearnerState& a, const LearnerState& b) {
+              return a.cost < b.cost;
+            });
+
+  AutoMlResult result;
+  uint64_t trial_seed = seed * 31 + 7;
+  int total_trials = 0;
+  while (budget.ConsumeTrial()) {
+    // Estimated-cost-for-improvement scheduling: untried learners first
+    // (in cost order); afterwards pick the learner with the best
+    // score-per-cost upper bound.
+    LearnerState* chosen = nullptr;
+    for (LearnerState& s : states) {
+      if (s.trials == 0) {
+        chosen = &s;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      double best_priority = -1e18;
+      for (LearnerState& s : states) {
+        double exploration =
+            0.25 * std::sqrt(std::log(static_cast<double>(total_trials + 2)) /
+                            static_cast<double>(s.trials + 1));
+        double priority =
+            (s.best + exploration) / std::sqrt(s.cost);
+        if (priority > best_priority) {
+          best_priority = priority;
+          chosen = &s;
+        }
+      }
+    }
+    ml::HyperParams config = chosen->search.Propose();
+    ml::PipelineSpec spec;
+    spec.learner = chosen->name;
+    spec.params = config;
+    auto score = evaluator.Evaluate(spec, ++trial_seed);
+    double value = score.ok() ? *score : -1e18;
+    chosen->search.Tell(config, value);
+    chosen->best = std::max(chosen->best, value);
+    ++chosen->trials;
+    ++total_trials;
+    result.learner_sequence.push_back(chosen->name);
+    if (value > result.validation_score) {
+      result.validation_score = value;
+      result.best_spec = spec;
+    }
+  }
+  result.trials = total_trials;
+  if (result.best_spec.learner.empty()) {
+    return Status::Internal("FLAML search produced no candidate");
+  }
+  KGPIP_RETURN_IF_ERROR(
+      FinalizeResult(result.best_spec, train, task, seed, &result));
+  return result;
+}
+
+}  // namespace kgpip::automl

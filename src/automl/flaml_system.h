@@ -1,0 +1,24 @@
+#ifndef KGPIP_AUTOML_FLAML_SYSTEM_H_
+#define KGPIP_AUTOML_FLAML_SYSTEM_H_
+
+#include "automl/system.h"
+
+namespace kgpip::automl {
+
+/// FLAML-style baseline (Wang et al. 2021): no meta-learning cold start —
+/// every supported learner enters the search, scheduled by an estimated-
+/// cost-for-improvement rule (cheap learners first, budget flowing toward
+/// learners that keep improving), with CFO local search per learner.
+class FlamlSystem : public AutoMlSystem {
+ public:
+  FlamlSystem() = default;
+
+  Result<AutoMlResult> Fit(const Table& train, TaskType task,
+                           hpo::Budget budget,
+                           uint64_t seed) const override;
+  std::string name() const override { return "FLAML"; }
+};
+
+}  // namespace kgpip::automl
+
+#endif  // KGPIP_AUTOML_FLAML_SYSTEM_H_

@@ -1,0 +1,57 @@
+#include "automl/meta_features.h"
+
+#include <cmath>
+
+namespace kgpip::automl {
+
+std::vector<double> ComputeMetaFeatures(const Table& table) {
+  std::vector<double> v(10, 0.0);
+  const double rows = static_cast<double>(table.num_rows());
+  double features = 0.0, numeric = 0.0, categorical = 0.0, text = 0.0;
+  double missing = 0.0;
+  for (const Column& col : table.columns()) {
+    if (col.name() == table.target_name()) continue;
+    features += 1.0;
+    switch (col.type()) {
+      case ColumnType::kNumeric:
+        numeric += 1.0;
+        break;
+      case ColumnType::kCategorical:
+        categorical += 1.0;
+        break;
+      case ColumnType::kText:
+        text += 1.0;
+        break;
+    }
+    missing += static_cast<double>(col.MissingCount());
+  }
+  if (features < 1.0) features = 1.0;
+  v[0] = std::log1p(rows) / 10.0;
+  v[1] = std::log1p(features) / 5.0;
+  v[2] = numeric / features;
+  v[3] = categorical / features;
+  v[4] = text / features;
+  v[5] = rows > 0.0 ? missing / (rows * features) : 0.0;
+  // Target statistics.
+  if (auto target = table.TargetColumn(); target.ok()) {
+    const Column& t = **target;
+    double distinct = static_cast<double>(t.DistinctCount());
+    v[6] = t.type() == ColumnType::kNumeric ? 1.0 : 0.0;
+    v[7] = std::log1p(distinct) / 5.0;
+    v[8] = rows > 0.0 ? distinct / rows : 0.0;
+    v[9] = std::log1p(rows / std::max(1.0, distinct)) / 8.0;
+  }
+  return v;
+}
+
+double MetaFeatureDistance(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace kgpip::automl

@@ -1,0 +1,22 @@
+#ifndef KGPIP_AUTOML_META_FEATURES_H_
+#define KGPIP_AUTOML_META_FEATURES_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace kgpip::automl {
+
+/// Classical shape-based dataset meta-features (Auto-Sklearn / AL style):
+/// row/column counts, type fractions, class statistics, missingness —
+/// deliberately *not* content-based, unlike KGpip's embeddings. This is
+/// the representational gap the paper's comparison rests on.
+std::vector<double> ComputeMetaFeatures(const Table& table);
+
+/// Euclidean distance between meta-feature vectors.
+double MetaFeatureDistance(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace kgpip::automl
+
+#endif  // KGPIP_AUTOML_META_FEATURES_H_

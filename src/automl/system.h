@@ -1,0 +1,49 @@
+#ifndef KGPIP_AUTOML_SYSTEM_H_
+#define KGPIP_AUTOML_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "hpo/evaluator.h"
+#include "ml/pipeline.h"
+
+namespace kgpip::automl {
+
+/// Outcome of one end-to-end AutoML run on a dataset.
+struct AutoMlResult {
+  ml::PipelineSpec best_spec;
+  double validation_score = -1e18;
+  int trials = 0;
+  /// Estimator of every trial, in order (Figure 8 / diversity analyses).
+  std::vector<std::string> learner_sequence;
+  /// Candidate skeletons in predicted rank order (KGpip only).
+  std::vector<ml::PipelineSpec> skeletons;
+  /// 1-based rank of the skeleton that produced the best pipeline in the
+  /// predicted order (KGpip only; -1 otherwise). Drives the MRR metric.
+  int best_skeleton_rank = -1;
+  /// The best pipeline refit on the full training table.
+  ml::Pipeline fitted;
+};
+
+/// Common interface of every AutoML system under evaluation.
+class AutoMlSystem {
+ public:
+  virtual ~AutoMlSystem() = default;
+
+  /// Searches for the best pipeline within `budget`; refits it on the
+  /// full training table before returning.
+  virtual Result<AutoMlResult> Fit(const Table& train, TaskType task,
+                                   hpo::Budget budget,
+                                   uint64_t seed) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Refits `spec` on the full table and fills `result->fitted`.
+Status FinalizeResult(const ml::PipelineSpec& spec, const Table& train,
+                      TaskType task, uint64_t seed, AutoMlResult* result);
+
+}  // namespace kgpip::automl
+
+#endif  // KGPIP_AUTOML_SYSTEM_H_

@@ -1,0 +1,353 @@
+#include "codegraph/analyzer.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace kgpip::codegraph {
+
+namespace {
+
+/// Per-script analysis state.
+class Analysis {
+ public:
+  Analysis(const std::string& script_name, const AnalyzerOptions& options)
+      : options_(options) {
+    graph_.script_name = script_name;
+  }
+
+  Status Run(const Module& module) {
+    for (const StmtPtr& stmt : module.statements) {
+      KGPIP_RETURN_IF_ERROR(VisitStmt(*stmt));
+    }
+    return Status::Ok();
+  }
+
+  CodeGraph Take() { return std::move(graph_); }
+
+ private:
+  Status VisitStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kImport: {
+        std::string alias = stmt.alias.empty() ? stmt.module : stmt.alias;
+        imports_[alias] = stmt.module;
+        int node = graph_.AddNode(NodeKind::kImport, stmt.module, stmt.line);
+        MaybeLocation(node, stmt.line);
+        return Status::Ok();
+      }
+      case StmtKind::kImportFrom: {
+        std::string alias =
+            stmt.alias.empty() ? stmt.imported_name : stmt.alias;
+        imports_[alias] = stmt.module + "." + stmt.imported_name;
+        int node = graph_.AddNode(NodeKind::kImport,
+                                  stmt.module + "." + stmt.imported_name,
+                                  stmt.line);
+        MaybeLocation(node, stmt.line);
+        return Status::Ok();
+      }
+      case StmtKind::kAssign: {
+        int value_node = -1;
+        std::string value_type;
+        VisitExpr(*stmt.value, &value_node, &value_type);
+        for (size_t i = 0; i < stmt.targets.size(); ++i) {
+          const Expr& target = *stmt.targets[i];
+          if (target.kind == ExprKind::kName) {
+            // The environment points at the producing node so downstream
+            // uses flow from it; the variable node itself is metadata.
+            int var_node = graph_.AddNode(NodeKind::kVariable, target.text,
+                                          stmt.line);
+            if (value_node >= 0) {
+              graph_.AddEdge(value_node, var_node, EdgeKind::kDataFlow);
+              env_[target.text] = value_node;
+            }
+            std::string element_type = TupleElementType(
+                value_type, stmt.targets.size() > 1 ? i : 0,
+                stmt.targets.size() > 1);
+            if (!element_type.empty()) {
+              var_types_[target.text] = element_type;
+            }
+          } else {
+            // Attribute / subscript target: flow into the base object.
+            int base_node = -1;
+            std::string base_type;
+            VisitExpr(target, &base_node, &base_type);
+            if (value_node >= 0 && base_node >= 0) {
+              graph_.AddEdge(value_node, base_node, EdgeKind::kDataFlow);
+            }
+          }
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kExpr: {
+        int node = -1;
+        std::string type;
+        VisitExpr(*stmt.value, &node, &type);
+        return Status::Ok();
+      }
+      case StmtKind::kFor: {
+        int iter_node = -1;
+        std::string iter_type;
+        VisitExpr(*stmt.value, &iter_node, &iter_type);
+        if (iter_node >= 0) env_[stmt.loop_var] = iter_node;
+        for (const StmtPtr& inner : stmt.body) {
+          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kIf: {
+        int cond_node = -1;
+        std::string cond_type;
+        VisitExpr(*stmt.value, &cond_node, &cond_type);
+        for (const StmtPtr& inner : stmt.body) {
+          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
+        }
+        for (const StmtPtr& inner : stmt.orelse) {
+          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Emits graph structure for an expression; returns the node producing
+  /// its value (-1 if none) and the inferred qualified type ("" unknown).
+  void VisitExpr(const Expr& expr, int* out_node, std::string* out_type) {
+    *out_node = -1;
+    out_type->clear();
+    switch (expr.kind) {
+      case ExprKind::kName: {
+        auto it = env_.find(expr.text);
+        if (it != env_.end()) *out_node = it->second;
+        auto ty = var_types_.find(expr.text);
+        if (ty != var_types_.end()) *out_type = ty->second;
+        return;
+      }
+      case ExprKind::kConstant: {
+        *out_node = graph_.AddNode(NodeKind::kLiteral, expr.text, expr.line);
+        return;
+      }
+      case ExprKind::kList: {
+        int list_node =
+            graph_.AddNode(NodeKind::kLiteral, "[list]", expr.line);
+        for (const ExprPtr& item : expr.args) {
+          int item_node = -1;
+          std::string item_type;
+          VisitExpr(*item, &item_node, &item_type);
+          if (item_node >= 0) {
+            graph_.AddEdge(item_node, list_node, EdgeKind::kDataFlow);
+          }
+        }
+        *out_node = list_node;
+        return;
+      }
+      case ExprKind::kSubscript: {
+        int base_node = -1;
+        std::string base_type;
+        VisitExpr(*expr.value, &base_node, &base_type);
+        int index_node = -1;
+        std::string index_type;
+        VisitExpr(*expr.index, &index_node, &index_type);
+        // Value flows through the subscript.
+        *out_node = base_node;
+        *out_type = base_type;
+        return;
+      }
+      case ExprKind::kBinOp: {
+        int lhs = -1, rhs = -1;
+        std::string lt, rt;
+        VisitExpr(*expr.value, &lhs, &lt);
+        VisitExpr(*expr.index, &rhs, &rt);
+        *out_node = lhs >= 0 ? lhs : rhs;
+        *out_type = lt.empty() ? rt : lt;
+        return;
+      }
+      case ExprKind::kAttribute: {
+        // Bare attribute read (not a call): flows from the base object.
+        int base_node = -1;
+        std::string base_type;
+        VisitExpr(*expr.value, &base_node, &base_type);
+        *out_node = base_node;
+        return;
+      }
+      case ExprKind::kCall: {
+        VisitCall(expr, out_node, out_type);
+        return;
+      }
+    }
+  }
+
+  void VisitCall(const Expr& call, int* out_node, std::string* out_type) {
+    // Resolve the callee's qualified name plus the receiver's value node.
+    std::string qualified;
+    int receiver_node = -1;
+    ResolveCallee(*call.value, &qualified, &receiver_node);
+    int call_node = graph_.AddNode(NodeKind::kCall, qualified, call.line);
+    if (receiver_node >= 0) {
+      graph_.AddEdge(receiver_node, call_node, EdgeKind::kDataFlow);
+    }
+    // Control flow from the previous call in program order.
+    if (last_call_node_ >= 0) {
+      graph_.AddEdge(last_call_node_, call_node, EdgeKind::kControlFlow);
+    }
+    last_call_node_ = call_node;
+
+    int arg_index = 0;
+    auto handle_arg = [&](const Expr& arg, const std::string& kw) {
+      int arg_node = -1;
+      std::string arg_type;
+      VisitExpr(arg, &arg_node, &arg_type);
+      if (options_.emit_parameter_nodes) {
+        std::string label = kw.empty()
+                                ? "arg" + std::to_string(arg_index)
+                                : kw;
+        int param = graph_.AddNode(NodeKind::kParameter, label, call.line);
+        graph_.AddEdge(call_node, param, EdgeKind::kParameter);
+        if (arg_node >= 0) {
+          graph_.AddEdge(arg_node, param, EdgeKind::kDataFlow);
+        }
+      }
+      if (arg_node >= 0) {
+        graph_.AddEdge(arg_node, call_node, EdgeKind::kDataFlow);
+      }
+      ++arg_index;
+    };
+    for (const ExprPtr& arg : call.args) handle_arg(*arg, "");
+    for (const KeywordArg& kw : call.keywords) handle_arg(*kw.value, kw.name);
+
+    MaybeLocation(call_node, call.line);
+    if (options_.emit_doc_nodes && call.line % 4 == 0) {
+      int doc = graph_.AddNode(NodeKind::kDoc, "doc", call.line);
+      graph_.AddEdge(call_node, doc, EdgeKind::kDoc);
+    }
+
+    *out_node = call_node;
+    *out_type = ReturnTypeOf(qualified);
+  }
+
+  /// Resolves `func` (Name or Attribute chain) to a qualified name using
+  /// imports and tracked receiver types.
+  void ResolveCallee(const Expr& func, std::string* qualified,
+                     int* receiver_node) {
+    *receiver_node = -1;
+    if (func.kind == ExprKind::kName) {
+      auto it = imports_.find(func.text);
+      *qualified = it != imports_.end() ? it->second : func.text;
+      return;
+    }
+    if (func.kind == ExprKind::kAttribute) {
+      // Walk to the base of the chain.
+      std::vector<const Expr*> chain;
+      const Expr* cur = &func;
+      while (cur->kind == ExprKind::kAttribute) {
+        chain.push_back(cur);
+        cur = cur->value.get();
+      }
+      std::string base;
+      if (cur->kind == ExprKind::kName) {
+        const std::string& name = cur->text;
+        auto imp = imports_.find(name);
+        auto ty = var_types_.find(name);
+        auto env = env_.find(name);
+        if (env != env_.end()) *receiver_node = env->second;
+        if (imp != imports_.end()) {
+          base = imp->second;
+        } else if (ty != var_types_.end()) {
+          base = ty->second;
+        } else {
+          base = name;
+        }
+      } else {
+        // Call / subscript base: resolve recursively for the value node.
+        int node = -1;
+        std::string type;
+        VisitExpr(*cur, &node, &type);
+        *receiver_node = node;
+        base = type.empty() ? "<unknown>" : type;
+      }
+      *qualified = base;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        *qualified += "." + (*it)->text;
+      }
+      return;
+    }
+    *qualified = "<expr>";
+  }
+
+  /// Known return types for the APIs the corpus uses; everything else is
+  /// unknown. Constructor calls (Capitalized last component) return their
+  /// own class.
+  static std::string ReturnTypeOf(const std::string& qualified) {
+    if (qualified == "pandas.read_csv") return "pandas.DataFrame";
+    if (EndsWith(qualified, "train_test_split")) {
+      return "tuple[pandas.DataFrame]";
+    }
+    size_t dot = qualified.find_last_of('.');
+    std::string last =
+        dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+    if (!last.empty() && std::isupper(static_cast<unsigned char>(last[0]))) {
+      return qualified;  // constructor
+    }
+    if (EndsWith(qualified, ".fit_transform") ||
+        EndsWith(qualified, ".transform")) {
+      return "numpy.ndarray";
+    }
+    return "";
+  }
+
+  /// For tuple unpacking `a, b = f(...)`: element type of slot `i`.
+  static std::string TupleElementType(const std::string& value_type,
+                                      size_t /*index*/, bool is_tuple) {
+    if (!is_tuple) return value_type;
+    if (StartsWith(value_type, "tuple[")) {
+      return value_type.substr(6, value_type.size() - 7);
+    }
+    return value_type;
+  }
+
+  void MaybeLocation(int node, int line) {
+    if (!options_.emit_location_nodes) return;
+    for (int i = 0; i < options_.location_fanout; ++i) {
+      int loc = graph_.AddNode(
+          NodeKind::kLocation,
+          "L" + std::to_string(line) + ":" + std::to_string(i), line);
+      graph_.AddEdge(node, loc, EdgeKind::kLocation);
+    }
+  }
+
+  AnalyzerOptions options_;
+  CodeGraph graph_;
+  std::map<std::string, std::string> imports_;   // alias -> module path
+  std::map<std::string, int> env_;               // var -> producing node
+  std::map<std::string, std::string> var_types_; // var -> qualified type
+  int last_call_node_ = -1;
+};
+
+}  // namespace
+
+Result<CodeGraph> AnalyzeScript(const std::string& script_name,
+                                const std::string& source,
+                                const AnalyzerOptions& options) {
+  KGPIP_ASSIGN_OR_RETURN(Module module, ParsePython(source));
+  Analysis analysis(script_name, options);
+  KGPIP_RETURN_IF_ERROR(analysis.Run(module));
+  return analysis.Take();
+}
+
+std::string FindReadCsvArgument(const CodeGraph& graph) {
+  // Locate the read_csv call node, then its literal data-flow source.
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].kind != NodeKind::kCall) continue;
+    if (graph.nodes[i].label != "pandas.read_csv") continue;
+    for (const CodeEdge& edge : graph.edges) {
+      if (edge.dst != static_cast<int>(i)) continue;
+      if (edge.kind != EdgeKind::kDataFlow) continue;
+      const CodeNode& src = graph.nodes[static_cast<size_t>(edge.src)];
+      if (src.kind == NodeKind::kLiteral) return src.label;
+    }
+  }
+  return "";
+}
+
+}  // namespace kgpip::codegraph

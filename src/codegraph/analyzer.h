@@ -1,0 +1,40 @@
+#ifndef KGPIP_CODEGRAPH_ANALYZER_H_
+#define KGPIP_CODEGRAPH_ANALYZER_H_
+
+#include <string>
+
+#include "codegraph/code_graph.h"
+#include "codegraph/python_ast.h"
+
+namespace kgpip::codegraph {
+
+/// Options controlling auxiliary-node emission. The defaults imitate
+/// GraphGen4Code's density (a 72-line script yields ~1600 nodes / ~3700
+/// edges), which is what makes unfiltered graphs expensive to train on.
+struct AnalyzerOptions {
+  bool emit_parameter_nodes = true;
+  bool emit_location_nodes = true;
+  bool emit_doc_nodes = true;
+  /// Extra location records per call (real graphs carry several spans).
+  int location_fanout = 3;
+};
+
+/// Static analysis of one script: resolves imports and receiver types,
+/// tracks the flow of objects through calls, and emits a code graph with
+/// data-flow, control-flow and auxiliary nodes/edges.
+///
+/// Type tracking is flow-insensitive per variable (last assignment wins),
+/// which matches the notebooks this corpus contains and is the same
+/// practical accuracy class as GraphGen4Code's analysis.
+Result<CodeGraph> AnalyzeScript(const std::string& script_name,
+                                const std::string& source,
+                                const AnalyzerOptions& options = {});
+
+/// Convenience: the dataset file argument of the first pandas.read_csv
+/// call in the graph ("" if none). Graph4ML uses this to link pipelines
+/// to dataset nodes when the file name is explicit.
+std::string FindReadCsvArgument(const CodeGraph& graph);
+
+}  // namespace kgpip::codegraph
+
+#endif  // KGPIP_CODEGRAPH_ANALYZER_H_

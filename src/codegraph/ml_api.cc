@@ -1,0 +1,89 @@
+#include "codegraph/ml_api.h"
+
+#include "util/string_util.h"
+
+namespace kgpip::codegraph {
+
+const std::vector<MlApiEntry>& MlApiTable() {
+  static const std::vector<MlApiEntry>& kTable =
+      *new std::vector<MlApiEntry>{
+          // Estimators (classifier / regressor pairs share canonicals).
+          {"sklearn.linear_model.LogisticRegression", "logistic_regression",
+           true},
+          {"sklearn.svm.SVC", "linear_svm", true},
+          {"sklearn.svm.LinearSVC", "linear_svm", true},
+          {"sklearn.linear_model.SGDClassifier", "sgd", true},
+          {"sklearn.linear_model.SGDRegressor", "sgd", true},
+          {"sklearn.naive_bayes.GaussianNB", "gaussian_nb", true},
+          {"sklearn.neighbors.KNeighborsClassifier", "knn", true},
+          {"sklearn.neighbors.KNeighborsRegressor", "knn", true},
+          {"sklearn.tree.DecisionTreeClassifier", "decision_tree", true},
+          {"sklearn.tree.DecisionTreeRegressor", "decision_tree", true},
+          {"sklearn.ensemble.RandomForestClassifier", "random_forest", true},
+          {"sklearn.ensemble.RandomForestRegressor", "random_forest", true},
+          {"sklearn.ensemble.ExtraTreesClassifier", "extra_trees", true},
+          {"sklearn.ensemble.ExtraTreesRegressor", "extra_trees", true},
+          {"sklearn.ensemble.GradientBoostingClassifier",
+           "gradient_boosting", true},
+          {"sklearn.ensemble.GradientBoostingRegressor",
+           "gradient_boosting", true},
+          {"xgboost.XGBClassifier", "xgboost", true},
+          {"xgboost.XGBRegressor", "xgboost", true},
+          {"lightgbm.LGBMClassifier", "lgbm", true},
+          {"lightgbm.LGBMRegressor", "lgbm", true},
+          {"sklearn.linear_model.LinearRegression", "linear_regression",
+           true},
+          {"sklearn.linear_model.Ridge", "ridge", true},
+          {"sklearn.linear_model.Lasso", "lasso", true},
+          // Transformers.
+          {"sklearn.preprocessing.StandardScaler", "standard_scaler", false},
+          {"sklearn.preprocessing.MinMaxScaler", "minmax_scaler", false},
+          {"sklearn.preprocessing.Normalizer", "normalizer", false},
+          {"sklearn.feature_selection.VarianceThreshold",
+           "variance_threshold", false},
+          {"sklearn.feature_selection.SelectKBest", "select_k_best", false},
+          {"sklearn.decomposition.PCA", "pca", false},
+          // Featurizer-level ops; kept in graphs so Graph4ML reflects the
+          // full pre-processing surface the paper mines.
+          {"sklearn.impute.SimpleImputer", "simple_imputer", false},
+          {"sklearn.preprocessing.OneHotEncoder", "one_hot_encoder", false},
+          {"sklearn.feature_extraction.text.TfidfVectorizer",
+           "tfidf_vectorizer", false},
+          {"sklearn.feature_extraction.text.CountVectorizer",
+           "count_vectorizer", false},
+      };
+  return kTable;
+}
+
+std::string CanonicalizeMlCall(const std::string& qualified,
+                               bool* is_estimator) {
+  for (const MlApiEntry& entry : MlApiTable()) {
+    if (qualified == entry.python_class ||
+        (StartsWith(qualified, entry.python_class) &&
+         qualified.size() > entry.python_class.size() &&
+         qualified[entry.python_class.size()] == '.')) {
+      if (is_estimator != nullptr) *is_estimator = entry.is_estimator;
+      return entry.canonical;
+    }
+  }
+  if (is_estimator != nullptr) *is_estimator = false;
+  return "";
+}
+
+std::string PythonClassFor(const std::string& canonical, bool regression) {
+  // Prefer the regressor variant when asked and one exists.
+  std::string fallback;
+  for (const MlApiEntry& entry : MlApiTable()) {
+    if (entry.canonical != canonical) continue;
+    bool is_regressor = EndsWith(entry.python_class, "Regressor") ||
+                        entry.python_class ==
+                            "sklearn.linear_model.LinearRegression" ||
+                        entry.python_class == "sklearn.linear_model.Ridge" ||
+                        entry.python_class == "sklearn.linear_model.Lasso";
+    if (regression == is_regressor) return entry.python_class;
+    if (fallback.empty()) fallback = entry.python_class;
+  }
+  return fallback;
+}
+
+}  // namespace kgpip::codegraph

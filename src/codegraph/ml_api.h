@@ -1,0 +1,35 @@
+#ifndef KGPIP_CODEGRAPH_ML_API_H_
+#define KGPIP_CODEGRAPH_ML_API_H_
+
+#include <string>
+#include <vector>
+
+namespace kgpip::codegraph {
+
+/// One supported ML-framework API: a Python class path and the canonical
+/// operator name KGpip uses for it in pipeline skeletons.
+struct MlApiEntry {
+  /// e.g. "sklearn.ensemble.RandomForestClassifier".
+  std::string python_class;
+  /// e.g. "random_forest" (matches ml::LearnerRegistry /
+  /// ml::TransformerRegistry, or a featurizer-level op).
+  std::string canonical;
+  bool is_estimator = false;
+};
+
+/// Every sklearn / XGBoost / LightGBM class the filter keeps — the paper's
+/// target frameworks ("namely, Scikit-learn, XGBoost, and LGBM").
+const std::vector<MlApiEntry>& MlApiTable();
+
+/// Maps a resolved qualified call name (possibly with a trailing method,
+/// e.g. ".fit") to its canonical op; returns "" for non-ML calls.
+std::string CanonicalizeMlCall(const std::string& qualified,
+                               bool* is_estimator);
+
+/// Reverse lookup: the Python class used in generated scripts for a
+/// canonical op name, picking the classifier or regressor variant.
+std::string PythonClassFor(const std::string& canonical, bool regression);
+
+}  // namespace kgpip::codegraph
+
+#endif  // KGPIP_CODEGRAPH_ML_API_H_

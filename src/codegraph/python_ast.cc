@@ -1,0 +1,548 @@
+#include "codegraph/python_ast.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace kgpip::codegraph {
+
+namespace {
+
+enum class TokKind {
+  kName,
+  kNumber,
+  kString,
+  kOp,       // punctuation / operators
+  kNewline,
+  kIndent,
+  kDedent,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// Indentation-aware tokenizer for the supported subset.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    std::vector<int> indents = {0};
+    size_t pos = 0;
+    int line = 0;
+    const size_t n = source_.size();
+    while (pos < n) {
+      ++line;
+      // Measure indentation.
+      int indent = 0;
+      while (pos < n && (source_[pos] == ' ' || source_[pos] == '\t')) {
+        indent += source_[pos] == '\t' ? 4 : 1;
+        ++pos;
+      }
+      // Blank / comment-only lines don't affect indentation.
+      if (pos >= n || source_[pos] == '\n' || source_[pos] == '#') {
+        while (pos < n && source_[pos] != '\n') ++pos;
+        if (pos < n) ++pos;
+        continue;
+      }
+      if (indent > indents.back()) {
+        indents.push_back(indent);
+        tokens.push_back({TokKind::kIndent, "", line});
+      }
+      while (indent < indents.back()) {
+        indents.pop_back();
+        tokens.push_back({TokKind::kDedent, "", line});
+      }
+      if (indent != indents.back()) {
+        return Status::ParseError("inconsistent indentation at line " +
+                                  std::to_string(line));
+      }
+      // Tokenize the logical line (no continuations inside brackets across
+      // newlines for simplicity; generator emits single-line statements).
+      while (pos < n && source_[pos] != '\n') {
+        char c = source_[pos];
+        if (c == ' ' || c == '\t') {
+          ++pos;
+          continue;
+        }
+        if (c == '#') {
+          while (pos < n && source_[pos] != '\n') ++pos;
+          break;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          size_t start = pos;
+          while (pos < n &&
+                 (std::isalnum(static_cast<unsigned char>(source_[pos])) ||
+                  source_[pos] == '_')) {
+            ++pos;
+          }
+          tokens.push_back(
+              {TokKind::kName, source_.substr(start, pos - start), line});
+          continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && pos + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source_[pos + 1])))) {
+          size_t start = pos;
+          while (pos < n &&
+                 (std::isdigit(static_cast<unsigned char>(source_[pos])) ||
+                  source_[pos] == '.' || source_[pos] == 'e' ||
+                  source_[pos] == 'E' ||
+                  ((source_[pos] == '+' || source_[pos] == '-') && pos > start &&
+                   (source_[pos - 1] == 'e' || source_[pos - 1] == 'E')))) {
+            ++pos;
+          }
+          tokens.push_back(
+              {TokKind::kNumber, source_.substr(start, pos - start), line});
+          continue;
+        }
+        if (c == '\'' || c == '"') {
+          char quote = c;
+          ++pos;
+          std::string text;
+          bool closed = false;
+          while (pos < n && source_[pos] != '\n') {
+            if (source_[pos] == '\\' && pos + 1 < n) {
+              text += source_[pos + 1];
+              pos += 2;
+              continue;
+            }
+            if (source_[pos] == quote) {
+              ++pos;
+              closed = true;
+              break;
+            }
+            text += source_[pos++];
+          }
+          if (!closed) {
+            return Status::ParseError("unterminated string at line " +
+                                      std::to_string(line));
+          }
+          tokens.push_back({TokKind::kString, text, line});
+          continue;
+        }
+        // Multi-char operators first.
+        static const char* kTwoCharOps[] = {"==", "!=", "<=", ">=", "//",
+                                            "**", "+=", "-="};
+        bool matched = false;
+        for (const char* op : kTwoCharOps) {
+          if (pos + 1 < n && source_[pos] == op[0] &&
+              source_[pos + 1] == op[1]) {
+            tokens.push_back({TokKind::kOp, op, line});
+            pos += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (matched) continue;
+        static const std::string kSingleOps = "()[]{},.:=+-*/%<>";
+        if (kSingleOps.find(c) != std::string::npos) {
+          tokens.push_back({TokKind::kOp, std::string(1, c), line});
+          ++pos;
+          continue;
+        }
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back({TokKind::kNewline, "", line});
+      if (pos < n) ++pos;  // consume '\n'
+    }
+    while (indents.size() > 1) {
+      indents.pop_back();
+      tokens.push_back({TokKind::kDedent, "", line});
+    }
+    tokens.push_back({TokKind::kEnd, "", line});
+    return tokens;
+  }
+
+ private:
+  const std::string& source_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Module> Run() {
+    Module module;
+    while (!AtEnd()) {
+      if (Check(TokKind::kNewline)) {
+        Advance();
+        continue;
+      }
+      KGPIP_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      module.statements.push_back(std::move(stmt));
+    }
+    return module;
+  }
+
+ private:
+  Result<StmtPtr> ParseStatement() {
+    const Token& tok = Peek();
+    if (tok.kind == TokKind::kName) {
+      if (tok.text == "import") return ParseImport();
+      if (tok.text == "from") return ParseFromImport();
+      if (tok.text == "for") return ParseFor();
+      if (tok.text == "if") return ParseIf();
+      if (tok.text == "print" || tok.text == "pass") {
+        // treat like plain expression statements
+      }
+    }
+    return ParseSimpleStatement();
+  }
+
+  Result<StmtPtr> ParseImport() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kImport;
+    stmt->line = Peek().line;
+    Advance();  // import
+    KGPIP_ASSIGN_OR_RETURN(stmt->module, ParseDottedName());
+    if (CheckName("as")) {
+      Advance();
+      KGPIP_ASSIGN_OR_RETURN(stmt->alias, ExpectName());
+    }
+    KGPIP_RETURN_IF_ERROR(ExpectNewline());
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFromImport() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kImportFrom;
+    stmt->line = Peek().line;
+    Advance();  // from
+    KGPIP_ASSIGN_OR_RETURN(stmt->module, ParseDottedName());
+    if (!CheckName("import")) return Err("expected 'import'");
+    Advance();
+    KGPIP_ASSIGN_OR_RETURN(stmt->imported_name, ExpectName());
+    if (CheckName("as")) {
+      Advance();
+      KGPIP_ASSIGN_OR_RETURN(stmt->alias, ExpectName());
+    }
+    KGPIP_RETURN_IF_ERROR(ExpectNewline());
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFor() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kFor;
+    stmt->line = Peek().line;
+    Advance();  // for
+    KGPIP_ASSIGN_OR_RETURN(stmt->loop_var, ExpectName());
+    if (!CheckName("in")) return Err("expected 'in'");
+    Advance();
+    KGPIP_ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+    KGPIP_RETURN_IF_ERROR(ExpectOp(":"));
+    KGPIP_RETURN_IF_ERROR(ExpectNewline());
+    KGPIP_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->line = Peek().line;
+    Advance();  // if
+    KGPIP_ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+    KGPIP_RETURN_IF_ERROR(ExpectOp(":"));
+    KGPIP_RETURN_IF_ERROR(ExpectNewline());
+    KGPIP_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    if (CheckName("else")) {
+      Advance();
+      KGPIP_RETURN_IF_ERROR(ExpectOp(":"));
+      KGPIP_RETURN_IF_ERROR(ExpectNewline());
+      KGPIP_ASSIGN_OR_RETURN(stmt->orelse, ParseBlock());
+    }
+    return stmt;
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    if (!Check(TokKind::kIndent)) return Err("expected indented block");
+    Advance();
+    std::vector<StmtPtr> body;
+    while (!Check(TokKind::kDedent) && !AtEnd()) {
+      if (Check(TokKind::kNewline)) {
+        Advance();
+        continue;
+      }
+      KGPIP_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      body.push_back(std::move(stmt));
+    }
+    if (Check(TokKind::kDedent)) Advance();
+    return body;
+  }
+
+  Result<StmtPtr> ParseSimpleStatement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Peek().line;
+    KGPIP_ASSIGN_OR_RETURN(ExprPtr first, ParseExpression());
+    // Tuple targets: a, b = expr
+    std::vector<ExprPtr> targets;
+    targets.push_back(std::move(first));
+    while (CheckOp(",")) {
+      Advance();
+      KGPIP_ASSIGN_OR_RETURN(ExprPtr next, ParseExpression());
+      targets.push_back(std::move(next));
+    }
+    if (CheckOp("=")) {
+      Advance();
+      stmt->kind = StmtKind::kAssign;
+      stmt->targets = std::move(targets);
+      KGPIP_ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+      KGPIP_RETURN_IF_ERROR(ExpectNewline());
+      return stmt;
+    }
+    if (targets.size() != 1) return Err("tuple expression without '='");
+    stmt->kind = StmtKind::kExpr;
+    stmt->value = std::move(targets[0]);
+    KGPIP_RETURN_IF_ERROR(ExpectNewline());
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExpression() {
+    KGPIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    // Flat binary chain — precedence is irrelevant for flow analysis.
+    static const char* kBinOps[] = {"+",  "-",  "*",  "/", "%",  "//",
+                                    "**", "==", "!=", "<", "<=", ">",
+                                    ">="};
+    while (Check(TokKind::kOp)) {
+      bool is_bin = false;
+      for (const char* op : kBinOps) {
+        if (Peek().text == op) {
+          is_bin = true;
+          break;
+        }
+      }
+      if (!is_bin) break;
+      auto bin = std::make_unique<Expr>();
+      bin->kind = ExprKind::kBinOp;
+      bin->text = Peek().text;
+      bin->line = Peek().line;
+      Advance();
+      bin->value = std::move(lhs);
+      KGPIP_ASSIGN_OR_RETURN(bin->index, ParseUnary());
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (CheckOp("-") || CheckOp("+")) {
+      auto un = std::make_unique<Expr>();
+      un->kind = ExprKind::kBinOp;
+      un->text = Peek().text;
+      un->line = Peek().line;
+      Advance();
+      auto zero = std::make_unique<Expr>();
+      zero->kind = ExprKind::kConstant;
+      zero->text = "0";
+      un->value = std::move(zero);
+      KGPIP_ASSIGN_OR_RETURN(un->index, ParsePostfix());
+      return un;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    KGPIP_ASSIGN_OR_RETURN(ExprPtr expr, ParseAtom());
+    while (true) {
+      if (CheckOp(".")) {
+        Advance();
+        auto attr = std::make_unique<Expr>();
+        attr->kind = ExprKind::kAttribute;
+        attr->line = Peek().line;
+        KGPIP_ASSIGN_OR_RETURN(attr->text, ExpectName());
+        attr->value = std::move(expr);
+        expr = std::move(attr);
+      } else if (CheckOp("(")) {
+        Advance();
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->line = Peek().line;
+        call->value = std::move(expr);
+        while (!CheckOp(")")) {
+          // keyword argument?
+          if (Check(TokKind::kName) && PeekAhead(1).kind == TokKind::kOp &&
+              PeekAhead(1).text == "=") {
+            KeywordArg kw;
+            kw.name = Peek().text;
+            Advance();
+            Advance();  // '='
+            KGPIP_ASSIGN_OR_RETURN(kw.value, ParseExpression());
+            call->keywords.push_back(std::move(kw));
+          } else {
+            KGPIP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression());
+            call->args.push_back(std::move(arg));
+          }
+          if (CheckOp(",")) Advance();
+          else break;
+        }
+        KGPIP_RETURN_IF_ERROR(ExpectOp(")"));
+        expr = std::move(call);
+      } else if (CheckOp("[")) {
+        Advance();
+        auto sub = std::make_unique<Expr>();
+        sub->kind = ExprKind::kSubscript;
+        sub->line = Peek().line;
+        sub->value = std::move(expr);
+        KGPIP_ASSIGN_OR_RETURN(sub->index, ParseExpression());
+        KGPIP_RETURN_IF_ERROR(ExpectOp("]"));
+        expr = std::move(sub);
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    const Token& tok = Peek();
+    auto expr = std::make_unique<Expr>();
+    expr->line = tok.line;
+    switch (tok.kind) {
+      case TokKind::kName:
+        expr->kind = ExprKind::kName;
+        expr->text = tok.text;
+        Advance();
+        return expr;
+      case TokKind::kNumber:
+        expr->kind = ExprKind::kConstant;
+        expr->text = tok.text;
+        Advance();
+        return expr;
+      case TokKind::kString:
+        expr->kind = ExprKind::kConstant;
+        expr->text = tok.text;
+        expr->is_string = true;
+        Advance();
+        return expr;
+      case TokKind::kOp:
+        if (tok.text == "(") {
+          Advance();
+          KGPIP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpression());
+          KGPIP_RETURN_IF_ERROR(ExpectOp(")"));
+          return inner;
+        }
+        if (tok.text == "[") {
+          Advance();
+          expr->kind = ExprKind::kList;
+          while (!CheckOp("]")) {
+            KGPIP_ASSIGN_OR_RETURN(ExprPtr item, ParseExpression());
+            expr->args.push_back(std::move(item));
+            if (CheckOp(",")) Advance();
+            else break;
+          }
+          KGPIP_RETURN_IF_ERROR(ExpectOp("]"));
+          return expr;
+        }
+        break;
+      default:
+        break;
+    }
+    return Err("unexpected token '" + tok.text + "'");
+  }
+
+  Result<std::string> ParseDottedName() {
+    KGPIP_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    while (CheckOp(".")) {
+      Advance();
+      KGPIP_ASSIGN_OR_RETURN(std::string part, ExpectName());
+      name += "." + part;
+    }
+    return name;
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Check(TokKind::kName)) return Err("expected identifier");
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Status ExpectOp(const std::string& op) {
+    if (!CheckOp(op)) {
+      return Status::ParseError("expected '" + op + "' at line " +
+                                std::to_string(Peek().line));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectNewline() {
+    if (Check(TokKind::kNewline) || Check(TokKind::kEnd)) {
+      if (Check(TokKind::kNewline)) Advance();
+      return Status::Ok();
+    }
+    return Status::ParseError("expected end of line at line " +
+                              std::to_string(Peek().line));
+  }
+
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t k) const {
+    return tokens_[std::min(pos_ + k, tokens_.size() - 1)];
+  }
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  bool CheckOp(const std::string& op) const {
+    return Peek().kind == TokKind::kOp && Peek().text == op;
+  }
+  bool CheckName(const std::string& name) const {
+    return Peek().kind == TokKind::kName && Peek().text == name;
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " at line " +
+                              std::to_string(Peek().line));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Module> ParsePython(const std::string& source) {
+  Lexer lexer(source);
+  KGPIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  return Parser(std::move(tokens)).Run();
+}
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kName:
+      return expr.text;
+    case ExprKind::kAttribute:
+      return ExprToString(*expr.value) + "." + expr.text;
+    case ExprKind::kConstant:
+      return expr.is_string ? "'" + expr.text + "'" : expr.text;
+    case ExprKind::kCall: {
+      std::string out = ExprToString(*expr.value) + "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += ExprToString(*expr.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kList:
+      return "[...]";
+    case ExprKind::kSubscript:
+      return ExprToString(*expr.value) + "[" + ExprToString(*expr.index) +
+             "]";
+    case ExprKind::kBinOp:
+      return ExprToString(*expr.value) + expr.text +
+             ExprToString(*expr.index);
+  }
+  return "?";
+}
+
+}  // namespace kgpip::codegraph

@@ -1,0 +1,259 @@
+#include "core/kgpip.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "data/synthetic.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace kgpip::core {
+
+using graph4ml::PipelineVocab;
+
+Kgpip::Kgpip(KgpipConfig config) : config_(std::move(config)) {
+  auto optimizer = hpo::CreateOptimizer(config_.optimizer);
+  KGPIP_CHECK(optimizer.ok()) << optimizer.status().ToString();
+  hp_optimizer_ = std::move(*optimizer);
+}
+
+Status Kgpip::Train(const std::vector<DatasetSpec>& training_specs,
+                    const codegraph::CorpusOptions& corpus_options,
+                    uint64_t seed) {
+  // Mine the corpus with static analysis and build Graph4ML.
+  codegraph::CorpusGenerator corpus(corpus_options);
+  graph4ml::Graph4Ml store;
+  KGPIP_RETURN_IF_ERROR(store.Build(corpus.GenerateCorpus(training_specs)));
+  // Materialize the training datasets for content embeddings.
+  std::map<std::string, Table> tables;
+  for (const DatasetSpec& spec : training_specs) {
+    tables.emplace(spec.name, GenerateDataset(spec));
+  }
+  return TrainFromStore(store, tables, seed);
+}
+
+Status Kgpip::TrainFromStore(const graph4ml::Graph4Ml& store,
+                             const std::map<std::string, Table>& tables,
+                             uint64_t seed) {
+  store_ = store;
+  embeddings_.clear();
+  index_ = embed::SimIndex();
+  for (const std::string& name : store_.DatasetNames()) {
+    auto it = tables.find(name);
+    if (it == tables.end()) {
+      return Status::NotFound("no table provided for dataset '" + name +
+                              "' referenced by the corpus");
+    }
+    std::vector<double> embedding = embedder_.Embed(it->second);
+    KGPIP_RETURN_IF_ERROR(index_.Add(name, embedding));
+    embeddings_[name] = std::move(embedding);
+  }
+  KGPIP_RETURN_IF_ERROR(index_.Build());
+
+  // Train the conditional graph generator on every mined pipeline.
+  gen::GeneratorConfig gen_config;
+  gen_config.vocab_size = PipelineVocab::Get().size();
+  gen_config.hidden = config_.hidden;
+  gen_config.condition_dims =
+      static_cast<int>(embed::TableEmbedder::kDims);
+  gen_config.max_nodes = config_.max_nodes;
+  gen_config.learning_rate = config_.learning_rate;
+  generator_ = std::make_unique<gen::GraphGenerator>(gen_config, seed);
+
+  std::vector<gen::GraphExample> examples;
+  for (const graph4ml::PipelineGraph* pipeline : store_.AllPipelines()) {
+    gen::GraphExample example;
+    example.graph = pipeline->graph;
+    example.condition = embeddings_[pipeline->dataset_name];
+    example.given_nodes = 2;  // dataset node + read_csv seed
+    examples.push_back(std::move(example));
+  }
+  if (examples.empty()) {
+    return Status::FailedPrecondition("corpus produced no valid pipelines");
+  }
+  Rng rng(seed ^ 0x717171);
+  for (int epoch = 0; epoch < config_.generator_epochs; ++epoch) {
+    double loss = generator_->TrainEpoch(examples, &rng);
+    KGPIP_LOG(Info) << "generator epoch " << epoch << " loss " << loss;
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+Result<embed::SearchHit> Kgpip::NearestDataset(const Table& table) const {
+  if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
+  std::vector<double> query = embedder_.Embed(table);
+  KGPIP_ASSIGN_OR_RETURN(std::vector<embed::SearchHit> hits,
+                         index_.Search(query, 1));
+  if (hits.empty()) return Status::NotFound("empty similarity index");
+  return hits[0];
+}
+
+Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
+    const Table& train, TaskType task, uint64_t seed) const {
+  if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
+  KGPIP_ASSIGN_OR_RETURN(embed::SearchHit nearest, NearestDataset(train));
+  const std::vector<double>& condition = embeddings_.at(nearest.key);
+
+  // Seed subgraph: dataset node flowing into read_csv (paper §3.5).
+  graph4ml::TypedGraph seed_graph;
+  seed_graph.node_types = {PipelineVocab::kDatasetType,
+                           PipelineVocab::kReadCsvType};
+  seed_graph.edges = {{0, 1}};
+
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 3);
+  std::vector<gen::ScoredSkeleton> skeletons;
+  std::set<std::string> seen;
+  for (int attempt = 0;
+       attempt < config_.candidate_samples &&
+       static_cast<int>(skeletons.size()) < config_.candidate_samples;
+       ++attempt) {
+    gen::GeneratedGraph generated = generator_->Generate(
+        seed_graph, condition, &rng, config_.temperature);
+    auto skeleton = gen::GraphToSkeleton(generated, task);
+    if (!skeleton.ok()) continue;  // invalid graphs are discarded
+    std::string key = skeleton->spec.ToString();
+    if (!seen.insert(key).second) continue;  // dedupe
+    skeletons.push_back(std::move(*skeleton));
+  }
+  // Fallback: if sampling yielded too few valid graphs, reuse the nearest
+  // dataset's historical pipelines directly (the generator is a model of
+  // exactly that distribution).
+  if (static_cast<int>(skeletons.size()) < config_.top_k) {
+    for (const graph4ml::PipelineGraph& p :
+         store_.PipelinesFor(nearest.key)) {
+      gen::GeneratedGraph mimic;
+      mimic.graph = p.graph;
+      mimic.log_prob = -50.0;  // ranked after sampled graphs
+      auto skeleton = gen::GraphToSkeleton(mimic, task);
+      if (!skeleton.ok()) continue;
+      std::string key = skeleton->spec.ToString();
+      if (!seen.insert(key).second) continue;
+      skeletons.push_back(std::move(*skeleton));
+      if (static_cast<int>(skeletons.size()) >= config_.top_k) break;
+    }
+  }
+  if (skeletons.empty()) {
+    return Status::Internal("no valid pipeline graphs generated");
+  }
+  // Rank by generator score and keep the top-k.
+  std::sort(skeletons.begin(), skeletons.end(),
+            [](const gen::ScoredSkeleton& a, const gen::ScoredSkeleton& b) {
+              return a.log_prob > b.log_prob;
+            });
+  if (static_cast<int>(skeletons.size()) > config_.top_k) {
+    skeletons.resize(static_cast<size_t>(config_.top_k));
+  }
+  return skeletons;
+}
+
+Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
+                                        hpo::Budget budget,
+                                        uint64_t seed) const {
+  // t: time consumed generating and validating the graphs.
+  KGPIP_ASSIGN_OR_RETURN(std::vector<gen::ScoredSkeleton> skeletons,
+                         PredictSkeletons(train, task, seed));
+
+  KGPIP_ASSIGN_OR_RETURN(
+      hpo::TrialEvaluator evaluator,
+      hpo::TrialEvaluator::Create(train, task, 0.25, seed));
+
+  automl::AutoMlResult result;
+  for (const gen::ScoredSkeleton& s : skeletons) {
+    result.skeletons.push_back(s.spec);
+  }
+
+  // The remaining budget is divided equally between the K graphs — the
+  // paper's (T - t) / K rule.
+  const int k = static_cast<int>(skeletons.size());
+  for (int i = 0; i < k; ++i) {
+    hpo::Budget slice = budget.SplitRemaining(k - i);
+    hpo::OptimizeResult optimized = hp_optimizer_->OptimizeSkeleton(
+        skeletons[static_cast<size_t>(i)].spec, &evaluator, &slice,
+        seed + static_cast<uint64_t>(i) * 977);
+    // Account the slice's trials against the shared budget.
+    for (int t = 0; t < optimized.trials; ++t) budget.ConsumeTrial();
+    result.trials += optimized.trials;
+    for (int t = 0; t < optimized.trials; ++t) {
+      result.learner_sequence.push_back(
+          skeletons[static_cast<size_t>(i)].spec.learner);
+    }
+    if (optimized.best_score > result.validation_score) {
+      result.validation_score = optimized.best_score;
+      result.best_spec = optimized.best_spec;
+      result.best_skeleton_rank = i + 1;
+    }
+  }
+  if (result.best_spec.learner.empty()) {
+    return Status::Internal("KGpip optimization produced no candidate");
+  }
+  KGPIP_RETURN_IF_ERROR(automl::FinalizeResult(result.best_spec, train,
+                                               task, seed, &result));
+  return result;
+}
+
+Json Kgpip::ToJson() const {
+  Json out = Json::Object();
+  out.Set("store", store_.ToJson());
+  if (generator_ != nullptr) out.Set("generator", generator_->ToJson());
+  Json embeddings = Json::Object();
+  for (const auto& [name, vec] : embeddings_) {
+    Json arr = Json::Array();
+    for (double v : vec) arr.Append(Json(v));
+    embeddings.Set(name, std::move(arr));
+  }
+  out.Set("embeddings", std::move(embeddings));
+  return out;
+}
+
+Status Kgpip::LoadJson(const Json& json) {
+  KGPIP_ASSIGN_OR_RETURN(store_, graph4ml::Graph4Ml::FromJson(
+                                     json.Get("store")));
+  embeddings_.clear();
+  index_ = embed::SimIndex();
+  const Json& embeddings = json.Get("embeddings");
+  for (const auto& [name, arr] : embeddings.members()) {
+    std::vector<double> vec;
+    vec.reserve(arr.size());
+    for (size_t i = 0; i < arr.size(); ++i) {
+      vec.push_back(arr.at(i).AsDouble());
+    }
+    KGPIP_RETURN_IF_ERROR(index_.Add(name, vec));
+    embeddings_[name] = std::move(vec);
+  }
+  KGPIP_RETURN_IF_ERROR(index_.Build());
+
+  gen::GeneratorConfig gen_config;
+  gen_config.vocab_size = PipelineVocab::Get().size();
+  gen_config.hidden = config_.hidden;
+  gen_config.condition_dims =
+      static_cast<int>(embed::TableEmbedder::kDims);
+  gen_config.max_nodes = config_.max_nodes;
+  gen_config.learning_rate = config_.learning_rate;
+  generator_ = std::make_unique<gen::GraphGenerator>(gen_config, 1);
+  KGPIP_RETURN_IF_ERROR(generator_->LoadWeights(json.Get("generator")));
+  trained_ = true;
+  return Status::Ok();
+}
+
+Status Kgpip::SaveFile(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out << ToJson().Dump();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+Status Kgpip::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  KGPIP_ASSIGN_OR_RETURN(Json json, Json::Parse(buffer.str()));
+  return LoadJson(json);
+}
+
+}  // namespace kgpip::core

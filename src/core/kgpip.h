@@ -1,0 +1,104 @@
+#ifndef KGPIP_CORE_KGPIP_H_
+#define KGPIP_CORE_KGPIP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automl/system.h"
+#include "codegraph/corpus.h"
+#include "embed/embedder.h"
+#include "embed/sim_index.h"
+#include "gen/graph_generator.h"
+#include "gen/skeleton.h"
+#include "graph4ml/graph4ml.h"
+#include "hpo/optimizer.h"
+
+namespace kgpip::core {
+
+/// KGpip configuration.
+struct KgpipConfig {
+  /// Number of predicted pipeline graphs handed to the hyper-parameter
+  /// optimizer (the paper varies K in {3, 5, 7}).
+  int top_k = 3;
+  /// Host optimizer: "flaml" (KGpipFLAML) or "autosklearn"
+  /// (KGpipAutoSklearn).
+  std::string optimizer = "flaml";
+  /// Graph-generator training epochs over the mined corpus.
+  int generator_epochs = 30;
+  /// Candidates sampled before dedup/ranking (>= top_k).
+  int candidate_samples = 16;
+  /// Sampling temperature; the stochasticity behind the paper's §4.5.3
+  /// "diversity in predicted pipelines".
+  double temperature = 0.9;
+  int hidden = 32;
+  double learning_rate = 5e-3;
+  int max_nodes = 10;
+};
+
+/// The KGpip system (paper §3): a learner & transformer selection
+/// component that (1) mines pipelines from scripts with static analysis,
+/// (2) embeds datasets by content for nearest-neighbour lookup,
+/// (3) conditionally generates candidate pipeline graphs with a deep
+/// graph generator, and (4) delegates hyper-parameter optimization of
+/// each predicted skeleton to a host optimizer with budget (T - t) / K.
+class Kgpip : public automl::AutoMlSystem {
+ public:
+  explicit Kgpip(KgpipConfig config = {});
+
+  /// Trains from a corpus of notebook scripts plus the referenced
+  /// training datasets (for content embeddings).
+  Status Train(const std::vector<DatasetSpec>& training_specs,
+               const codegraph::CorpusOptions& corpus_options,
+               uint64_t seed);
+
+  /// Trains from a pre-built Graph4ML store and dataset tables.
+  Status TrainFromStore(const graph4ml::Graph4Ml& store,
+                        const std::map<std::string, Table>& tables,
+                        uint64_t seed);
+
+  /// Predicts top-k skeletons for a dataset without running any HPO —
+  /// the paper: "if the user desires only to know what learners would
+  /// work best ... KGpip can do that almost instantaneously".
+  Result<std::vector<gen::ScoredSkeleton>> PredictSkeletons(
+      const Table& train, TaskType task, uint64_t seed) const;
+
+  /// Full AutoML fit (implements automl::AutoMlSystem).
+  Result<automl::AutoMlResult> Fit(const Table& train, TaskType task,
+                                   hpo::Budget budget,
+                                   uint64_t seed) const override;
+  std::string name() const override {
+    return config_.optimizer == "flaml" ? "KGpipFLAML" : "KGpipAutoSklearn";
+  }
+
+  /// Name + similarity of the nearest seen dataset for a table.
+  Result<embed::SearchHit> NearestDataset(const Table& table) const;
+
+  const graph4ml::Graph4Ml& store() const { return store_; }
+  bool trained() const { return trained_; }
+  const KgpipConfig& config() const { return config_; }
+  KgpipConfig& mutable_config() { return config_; }
+
+  /// Serializes the trained artifacts (store + generator + embeddings).
+  Json ToJson() const;
+  Status LoadJson(const Json& json);
+
+  /// Artifact persistence: train once, ship the file, load anywhere.
+  Status SaveFile(const std::string& path) const;
+  Status LoadFile(const std::string& path);
+
+ private:
+  KgpipConfig config_;
+  bool trained_ = false;
+  graph4ml::Graph4Ml store_;
+  embed::TableEmbedder embedder_;
+  embed::SimIndex index_;
+  std::map<std::string, std::vector<double>> embeddings_;
+  std::unique_ptr<gen::GraphGenerator> generator_;
+  std::unique_ptr<hpo::HpOptimizer> hp_optimizer_;
+};
+
+}  // namespace kgpip::core
+
+#endif  // KGPIP_CORE_KGPIP_H_

@@ -1,0 +1,50 @@
+#ifndef KGPIP_DATA_BENCHMARK_REGISTRY_H_
+#define KGPIP_DATA_BENCHMARK_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "util/status.h"
+
+namespace kgpip {
+
+/// Registry of every dataset in the paper's evaluation (Table 4: 39 Open
+/// AutoML Benchmark + 23 PMLB + 9 OpenML + 6 Kaggle = 77), each mapped to a
+/// synthetic generator spec whose shape matches the published statistics
+/// (scaled down for a single-core box) and whose concept family is chosen
+/// to match the dataset's published difficulty profile.
+class BenchmarkRegistry {
+ public:
+  BenchmarkRegistry();
+
+  /// The 77 evaluation datasets, in Table 4 order.
+  const std::vector<DatasetSpec>& eval_specs() const { return eval_specs_; }
+
+  /// Lookup by dataset name.
+  Result<DatasetSpec> Find(const std::string& name) const;
+
+  /// The datasets AL's evaluation used (Figure 6 subset; Table 4 rows
+  /// marked with a dagger).
+  std::vector<DatasetSpec> AlSubset() const;
+
+  /// The "most trivial" datasets from the Table 3 ablation: the 5 AutoML-
+  /// benchmark datasets where every system scores > 0.9.
+  std::vector<DatasetSpec> TrivialSubset() const;
+
+  /// Synthetic stand-in for the mined training corpus: ~104 datasets
+  /// covering every (family, domain, task) combination seen in evaluation
+  /// (the paper: "2,046 notebooks for 104 datasets").
+  std::vector<DatasetSpec> TrainingSpecs() const;
+
+  /// 38 Kaggle-style datasets grouped by domain, for the Figure 10
+  /// embedding t-SNE study.
+  std::vector<DatasetSpec> Kaggle38Specs() const;
+
+ private:
+  std::vector<DatasetSpec> eval_specs_;
+};
+
+}  // namespace kgpip
+
+#endif  // KGPIP_DATA_BENCHMARK_REGISTRY_H_

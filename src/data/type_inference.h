@@ -1,0 +1,37 @@
+#ifndef KGPIP_DATA_TYPE_INFERENCE_H_
+#define KGPIP_DATA_TYPE_INFERENCE_H_
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace kgpip {
+
+/// Heuristics for inferring column types from string data and for
+/// detecting the supervised task from the target column — the paper's
+/// §3.6 preprocessing steps 1 ("detecting task type ... automatically
+/// based on the distribution of the target column") and 2 ("automatically
+/// inferring accurate data types of columns").
+struct TypeInferenceOptions {
+  /// Minimum fraction of non-missing cells that must parse as numbers for
+  /// a column to become numeric.
+  double numeric_threshold = 0.95;
+  /// A string column whose distinct/total ratio is below this (or whose
+  /// distinct count is tiny) is categorical rather than text.
+  double categorical_distinct_ratio = 0.3;
+  size_t categorical_max_distinct = 64;
+  /// Mean token count at or above which a string column is text.
+  double text_min_mean_tokens = 4.0;
+};
+
+/// Converts string columns in-place into numeric / categorical / text
+/// columns according to the heuristics above.
+Status InferColumnTypes(Table* table,
+                        const TypeInferenceOptions& options = {});
+
+/// Decides the task from the target column: a non-numeric target or a
+/// numeric target with few distinct integer values is classification.
+Result<TaskType> DetectTask(const Table& table);
+
+}  // namespace kgpip
+
+#endif  // KGPIP_DATA_TYPE_INFERENCE_H_

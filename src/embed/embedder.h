@@ -1,0 +1,40 @@
+#ifndef KGPIP_EMBED_EMBEDDER_H_
+#define KGPIP_EMBED_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace kgpip::embed {
+
+/// Dataset-content embeddings (paper §3.2). Unlike meta-feature systems
+/// (Auto-Sklearn, AL), the embedding is computed from the actual content
+/// of the dataset: per-column distribution profiles, column-name n-gram
+/// embeddings, hashed value embeddings, and feature-target relationship
+/// statistics, pooled into one fixed-size vector per table.
+///
+/// Layout (kDims total):
+///   [ 0..11]  table shape & target block
+///   [12..19]  feature-target relationship block (corr / binned MI)
+///   [20..27]  pooled numeric distribution block
+///   [28..43]  column-name n-gram hash block
+///   [44..59]  categorical/text content hash block
+class TableEmbedder {
+ public:
+  static constexpr size_t kDims = 60;
+
+  TableEmbedder() = default;
+
+  /// Embeds a table (target column included in the content, as the paper
+  /// embeds whole datasets). The result is L2-normalized.
+  std::vector<double> Embed(const Table& table) const;
+
+  /// Cosine similarity of two embeddings.
+  static double Cosine(const std::vector<double>& a,
+                       const std::vector<double>& b);
+};
+
+}  // namespace kgpip::embed
+
+#endif  // KGPIP_EMBED_EMBEDDER_H_

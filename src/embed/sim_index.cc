@@ -1,0 +1,118 @@
+#include "embed/sim_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "embed/embedder.h"
+#include "util/rng.h"
+
+namespace kgpip::embed {
+
+SimIndex::SimIndex() : SimIndex(Options()) {}
+SimIndex::SimIndex(Options options) : options_(options) {}
+
+Status SimIndex::Add(const std::string& key, std::vector<double> vector) {
+  if (!vectors_.empty() && vector.size() != vectors_[0].size()) {
+    return Status::InvalidArgument(
+        "vector dimensionality mismatch for key '" + key + "'");
+  }
+  keys_.push_back(key);
+  vectors_.push_back(std::move(vector));
+  built_ = false;
+  return Status::Ok();
+}
+
+Status SimIndex::Build() {
+  if (options_.num_cells <= 0 || vectors_.empty()) {
+    built_ = true;
+    return Status::Ok();
+  }
+  const size_t k = std::min<size_t>(
+      static_cast<size_t>(options_.num_cells), vectors_.size());
+  const size_t dims = vectors_[0].size();
+  Rng rng(options_.seed);
+  // k-means++ style init: random distinct picks.
+  std::vector<size_t> picks = rng.Permutation(vectors_.size());
+  centroids_.assign(k, std::vector<double>(dims, 0.0));
+  for (size_t c = 0; c < k; ++c) centroids_[c] = vectors_[picks[c]];
+  std::vector<size_t> assignment(vectors_.size(), 0);
+  for (int iter = 0; iter < 12; ++iter) {
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      double best = -2.0;
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double sim = TableEmbedder::Cosine(vectors_[i], centroids_[c]);
+        if (sim > best) {
+          best = sim;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    for (auto& centroid : centroids_) {
+      std::fill(centroid.begin(), centroid.end(), 0.0);
+    }
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      ++counts[assignment[i]];
+      for (size_t d = 0; d < dims; ++d) {
+        centroids_[assignment[i]][d] += vectors_[i][d];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        centroids_[c] = vectors_[rng.UniformInt(vectors_.size())];
+        continue;
+      }
+      for (double& d : centroids_[c]) d /= static_cast<double>(counts[c]);
+    }
+  }
+  cells_.assign(k, {});
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    cells_[assignment[i]].push_back(i);
+  }
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<SearchHit>> SimIndex::Search(
+    const std::vector<double>& query, size_t k) const {
+  if (vectors_.empty()) return Status::FailedPrecondition("empty index");
+  if (query.size() != vectors_[0].size()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  std::vector<size_t> candidates;
+  if (options_.num_cells > 0 && built_ && !cells_.empty()) {
+    // Probe the closest coarse cells.
+    std::vector<std::pair<double, size_t>> cell_sims;
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      cell_sims.emplace_back(TableEmbedder::Cosine(query, centroids_[c]),
+                             c);
+    }
+    std::sort(cell_sims.rbegin(), cell_sims.rend());
+    size_t probes = std::min<size_t>(
+        static_cast<size_t>(std::max(1, options_.num_probes)),
+        cell_sims.size());
+    for (size_t p = 0; p < probes; ++p) {
+      for (size_t i : cells_[cell_sims[p].second]) {
+        candidates.push_back(i);
+      }
+    }
+  } else {
+    candidates.resize(vectors_.size());
+    for (size_t i = 0; i < vectors_.size(); ++i) candidates[i] = i;
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(candidates.size());
+  for (size_t i : candidates) {
+    hits.push_back({keys_[i], TableEmbedder::Cosine(query, vectors_[i])});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace kgpip::embed

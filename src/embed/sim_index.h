@@ -1,0 +1,60 @@
+#ifndef KGPIP_EMBED_SIM_INDEX_H_
+#define KGPIP_EMBED_SIM_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgpip::embed {
+
+/// One nearest-neighbour hit.
+struct SearchHit {
+  std::string key;
+  double similarity = 0.0;  // cosine
+};
+
+/// In-process dense-vector similarity index — the library's stand-in for
+/// FAISS (Johnson et al. 2021). Supports exact flat search and an
+/// IVF-style mode (k-means coarse quantizer + probed cells) that trades
+/// recall for speed at larger corpus sizes.
+class SimIndex {
+ public:
+  struct Options {
+    /// 0 = exact flat search. >0 = IVF with this many coarse cells.
+    int num_cells = 0;
+    /// Cells probed per query in IVF mode.
+    int num_probes = 2;
+    uint64_t seed = 17;
+  };
+
+  SimIndex();
+  explicit SimIndex(Options options);
+
+  /// Adds a keyed vector. All vectors must share one dimensionality.
+  Status Add(const std::string& key, std::vector<double> vector);
+
+  /// Builds the coarse quantizer (IVF mode only; no-op for flat).
+  Status Build();
+
+  /// Top-k most cosine-similar entries to `query`.
+  Result<std::vector<SearchHit>> Search(const std::vector<double>& query,
+                                        size_t k) const;
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<double>& VectorOf(size_t i) const { return vectors_[i]; }
+  const std::string& KeyOf(size_t i) const { return keys_[i]; }
+
+ private:
+  Options options_;
+  std::vector<std::string> keys_;
+  std::vector<std::vector<double>> vectors_;
+  // IVF state.
+  bool built_ = false;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<std::vector<size_t>> cells_;
+};
+
+}  // namespace kgpip::embed
+
+#endif  // KGPIP_EMBED_SIM_INDEX_H_

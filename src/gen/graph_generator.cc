@@ -1,0 +1,296 @@
+#include "gen/graph_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::gen {
+
+using nn::Var;
+
+GraphGenerator::GraphGenerator(const GeneratorConfig& config, uint64_t seed)
+    : config_(config), init_rng_(seed) {
+  KGPIP_CHECK(config_.vocab_size > 0);
+  const size_t h = static_cast<size_t>(config_.hidden);
+  type_embedding_ = store_.Create(
+      "type_embedding", static_cast<size_t>(config_.vocab_size), h,
+      &init_rng_);
+  init_node_ = nn::Linear(&store_, "init_node", h, h, &init_rng_);
+  if (config_.condition_dims > 0) {
+    cond_proj_ = nn::Linear(&store_, "cond_proj",
+                            static_cast<size_t>(config_.condition_dims), h,
+                            &init_rng_);
+  }
+  msg_fwd_ = nn::Linear(&store_, "msg_fwd", 2 * h, h, &init_rng_);
+  msg_bwd_ = nn::Linear(&store_, "msg_bwd", 2 * h, h, &init_rng_);
+  update_ = nn::GruCell(&store_, "update", h, h, &init_rng_);
+  gate_ = nn::Linear(&store_, "gate", h, h, &init_rng_);
+  proj_ = nn::Linear(&store_, "proj", h, h, &init_rng_);
+  add_node_ = nn::Linear(&store_, "add_node", h,
+                         static_cast<size_t>(config_.vocab_size) + 1,
+                         &init_rng_);
+  add_edge_ = nn::Linear(&store_, "add_edge", 2 * h, 1, &init_rng_);
+  choose_node_ = nn::Linear(&store_, "choose_node", 2 * h, 1, &init_rng_);
+  optimizer_ = std::make_unique<nn::Adam>(&store_, config_.learning_rate);
+}
+
+Var GraphGenerator::Propagate(
+    const Var& states, const std::vector<std::pair<int, int>>& edges) const {
+  const size_t n = states.rows();
+  Var current = states;
+  for (int round = 0; round < config_.prop_rounds; ++round) {
+    if (edges.empty()) {
+      // Still run the GRU with zero messages so isolated nodes evolve.
+      Var zero(nn::Matrix(n, static_cast<size_t>(config_.hidden)));
+      current = update_.Forward(zero, current);
+      continue;
+    }
+    std::vector<size_t> srcs, dsts;
+    srcs.reserve(edges.size());
+    dsts.reserve(edges.size());
+    for (const auto& [s, d] : edges) {
+      srcs.push_back(static_cast<size_t>(s));
+      dsts.push_back(static_cast<size_t>(d));
+    }
+    // Forward messages: f([h_src, h_dst]) delivered to dst.
+    Var h_src = GatherRows(current, srcs);
+    Var h_dst = GatherRows(current, dsts);
+    Var fwd = Tanh(msg_fwd_.Forward(ConcatCols(h_src, h_dst)));
+    Var messages = ScatterAddRows(fwd, dsts, n);
+    // Backward messages: f([h_dst, h_src]) delivered to src.
+    Var bwd = Tanh(msg_bwd_.Forward(ConcatCols(h_dst, h_src)));
+    messages = Add(messages, ScatterAddRows(bwd, srcs, n));
+    current = update_.Forward(messages, current);
+  }
+  return current;
+}
+
+Var GraphGenerator::Readout(const Var& states) const {
+  // Gated sum over node states.
+  Var gates = Sigmoid(gate_.Forward(states));
+  Var content = proj_.Forward(states);
+  return SumRows(Mul(gates, content));
+}
+
+Var GraphGenerator::InitNode(int type,
+                             const std::vector<double>& condition) const {
+  Var emb = GatherRows(type_embedding_, {static_cast<size_t>(type)});
+  Var out = init_node_.Forward(emb);
+  if (type == graph4ml::PipelineVocab::kDatasetType &&
+      config_.condition_dims > 0 && !condition.empty()) {
+    nn::Matrix cond(1, static_cast<size_t>(config_.condition_dims));
+    for (size_t i = 0; i < cond.cols() && i < condition.size(); ++i) {
+      cond(0, i) = condition[i];
+    }
+    out = Add(out, cond_proj_.Forward(Var(std::move(cond))));
+  }
+  return Tanh(out);
+}
+
+namespace {
+
+/// Edges whose destination is node `node` (chains have exactly one).
+std::vector<int> IncomingSources(const graph4ml::TypedGraph& graph,
+                                 int node) {
+  std::vector<int> sources;
+  for (const auto& [src, dst] : graph.edges) {
+    if (dst == node && src < node) sources.push_back(src);
+    // Undirected fallback: treat (node, earlier) as an edge to `node`.
+    if (src == node && dst < node) sources.push_back(dst);
+  }
+  return sources;
+}
+
+}  // namespace
+
+Var GraphGenerator::SequenceLoss(const GraphExample& example,
+                                 int* decisions) const {
+  const graph4ml::TypedGraph& g = example.graph;
+  const int total = static_cast<int>(g.num_nodes());
+  const int given = std::max(1, std::min(example.given_nodes, total));
+  int count = 0;
+
+  // Seed states.
+  Var states = InitNode(g.node_types[0], example.condition);
+  for (int i = 1; i < given; ++i) {
+    states = ConcatRows(states, InitNode(g.node_types[i],
+                                         example.condition));
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& e : g.edges) {
+    if (e.first < given && e.second < given) edges.push_back(e);
+  }
+
+  Var loss(nn::Matrix(1, 1));
+  for (int i = given; i <= total; ++i) {
+    states = Propagate(states, edges);
+    Var h_graph = Readout(states);
+    Var node_logits = add_node_.Forward(h_graph);
+    const int target_type =
+        i < total ? g.node_types[static_cast<size_t>(i)]
+                  : config_.vocab_size;  // STOP
+    loss = Add(loss, SoftmaxCrossEntropy(node_logits, {target_type}));
+    ++count;
+    if (i == total) break;
+
+    Var h_new = InitNode(g.node_types[static_cast<size_t>(i)],
+                         example.condition);
+    std::vector<int> sources = IncomingSources(g, i);
+    for (int src : sources) {
+      // "Add an edge?" -> yes.
+      Var edge_logit = add_edge_.Forward(ConcatCols(h_graph, h_new));
+      loss = Add(loss, BinaryCrossEntropyWithLogits(edge_logit, 1.0));
+      ++count;
+      // "To which node?" -> src.
+      nn::Matrix ones(states.rows(), 1, 1.0);
+      Var tiled = MatMul(Var(std::move(ones)), h_new);
+      Var scores = choose_node_.Forward(ConcatCols(states, tiled));
+      // scores is (n x 1); treat as one softmax row.
+      Var row = nn::MakeOp(
+          scores.value().Transposed(), {scores}, [](nn::VarNode& self) {
+            self.parents[0]->EnsureGrad();
+            for (size_t c = 0; c < self.grad.cols(); ++c) {
+              self.parents[0]->grad(c, 0) += self.grad(0, c);
+            }
+          });
+      loss = Add(loss, SoftmaxCrossEntropy(row, {src}));
+      ++count;
+      edges.emplace_back(src, i);
+    }
+    // "Add an edge?" -> no (stop adding edges for this node).
+    Var stop_logit = add_edge_.Forward(ConcatCols(h_graph, h_new));
+    loss = Add(loss, BinaryCrossEntropyWithLogits(stop_logit, 0.0));
+    ++count;
+    states = ConcatRows(states, h_new);
+  }
+  if (decisions != nullptr) *decisions = count;
+  return loss;
+}
+
+double GraphGenerator::TrainEpoch(const std::vector<GraphExample>& examples,
+                                  Rng* rng) {
+  if (examples.empty()) return 0.0;
+  std::vector<size_t> order = rng->Permutation(examples.size());
+  double total_loss = 0.0;
+  for (size_t idx : order) {
+    int decisions = 0;
+    Var loss = SequenceLoss(examples[idx], &decisions);
+    total_loss += loss.value()(0, 0);
+    nn::Backward(loss);
+    optimizer_->Step();
+  }
+  return total_loss / static_cast<double>(examples.size());
+}
+
+double GraphGenerator::LogProb(const GraphExample& example) const {
+  int decisions = 0;
+  Var loss = SequenceLoss(example, &decisions);
+  return -loss.value()(0, 0);
+}
+
+GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
+                                        const std::vector<double>& condition,
+                                        Rng* rng,
+                                        double temperature) const {
+  GeneratedGraph out;
+  out.graph = seed;
+  KGPIP_CHECK(!seed.node_types.empty()) << "seed subgraph required";
+
+  auto sample_from = [&](const nn::Matrix& logits) -> int {
+    const size_t k = logits.cols();
+    if (temperature <= 0.0) {
+      size_t best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (logits(0, c) > logits(0, best)) best = c;
+      }
+      return static_cast<int>(best);
+    }
+    nn::Matrix scaled(1, k);
+    for (size_t c = 0; c < k; ++c) scaled(0, c) = logits(0, c) / temperature;
+    nn::Matrix probs = nn::SoftmaxValue(scaled);
+    std::vector<double> weights(k);
+    for (size_t c = 0; c < k; ++c) weights[c] = probs(0, c);
+    return static_cast<int>(rng->Categorical(weights));
+  };
+  auto log_prob_of = [](const nn::Matrix& logits, int pick) {
+    nn::Matrix probs = nn::SoftmaxValue(logits);
+    return std::log(std::max(probs(0, static_cast<size_t>(pick)), 1e-12));
+  };
+
+  Var states = InitNode(out.graph.node_types[0], condition);
+  for (size_t i = 1; i < out.graph.node_types.size(); ++i) {
+    states = ConcatRows(states, InitNode(out.graph.node_types[i],
+                                         condition));
+  }
+  std::vector<std::pair<int, int>> edges = out.graph.edges;
+
+  while (static_cast<int>(out.graph.num_nodes()) < config_.max_nodes) {
+    states = Propagate(states, edges);
+    Var h_graph = Readout(states);
+    nn::Matrix node_logits = add_node_.Forward(h_graph).value();
+    int picked = sample_from(node_logits);
+    out.log_prob += log_prob_of(node_logits, picked);
+    if (picked == config_.vocab_size) break;  // STOP
+
+    int new_index = static_cast<int>(out.graph.num_nodes());
+    out.graph.node_types.push_back(picked);
+    Var h_new = InitNode(picked, condition);
+
+    // Edge loop: Bernoulli "add edge" then categorical "to which node".
+    int edge_budget = new_index;  // at most one edge per earlier node
+    while (edge_budget-- > 0) {
+      nn::Matrix edge_logit =
+          add_edge_.Forward(ConcatCols(h_graph, h_new)).value();
+      double p_edge = 1.0 / (1.0 + std::exp(-edge_logit(0, 0)));
+      bool add = temperature <= 0.0 ? p_edge >= 0.5
+                                    : rng->Bernoulli(p_edge);
+      out.log_prob += std::log(std::max(add ? p_edge : 1.0 - p_edge,
+                                        1e-12));
+      if (!add) break;
+      nn::Matrix ones(states.rows(), 1, 1.0);
+      Var tiled = MatMul(Var(std::move(ones)), h_new);
+      nn::Matrix scores =
+          choose_node_.Forward(ConcatCols(states, tiled)).value()
+              .Transposed();
+      int src = sample_from(scores);
+      out.log_prob += log_prob_of(scores, src);
+      bool duplicate = false;
+      for (const auto& [s, d] : edges) {
+        if (s == src && d == new_index) duplicate = true;
+      }
+      if (!duplicate) {
+        edges.emplace_back(src, new_index);
+        out.graph.edges.emplace_back(src, new_index);
+      }
+    }
+    states = ConcatRows(states, h_new);
+  }
+  return out;
+}
+
+Json GraphGenerator::ToJson() const {
+  Json out = Json::Object();
+  Json config = Json::Object();
+  config.Set("vocab_size", Json(config_.vocab_size));
+  config.Set("hidden", Json(config_.hidden));
+  config.Set("prop_rounds", Json(config_.prop_rounds));
+  config.Set("max_nodes", Json(config_.max_nodes));
+  config.Set("condition_dims", Json(config_.condition_dims));
+  out.Set("config", std::move(config));
+  out.Set("weights", store_.ToJson());
+  return out;
+}
+
+Status GraphGenerator::LoadWeights(const Json& json) {
+  const Json& config = json.Get("config");
+  if (static_cast<int>(config.Get("vocab_size").AsInt()) !=
+          config_.vocab_size ||
+      static_cast<int>(config.Get("hidden").AsInt()) != config_.hidden) {
+    return Status::InvalidArgument(
+        "generator config mismatch; construct with matching config");
+  }
+  return store_.FromJson(json.Get("weights"));
+}
+
+}  // namespace kgpip::gen

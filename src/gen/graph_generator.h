@@ -1,0 +1,108 @@
+#ifndef KGPIP_GEN_GRAPH_GENERATOR_H_
+#define KGPIP_GEN_GRAPH_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph4ml/vocab.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgpip::gen {
+
+/// Configuration of the deep graph generative model (Li et al. 2018,
+/// adapted for conditional generation from a seed subgraph — KGpip's
+/// §3.5 modification).
+struct GeneratorConfig {
+  int vocab_size = 0;      // node-type count (+1 STOP handled internally)
+  int hidden = 32;         // node-state width
+  int prop_rounds = 2;     // message-passing rounds per decision
+  int max_nodes = 12;      // generation cap
+  int condition_dims = 0;  // dataset content-embedding width (0 = off)
+  double learning_rate = 3e-3;
+};
+
+/// One training example: a node-ordered typed graph (node 0 is the seed /
+/// dataset node; each later node connects to earlier ones) plus an
+/// optional conditioning vector (the dataset's content embedding).
+struct GraphExample {
+  graph4ml::TypedGraph graph;
+  std::vector<double> condition;
+  /// Decisions for the first `given_nodes` nodes are not trained /
+  /// generated; they form the conditioning seed subgraph.
+  int given_nodes = 1;
+};
+
+/// A generated graph with its sequence log-probability (the "score" KGpip
+/// attaches to each candidate pipeline).
+struct GeneratedGraph {
+  graph4ml::TypedGraph graph;
+  double log_prob = 0.0;
+};
+
+/// DeepGMG-style generator: builds graphs node-by-node —
+///   (1) add-node decision over node types (or STOP),
+///   (2) add-edge decision,
+///   (3) choose-node decision over existing nodes —
+/// with node states updated by GRU message passing between decisions.
+class GraphGenerator {
+ public:
+  GraphGenerator(const GeneratorConfig& config, uint64_t seed);
+
+  /// One pass over the examples (shuffled); returns mean sequence loss.
+  double TrainEpoch(const std::vector<GraphExample>& examples, Rng* rng);
+
+  /// Generates one graph conditioned on a seed subgraph. `temperature`
+  /// scales sampling entropy (0 = greedy argmax).
+  GeneratedGraph Generate(const graph4ml::TypedGraph& seed,
+                          const std::vector<double>& condition, Rng* rng,
+                          double temperature = 1.0) const;
+
+  /// Log-probability the model assigns to a complete graph (teacher
+  /// forcing without learning) — used for ranking and tests.
+  double LogProb(const GraphExample& example) const;
+
+  const GeneratorConfig& config() const { return config_; }
+  size_t num_parameters() const { return store_.TotalSize(); }
+
+  /// Model weights as JSON (with config) and back.
+  Json ToJson() const;
+  Status LoadWeights(const Json& json);
+
+ private:
+  struct StepState;
+
+  /// Runs propagation rounds over node states given current edges.
+  nn::Var Propagate(const nn::Var& states,
+                    const std::vector<std::pair<int, int>>& edges) const;
+  /// Graph-level readout (gated sum).
+  nn::Var Readout(const nn::Var& states) const;
+  /// Initial state for a node of `type` (+ condition for dataset nodes).
+  nn::Var InitNode(int type, const std::vector<double>& condition) const;
+
+  /// Shared teacher-forced pass; returns the summed loss Var and the
+  /// number of decisions (for Generate/LogProb reuse see .cc).
+  nn::Var SequenceLoss(const GraphExample& example, int* decisions) const;
+
+  GeneratorConfig config_;
+  Rng init_rng_;
+  nn::ParamStore store_;
+  std::unique_ptr<nn::Adam> optimizer_;
+
+  nn::Var type_embedding_;  // (vocab) x hidden
+  nn::Linear init_node_;    // hidden + hidden -> hidden (type emb + hG)
+  nn::Linear cond_proj_;    // condition_dims -> hidden
+  nn::Linear msg_fwd_;      // 2*hidden -> hidden
+  nn::Linear msg_bwd_;      // 2*hidden -> hidden
+  nn::GruCell update_;      // hidden -> hidden
+  nn::Linear gate_;         // hidden -> hidden (readout gate)
+  nn::Linear proj_;         // hidden -> hidden (readout content)
+  nn::Linear add_node_;     // hidden -> vocab+1
+  nn::Linear add_edge_;     // 2*hidden -> 1
+  nn::Linear choose_node_;  // 2*hidden -> 1
+};
+
+}  // namespace kgpip::gen
+
+#endif  // KGPIP_GEN_GRAPH_GENERATOR_H_

@@ -1,0 +1,54 @@
+#include "gen/skeleton.h"
+
+#include <algorithm>
+
+#include "graph4ml/vocab.h"
+#include "ml/learner.h"
+#include "ml/preprocess.h"
+
+namespace kgpip::gen {
+
+Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
+                                       TaskType task) {
+  const graph4ml::PipelineVocab& vocab = graph4ml::PipelineVocab::Get();
+  ScoredSkeleton out;
+  out.log_prob = generated.log_prob;
+
+  std::string estimator;
+  for (int type : generated.graph.node_types) {
+    if (type == graph4ml::PipelineVocab::kDatasetType ||
+        type == graph4ml::PipelineVocab::kReadCsvType) {
+      continue;
+    }
+    if (type < 0 || type >= vocab.size()) {
+      return Status::InvalidArgument("node type out of vocabulary");
+    }
+    const std::string& name = vocab.NameOf(type);
+    if (vocab.IsEstimator(type)) {
+      // Keep the last estimator in generation order (the fitted model).
+      estimator = name;
+      continue;
+    }
+    // Featurizer-level ops are legal pipeline members but are realized by
+    // the automatic featurizer, not as FeatureMatrix transformers.
+    if (!ml::IsKnownTransformer(name)) continue;
+    if (std::find(out.spec.preprocessors.begin(),
+                  out.spec.preprocessors.end(),
+                  name) == out.spec.preprocessors.end()) {
+      out.spec.preprocessors.push_back(name);
+    }
+  }
+  if (estimator.empty()) {
+    return Status::InvalidArgument(
+        "generated graph contains no estimator node");
+  }
+  if (!ml::LearnerSupports(estimator, task)) {
+    return Status::InvalidArgument("estimator '" + estimator +
+                                   "' does not support task " +
+                                   TaskTypeName(task));
+  }
+  out.spec.learner = estimator;
+  return out;
+}
+
+}  // namespace kgpip::gen

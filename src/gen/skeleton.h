@@ -1,0 +1,33 @@
+#ifndef KGPIP_GEN_SKELETON_H_
+#define KGPIP_GEN_SKELETON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "gen/graph_generator.h"
+#include "ml/pipeline.h"
+
+namespace kgpip::gen {
+
+/// A pipeline skeleton extracted from a generated graph, with the
+/// generator's sequence score (paper §3.6: KGpip "maps these graphs into
+/// ML pipeline skeletons, where each skeleton is a set of pre-processors
+/// and an estimator").
+struct ScoredSkeleton {
+  ml::PipelineSpec spec;
+  double log_prob = 0.0;
+};
+
+/// Maps a generated graph to a skeleton. Returns an error when the graph
+/// is invalid for the task: no estimator node, an estimator that does not
+/// support the task, or no nodes beyond the seed. Featurizer-level ops
+/// (imputer / one-hot / text vectorizers) are accepted but handled by the
+/// automatic featurizer, so they do not appear as FeatureMatrix
+/// transformers.
+Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
+                                       TaskType task);
+
+}  // namespace kgpip::gen
+
+#endif  // KGPIP_GEN_SKELETON_H_

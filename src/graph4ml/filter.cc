@@ -1,0 +1,95 @@
+#include "graph4ml/filter.h"
+
+#include <algorithm>
+
+#include "codegraph/analyzer.h"
+#include "codegraph/ml_api.h"
+#include "util/string_util.h"
+
+namespace kgpip::graph4ml {
+
+PipelineGraph FilterCodeGraph(const codegraph::CodeGraph& code_graph,
+                              const std::string& fallback_dataset,
+                              FilterStats* stats) {
+  PipelineGraph out;
+  out.script_name = code_graph.script_name;
+
+  // Dataset association: explicit read_csv argument, else the portal's
+  // script->dataset link.
+  std::string csv = codegraph::FindReadCsvArgument(code_graph);
+  if (EndsWith(csv, ".csv")) csv = csv.substr(0, csv.size() - 4);
+  if (csv.empty() || csv == "data") csv = fallback_dataset;
+  out.dataset_name = csv;
+
+  // Walk call nodes in program order, keeping supported ML ops. A
+  // constructor and its .fit/.fit_transform/.transform/.predict calls all
+  // canonicalize to the same op; keep first occurrence only.
+  bool saw_read_csv = false;
+  std::vector<std::string> ops;        // transformers in order
+  std::vector<bool> op_is_estimator;
+  for (const codegraph::CodeNode& node : code_graph.nodes) {
+    if (node.kind != codegraph::NodeKind::kCall) continue;
+    if (node.label == "pandas.read_csv") {
+      saw_read_csv = true;
+      continue;
+    }
+    bool is_estimator = false;
+    std::string canonical =
+        codegraph::CanonicalizeMlCall(node.label, &is_estimator);
+    if (canonical.empty()) continue;
+    if (std::find(ops.begin(), ops.end(), canonical) != ops.end()) continue;
+    ops.push_back(canonical);
+    op_is_estimator.push_back(is_estimator);
+  }
+
+  // Extract the estimator (last estimator op) and transformer list.
+  int estimator_index = -1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (op_is_estimator[i]) estimator_index = static_cast<int>(i);
+  }
+  if (estimator_index >= 0) {
+    out.estimator = ops[static_cast<size_t>(estimator_index)];
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!op_is_estimator[i]) out.transformers.push_back(ops[i]);
+  }
+
+  // Assemble the filtered typed graph: dataset -> read_csv ->
+  // transformers... -> estimator, following the flow of the dataframe.
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  out.graph.node_types.push_back(PipelineVocab::kDatasetType);
+  int prev = 0;
+  if (saw_read_csv) {
+    out.graph.node_types.push_back(PipelineVocab::kReadCsvType);
+    out.graph.edges.emplace_back(prev, 1);
+    prev = 1;
+  }
+  for (const std::string& t : out.transformers) {
+    int type = vocab.TypeOf(t);
+    if (type < 0) continue;
+    out.graph.node_types.push_back(type);
+    int idx = static_cast<int>(out.graph.node_types.size()) - 1;
+    out.graph.edges.emplace_back(prev, idx);
+    prev = idx;
+  }
+  if (!out.estimator.empty()) {
+    int type = vocab.TypeOf(out.estimator);
+    if (type >= 0) {
+      out.graph.node_types.push_back(type);
+      int idx = static_cast<int>(out.graph.node_types.size()) - 1;
+      out.graph.edges.emplace_back(prev, idx);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->raw_nodes += code_graph.nodes.size();
+    stats->raw_edges += code_graph.edges.size();
+    if (out.valid()) {
+      stats->filtered_nodes += out.graph.num_nodes();
+      stats->filtered_edges += out.graph.num_edges();
+    }
+  }
+  return out;
+}
+
+}  // namespace kgpip::graph4ml

@@ -1,0 +1,57 @@
+#ifndef KGPIP_GRAPH4ML_FILTER_H_
+#define KGPIP_GRAPH4ML_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "codegraph/code_graph.h"
+#include "graph4ml/vocab.h"
+
+namespace kgpip::graph4ml {
+
+/// A filtered ML pipeline graph (paper §3.4 / Figure 4): a dataset anchor
+/// node flowing into read_csv, then the transformers and estimator the
+/// script applies, in program order. This is the >96%-smaller view fed to
+/// the graph generator.
+struct PipelineGraph {
+  std::string dataset_name;
+  std::string script_name;
+  TypedGraph graph;  // types over PipelineVocab
+  std::vector<std::string> transformers;  // canonical, in order
+  std::string estimator;                  // canonical
+
+  bool valid() const { return !estimator.empty(); }
+};
+
+/// Size accounting for the Table 3 ablation.
+struct FilterStats {
+  size_t raw_nodes = 0;
+  size_t raw_edges = 0;
+  size_t filtered_nodes = 0;
+  size_t filtered_edges = 0;
+
+  double NodeReduction() const {
+    return raw_nodes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(filtered_nodes) /
+                           static_cast<double>(raw_nodes);
+  }
+  double EdgeReduction() const {
+    return raw_edges == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(filtered_edges) /
+                           static_cast<double>(raw_edges);
+  }
+};
+
+/// Filters a raw code graph down to its ML pipeline. `fallback_dataset`
+/// supplies the dataset association when the script loads an anonymous
+/// file (e.g. read_csv('data.csv')). Returns an invalid PipelineGraph
+/// (no estimator) for scripts without a supported ML pipeline.
+PipelineGraph FilterCodeGraph(const codegraph::CodeGraph& code_graph,
+                              const std::string& fallback_dataset,
+                              FilterStats* stats = nullptr);
+
+}  // namespace kgpip::graph4ml
+
+#endif  // KGPIP_GRAPH4ML_FILTER_H_

@@ -1,0 +1,149 @@
+#include "graph4ml/graph4ml.h"
+
+#include "codegraph/analyzer.h"
+#include "util/logging.h"
+
+namespace kgpip::graph4ml {
+
+Status Graph4Ml::Build(
+    const std::vector<codegraph::NotebookScript>& scripts) {
+  for (const codegraph::NotebookScript& script : scripts) {
+    ++scripts_analyzed_;
+    auto code_graph = codegraph::AnalyzeScript(script.name, script.text);
+    if (!code_graph.ok()) {
+      // Real-world mining skips unparseable scripts rather than failing
+      // the whole corpus.
+      KGPIP_LOG(Warning) << "skipping " << script.name << ": "
+                         << code_graph.status().ToString();
+      continue;
+    }
+    PipelineGraph pipeline =
+        FilterCodeGraph(*code_graph, script.dataset_name, &filter_stats_);
+    if (!pipeline.valid()) continue;
+    ++scripts_kept_;
+    by_dataset_[pipeline.dataset_name].push_back(std::move(pipeline));
+  }
+  return Status::Ok();
+}
+
+void Graph4Ml::AddPipeline(PipelineGraph pipeline) {
+  ++scripts_analyzed_;
+  if (!pipeline.valid()) return;
+  ++scripts_kept_;
+  by_dataset_[pipeline.dataset_name].push_back(std::move(pipeline));
+}
+
+const std::vector<PipelineGraph>& Graph4Ml::PipelinesFor(
+    const std::string& dataset_name) const {
+  static const std::vector<PipelineGraph>& kEmpty =
+      *new std::vector<PipelineGraph>();
+  auto it = by_dataset_.find(dataset_name);
+  return it == by_dataset_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Graph4Ml::DatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_dataset_.size());
+  for (const auto& [name, pipelines] : by_dataset_) names.push_back(name);
+  return names;
+}
+
+std::vector<const PipelineGraph*> Graph4Ml::AllPipelines() const {
+  std::vector<const PipelineGraph*> all;
+  for (const auto& [name, pipelines] : by_dataset_) {
+    for (const PipelineGraph& p : pipelines) all.push_back(&p);
+  }
+  return all;
+}
+
+size_t Graph4Ml::NumPipelines() const {
+  size_t n = 0;
+  for (const auto& [name, pipelines] : by_dataset_) n += pipelines.size();
+  return n;
+}
+
+std::map<std::string, size_t> Graph4Ml::OpHistogram() const {
+  std::map<std::string, size_t> histogram;
+  for (const auto& [name, pipelines] : by_dataset_) {
+    for (const PipelineGraph& p : pipelines) {
+      for (const std::string& t : p.transformers) ++histogram[t];
+      ++histogram[p.estimator];
+    }
+  }
+  return histogram;
+}
+
+Json Graph4Ml::ToJson() const {
+  Json out = Json::Object();
+  out.Set("scripts_analyzed", Json(scripts_analyzed_));
+  out.Set("scripts_kept", Json(scripts_kept_));
+  Json datasets = Json::Object();
+  for (const auto& [name, pipelines] : by_dataset_) {
+    Json list = Json::Array();
+    for (const PipelineGraph& p : pipelines) {
+      Json entry = Json::Object();
+      entry.Set("script", Json(p.script_name));
+      entry.Set("estimator", Json(p.estimator));
+      Json transformers = Json::Array();
+      for (const std::string& t : p.transformers) transformers.Append(t);
+      entry.Set("transformers", std::move(transformers));
+      Json types = Json::Array();
+      for (int t : p.graph.node_types) types.Append(Json(t));
+      entry.Set("node_types", std::move(types));
+      Json edges = Json::Array();
+      for (const auto& [src, dst] : p.graph.edges) {
+        Json pair = Json::Array();
+        pair.Append(Json(src));
+        pair.Append(Json(dst));
+        edges.Append(std::move(pair));
+      }
+      entry.Set("edges", std::move(edges));
+      list.Append(std::move(entry));
+    }
+    datasets.Set(name, std::move(list));
+  }
+  out.Set("datasets", std::move(datasets));
+  return out;
+}
+
+Result<Graph4Ml> Graph4Ml::FromJson(const Json& json) {
+  Graph4Ml store;
+  const Json& datasets = json.Get("datasets");
+  if (!datasets.is_object()) {
+    return Status::ParseError("Graph4Ml JSON missing 'datasets' object");
+  }
+  for (const auto& [name, list] : datasets.members()) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      const Json& entry = list.at(i);
+      PipelineGraph p;
+      p.dataset_name = name;
+      p.script_name = entry.Get("script").AsString();
+      p.estimator = entry.Get("estimator").AsString();
+      const Json& transformers = entry.Get("transformers");
+      for (size_t t = 0; t < transformers.size(); ++t) {
+        p.transformers.push_back(transformers.at(t).AsString());
+      }
+      const Json& types = entry.Get("node_types");
+      for (size_t t = 0; t < types.size(); ++t) {
+        p.graph.node_types.push_back(
+            static_cast<int>(types.at(t).AsInt()));
+      }
+      const Json& edges = entry.Get("edges");
+      for (size_t e = 0; e < edges.size(); ++e) {
+        p.graph.edges.emplace_back(
+            static_cast<int>(edges.at(e).at(0).AsInt()),
+            static_cast<int>(edges.at(e).at(1).AsInt()));
+      }
+      if (!p.valid()) {
+        return Status::ParseError("pipeline without estimator in '" +
+                                  name + "'");
+      }
+      store.by_dataset_[name].push_back(std::move(p));
+      ++store.scripts_analyzed_;
+      ++store.scripts_kept_;
+    }
+  }
+  return store;
+}
+
+}  // namespace kgpip::graph4ml

@@ -1,0 +1,34 @@
+#include "graph4ml/vocab.h"
+
+#include <algorithm>
+
+#include "codegraph/ml_api.h"
+
+namespace kgpip::graph4ml {
+
+PipelineVocab::PipelineVocab() {
+  names_ = {"<dataset>", "read_csv"};
+  is_estimator_ = {false, false};
+  for (const codegraph::MlApiEntry& entry : codegraph::MlApiTable()) {
+    if (std::find(names_.begin(), names_.end(), entry.canonical) !=
+        names_.end()) {
+      continue;
+    }
+    names_.push_back(entry.canonical);
+    is_estimator_.push_back(entry.is_estimator);
+  }
+}
+
+int PipelineVocab::TypeOf(const std::string& canonical) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == canonical) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const PipelineVocab& PipelineVocab::Get() {
+  static const PipelineVocab& kVocab = *new PipelineVocab();
+  return kVocab;
+}
+
+}  // namespace kgpip::graph4ml

@@ -1,0 +1,51 @@
+#ifndef KGPIP_GRAPH4ML_VOCAB_H_
+#define KGPIP_GRAPH4ML_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace kgpip::graph4ml {
+
+/// A generic node-typed graph — the unit both the Graph4ML store and the
+/// neural graph generator operate on. `node_types` are indices into some
+/// vocabulary; `edges` are directed (src, dst) pairs.
+struct TypedGraph {
+  std::vector<int> node_types;
+  std::vector<std::pair<int, int>> edges;
+
+  size_t num_nodes() const { return node_types.size(); }
+  size_t num_edges() const { return edges.size(); }
+};
+
+/// The fixed node-type vocabulary of filtered ML pipeline graphs:
+///   0: dataset anchor node
+///   1: pandas.read_csv
+///   2...: canonical transformer and estimator ops (from the ML API table)
+class PipelineVocab {
+ public:
+  PipelineVocab();
+
+  int size() const { return static_cast<int>(names_.size()); }
+  /// Index for a canonical op name; -1 if unknown.
+  int TypeOf(const std::string& canonical) const;
+  const std::string& NameOf(int type) const { return names_[type]; }
+  bool IsEstimator(int type) const { return is_estimator_[type]; }
+  bool IsTransformer(int type) const {
+    return type >= kFirstOp && !is_estimator_[type];
+  }
+
+  static constexpr int kDatasetType = 0;
+  static constexpr int kReadCsvType = 1;
+  static constexpr int kFirstOp = 2;
+
+  /// The process-wide vocabulary instance.
+  static const PipelineVocab& Get();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<bool> is_estimator_;
+};
+
+}  // namespace kgpip::graph4ml
+
+#endif  // KGPIP_GRAPH4ML_VOCAB_H_

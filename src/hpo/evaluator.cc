@@ -1,0 +1,31 @@
+#include "hpo/evaluator.h"
+
+#include <algorithm>
+
+namespace kgpip::hpo {
+
+Result<TrialEvaluator> TrialEvaluator::Create(const Table& train,
+                                              TaskType task,
+                                              double holdout_fraction,
+                                              uint64_t seed) {
+  TrialEvaluator evaluator;
+  evaluator.task_ = task;
+  TrainTestSplit split = SplitTable(train, holdout_fraction, seed);
+  ml::Featurizer featurizer;
+  KGPIP_RETURN_IF_ERROR(featurizer.Fit(split.train, task));
+  KGPIP_ASSIGN_OR_RETURN(evaluator.fit_data_,
+                         featurizer.Transform(split.train));
+  KGPIP_ASSIGN_OR_RETURN(evaluator.holdout_data_,
+                         featurizer.Transform(split.test));
+  return evaluator;
+}
+
+Result<double> TrialEvaluator::Evaluate(const ml::PipelineSpec& spec,
+                                        uint64_t seed) const {
+  KGPIP_ASSIGN_OR_RETURN(
+      ml::Pipeline pipeline,
+      ml::Pipeline::FitOnData(spec, fit_data_, task_, seed));
+  return pipeline.ScoreData(holdout_data_);
+}
+
+}  // namespace kgpip::hpo

@@ -1,0 +1,90 @@
+#ifndef KGPIP_HPO_EVALUATOR_H_
+#define KGPIP_HPO_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "ml/featurizer.h"
+#include "ml/pipeline.h"
+#include "util/stopwatch.h"
+
+namespace kgpip::hpo {
+
+/// Optimization budget: a trial cap (deterministic accounting used by the
+/// benchmarks) plus an optional wall-clock cap. The paper's time budgets
+/// (1 h / 30 min) map to trial counts here, scaled to a single core.
+class Budget {
+ public:
+  Budget(int max_trials, double max_seconds)
+      : max_trials_(max_trials), deadline_(max_seconds) {}
+
+  /// Consumes one trial; false if the budget is already exhausted.
+  bool ConsumeTrial() {
+    if (Exhausted()) return false;
+    ++used_trials_;
+    return true;
+  }
+  bool Exhausted() const {
+    return used_trials_ >= max_trials_ || deadline_.Expired();
+  }
+  int used_trials() const { return used_trials_; }
+  int max_trials() const { return max_trials_; }
+  int remaining_trials() const {
+    return std::max(0, max_trials_ - used_trials_);
+  }
+
+  /// Splits the *remaining* budget into `k` equal sub-budgets — the
+  /// paper's "(T - t) / K" division across predicted graphs.
+  Budget SplitRemaining(int k) const {
+    int share = std::max(1, remaining_trials() / std::max(1, k));
+    return Budget(share, deadline_.RemainingSeconds() /
+                             static_cast<double>(std::max(1, k)));
+  }
+
+ private:
+  int max_trials_;
+  int used_trials_ = 0;
+  Deadline deadline_;
+};
+
+/// One completed trial.
+struct TrialRecord {
+  ml::PipelineSpec spec;
+  double score = -1e18;
+};
+
+/// Featurizes a training table once (with an internal train/validation
+/// holdout) and evaluates pipeline configurations against the holdout.
+/// Sharing one featurization across every trial is what lets the 1-core
+/// benchmark suite finish; it matches how real AutoML systems cache
+/// data preparation.
+class TrialEvaluator {
+ public:
+  /// `holdout_fraction` rows go to validation.
+  static Result<TrialEvaluator> Create(const Table& train, TaskType task,
+                                       double holdout_fraction,
+                                       uint64_t seed);
+
+  /// Fits `spec` on the fit split, scores on the holdout (macro-F1 / R²).
+  /// Errors (e.g. unsupported learner) surface as a status.
+  Result<double> Evaluate(const ml::PipelineSpec& spec, uint64_t seed) const;
+
+  TaskType task() const { return task_; }
+  const ml::LabeledData& fit_data() const { return fit_data_; }
+  const std::vector<TrialRecord>& history() const { return history_; }
+  void Record(const ml::PipelineSpec& spec, double score) {
+    history_.push_back({spec, score});
+  }
+
+ private:
+  TaskType task_ = TaskType::kBinaryClassification;
+  ml::LabeledData fit_data_;
+  ml::LabeledData holdout_data_;
+  std::vector<TrialRecord> history_;
+};
+
+}  // namespace kgpip::hpo
+
+#endif  // KGPIP_HPO_EVALUATOR_H_

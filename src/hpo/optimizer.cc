@@ -1,0 +1,121 @@
+#include "hpo/optimizer.h"
+
+#include <algorithm>
+
+namespace kgpip::hpo {
+
+CfoSearch::CfoSearch(SearchSpace space, uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+ml::HyperParams CfoSearch::Propose() {
+  if (first_) return space_.DefaultConfig();
+  if (rng_.Bernoulli(0.08)) return space_.Sample(&rng_);  // restart kick
+  return space_.Perturb(incumbent_, step_, &rng_);
+}
+
+void CfoSearch::Tell(const ml::HyperParams& config, double score) {
+  if (score > best_score_) {
+    best_score_ = score;
+    best_config_ = config;
+  }
+  if (first_) {
+    first_ = false;
+    incumbent_ = config;
+    incumbent_score_ = score;
+    return;
+  }
+  if (score > incumbent_score_) {
+    incumbent_ = config;
+    incumbent_score_ = score;
+    step_ = std::min(0.6, step_ * 1.2);  // expand on success
+  } else {
+    step_ = std::max(0.05, step_ * 0.85);  // shrink on failure
+  }
+}
+
+RandomSearch::RandomSearch(SearchSpace space, uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+ml::HyperParams RandomSearch::Propose() {
+  if (first_) return space_.DefaultConfig();
+  return space_.Sample(&rng_);
+}
+
+void RandomSearch::Tell(const ml::HyperParams& config, double score) {
+  first_ = false;
+  if (score > best_score_) {
+    best_score_ = score;
+    best_config_ = config;
+  }
+}
+
+namespace {
+
+/// Runs any Propose/Tell searcher against the evaluator until the budget
+/// runs out; shared by both optimizers.
+template <typename Search>
+OptimizeResult RunSearch(Search* search, const ml::PipelineSpec& skeleton,
+                         TrialEvaluator* evaluator, Budget* budget,
+                         uint64_t seed) {
+  OptimizeResult result;
+  result.best_spec = skeleton;
+  uint64_t trial_seed = seed;
+  while (budget->ConsumeTrial()) {
+    ml::HyperParams config = search->Propose();
+    ml::PipelineSpec spec = skeleton;
+    // Merge skeleton params under the proposed configuration.
+    for (const auto& [k, v] : config.numeric()) spec.params.SetNum(k, v);
+    for (const auto& [k, v] : config.strings()) spec.params.SetStr(k, v);
+    auto score = evaluator->Evaluate(spec, ++trial_seed);
+    double value = score.ok() ? *score : -1e18;
+    search->Tell(config, value);
+    evaluator->Record(spec, value);
+    ++result.trials;
+    if (value > result.best_score) {
+      result.best_score = value;
+      result.best_spec = spec;
+    }
+  }
+  return result;
+}
+
+class FlamlOptimizer : public HpOptimizer {
+ public:
+  OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
+                                  TrialEvaluator* evaluator, Budget* budget,
+                                  uint64_t seed) const override {
+    CfoSearch search(
+        SpaceForSkeleton(skeleton.learner, skeleton.preprocessors), seed);
+    return RunSearch(&search, skeleton, evaluator, budget, seed);
+  }
+  std::string name() const override { return "flaml"; }
+};
+
+class AskOptimizer : public HpOptimizer {
+ public:
+  OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
+                                  TrialEvaluator* evaluator, Budget* budget,
+                                  uint64_t seed) const override {
+    RandomSearch search(
+        SpaceForSkeleton(skeleton.learner, skeleton.preprocessors), seed);
+    return RunSearch(&search, skeleton, evaluator, budget, seed);
+  }
+  std::string name() const override { return "autosklearn"; }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<HpOptimizer>> CreateOptimizer(
+    const std::string& name) {
+  std::unique_ptr<HpOptimizer> out;
+  if (name == "flaml") {
+    out = std::make_unique<FlamlOptimizer>();
+  } else if (name == "autosklearn") {
+    out = std::make_unique<AskOptimizer>();
+  } else {
+    return Status::NotFound("unknown optimizer '" + name + "'");
+  }
+  return out;
+}
+
+}  // namespace kgpip::hpo

@@ -1,0 +1,84 @@
+#ifndef KGPIP_HPO_OPTIMIZER_H_
+#define KGPIP_HPO_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "hpo/evaluator.h"
+#include "hpo/search_space.h"
+
+namespace kgpip::hpo {
+
+/// Outcome of optimizing one skeleton.
+struct OptimizeResult {
+  ml::PipelineSpec best_spec;
+  double best_score = -1e18;
+  int trials = 0;
+};
+
+/// Stateful cost-frugal local search (FLAML's CFO flavour): start from
+/// the default configuration, propose one-dimension perturbations, expand
+/// the step on success and shrink it on failure, with occasional random
+/// restarts.
+class CfoSearch {
+ public:
+  CfoSearch(SearchSpace space, uint64_t seed);
+
+  ml::HyperParams Propose();
+  void Tell(const ml::HyperParams& config, double score);
+
+  double best_score() const { return best_score_; }
+  const ml::HyperParams& best_config() const { return best_config_; }
+
+ private:
+  SearchSpace space_;
+  Rng rng_;
+  double step_ = 0.3;
+  bool first_ = true;
+  ml::HyperParams incumbent_;
+  double incumbent_score_ = -1e18;
+  ml::HyperParams best_config_;
+  double best_score_ = -1e18;
+};
+
+/// Stateful random search with a default-config warm start (the
+/// Auto-Sklearn-style optimizer's inner loop).
+class RandomSearch {
+ public:
+  RandomSearch(SearchSpace space, uint64_t seed);
+
+  ml::HyperParams Propose();
+  void Tell(const ml::HyperParams& config, double score);
+
+  double best_score() const { return best_score_; }
+  const ml::HyperParams& best_config() const { return best_config_; }
+
+ private:
+  SearchSpace space_;
+  Rng rng_;
+  bool first_ = true;
+  ml::HyperParams best_config_;
+  double best_score_ = -1e18;
+};
+
+/// A skeleton-level hyper-parameter optimizer (the component KGpip
+/// borrows from FLAML / Auto-Sklearn).
+class HpOptimizer {
+ public:
+  virtual ~HpOptimizer() = default;
+
+  /// Spends `budget` tuning `skeleton`'s hyper-parameters on `evaluator`.
+  virtual OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
+                                          TrialEvaluator* evaluator,
+                                          Budget* budget,
+                                          uint64_t seed) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// "flaml" (CFO) or "autosklearn" (random + default warm start).
+Result<std::unique_ptr<HpOptimizer>> CreateOptimizer(
+    const std::string& name);
+
+}  // namespace kgpip::hpo
+
+#endif  // KGPIP_HPO_OPTIMIZER_H_

@@ -1,0 +1,263 @@
+#include "hpo/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/learner.h"
+#include "ml/preprocess.h"
+
+namespace kgpip::hpo {
+
+namespace {
+
+ParamSpec FloatParam(const std::string& name, double lo, double hi,
+                     double default_value, bool log_scale = false) {
+  ParamSpec spec;
+  spec.name = name;
+  spec.kind = ParamSpec::Kind::kFloat;
+  spec.lo = lo;
+  spec.hi = hi;
+  spec.log_scale = log_scale;
+  spec.default_value = default_value;
+  return spec;
+}
+
+ParamSpec IntParam(const std::string& name, double lo, double hi,
+                   double default_value, bool log_scale = false) {
+  ParamSpec spec = FloatParam(name, lo, hi, default_value, log_scale);
+  spec.kind = ParamSpec::Kind::kInt;
+  return spec;
+}
+
+ParamSpec ChoiceParam(const std::string& name,
+                      std::vector<std::string> choices,
+                      std::string default_choice) {
+  ParamSpec spec;
+  spec.name = name;
+  spec.kind = ParamSpec::Kind::kChoice;
+  spec.choices = std::move(choices);
+  spec.default_choice = std::move(default_choice);
+  return spec;
+}
+
+double SampleNumeric(const ParamSpec& spec, double unit) {
+  if (spec.log_scale) {
+    double lo = std::log(std::max(spec.lo, 1e-12));
+    double hi = std::log(std::max(spec.hi, 1e-12));
+    return std::exp(lo + unit * (hi - lo));
+  }
+  return spec.lo + unit * (spec.hi - spec.lo);
+}
+
+}  // namespace
+
+ml::HyperParams SearchSpace::DefaultConfig() const {
+  ml::HyperParams config;
+  for (const ParamSpec& spec : params_) {
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      config.SetStr(spec.name, spec.default_choice);
+    } else {
+      config.SetNum(spec.name, spec.kind == ParamSpec::Kind::kInt
+                                   ? std::round(spec.default_value)
+                                   : spec.default_value);
+    }
+  }
+  return config;
+}
+
+ml::HyperParams SearchSpace::Sample(Rng* rng) const {
+  ml::HyperParams config;
+  for (const ParamSpec& spec : params_) {
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      config.SetStr(spec.name,
+                    spec.choices[rng->UniformInt(spec.choices.size())]);
+    } else {
+      double v = SampleNumeric(spec, rng->Uniform());
+      config.SetNum(spec.name,
+                    spec.kind == ParamSpec::Kind::kInt ? std::round(v) : v);
+    }
+  }
+  return config;
+}
+
+ml::HyperParams SearchSpace::Perturb(const ml::HyperParams& base,
+                                     double step, Rng* rng) const {
+  // FLAML's CFO moves along a random direction over every numeric
+  // dimension at once (not coordinate descent); categorical dimensions
+  // flip with a small probability.
+  ml::HyperParams config = base;
+  if (params_.empty()) return config;
+  for (const ParamSpec& spec : params_) {
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      if (rng->Bernoulli(0.2)) {
+        config.SetStr(spec.name,
+                      spec.choices[rng->UniformInt(spec.choices.size())]);
+      }
+      continue;
+    }
+    double current = base.GetNum(spec.name, spec.default_value);
+    double next;
+    if (spec.log_scale) {
+      double factor = std::exp(rng->Normal() * step * 2.0);
+      next = current * factor;
+    } else {
+      next = current + rng->Normal() * step * (spec.hi - spec.lo);
+    }
+    next = std::clamp(next, spec.lo, spec.hi);
+    config.SetNum(spec.name,
+                  spec.kind == ParamSpec::Kind::kInt ? std::round(next)
+                                                     : next);
+  }
+  return config;
+}
+
+Json SearchSpace::ToJson() const {
+  Json out = Json::Array();
+  for (const ParamSpec& spec : params_) {
+    Json entry = Json::Object();
+    entry.Set("name", Json(spec.name));
+    switch (spec.kind) {
+      case ParamSpec::Kind::kFloat:
+        entry.Set("type", Json("float"));
+        break;
+      case ParamSpec::Kind::kInt:
+        entry.Set("type", Json("int"));
+        break;
+      case ParamSpec::Kind::kChoice:
+        entry.Set("type", Json("choice"));
+        break;
+    }
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      Json choices = Json::Array();
+      for (const std::string& c : spec.choices) choices.Append(c);
+      entry.Set("choices", std::move(choices));
+      entry.Set("default", Json(spec.default_choice));
+    } else {
+      entry.Set("low", Json(spec.lo));
+      entry.Set("high", Json(spec.hi));
+      entry.Set("log", Json(spec.log_scale));
+      entry.Set("default", Json(spec.default_value));
+    }
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+Result<SearchSpace> SearchSpace::FromJson(const Json& json) {
+  if (!json.is_array()) {
+    return Status::ParseError("search space JSON must be an array");
+  }
+  SearchSpace space;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const Json& entry = json.at(i);
+    ParamSpec spec;
+    spec.name = entry.Get("name").AsString();
+    if (spec.name.empty()) {
+      return Status::ParseError("search space entry without a name");
+    }
+    const std::string& type = entry.Get("type").AsString();
+    if (type == "choice") {
+      spec.kind = ParamSpec::Kind::kChoice;
+      const Json& choices = entry.Get("choices");
+      for (size_t c = 0; c < choices.size(); ++c) {
+        spec.choices.push_back(choices.at(c).AsString());
+      }
+      if (spec.choices.empty()) {
+        return Status::ParseError("choice parameter '" + spec.name +
+                                  "' without choices");
+      }
+      spec.default_choice = entry.Get("default").AsString();
+    } else {
+      spec.kind = type == "int" ? ParamSpec::Kind::kInt
+                                : ParamSpec::Kind::kFloat;
+      spec.lo = entry.Get("low").AsDouble();
+      spec.hi = entry.Get("high").AsDouble();
+      spec.log_scale = entry.Get("log").AsBool();
+      spec.default_value = entry.Get("default").AsDouble();
+    }
+    space.Add(std::move(spec));
+  }
+  return space;
+}
+
+SearchSpace SpaceForLearner(const std::string& learner) {
+  SearchSpace space;
+  // Defaults are deliberately conservative (like real library defaults
+  // on hard data): reaching the strong region takes tuning budget, which
+  // is exactly the resource learner selection is supposed to conserve.
+  if (learner == "logistic_regression" || learner == "linear_svm" ||
+      learner == "sgd") {
+    space.Add(FloatParam("alpha", 1e-5, 1.0, 3e-2, /*log=*/true));
+    space.Add(FloatParam("lr", 0.01, 0.5, 0.06, /*log=*/true));
+    space.Add(IntParam("epochs", 40, 200, 60));
+    if (learner == "logistic_regression") {
+      space.Add(ChoiceParam("penalty", {"l1", "l2"}, "l2"));
+    }
+  } else if (learner == "linear_regression") {
+    space.Add(FloatParam("lr", 0.01, 0.5, 0.06, true));
+    space.Add(IntParam("epochs", 40, 200, 60));
+  } else if (learner == "ridge" || learner == "lasso") {
+    space.Add(FloatParam("alpha", 1e-5, 1.0, 3e-2, true));
+    space.Add(FloatParam("lr", 0.01, 0.5, 0.06, true));
+    space.Add(IntParam("epochs", 40, 200, 60));
+  } else if (learner == "gaussian_nb") {
+    space.Add(FloatParam("var_smoothing", 1e-10, 1e-2, 1e-9, true));
+  } else if (learner == "knn") {
+    space.Add(IntParam("n_neighbors", 1, 25, 15));
+    space.Add(ChoiceParam("weights", {"uniform", "distance"}, "uniform"));
+  } else if (learner == "decision_tree") {
+    space.Add(IntParam("max_depth", 2, 18, 4));
+    space.Add(IntParam("min_samples_leaf", 1, 16, 8));
+  } else if (learner == "random_forest" || learner == "extra_trees") {
+    space.Add(IntParam("n_estimators", 8, 60, 10));
+    space.Add(IntParam("max_depth", 4, 18, 6));
+    space.Add(FloatParam("max_features", 0.2, 1.0, 0.35));
+    space.Add(IntParam("min_samples_leaf", 1, 8, 4));
+  } else if (learner == "gradient_boosting" || learner == "xgboost" ||
+             learner == "lgbm") {
+    space.Add(IntParam("n_estimators", 10, 80, 14));
+    space.Add(FloatParam("learning_rate", 0.02, 0.5, 0.06, true));
+    space.Add(IntParam("max_depth", 2, 8, 3));
+    space.Add(FloatParam("subsample", 0.5, 1.0, 1.0));
+    space.Add(FloatParam("colsample", 0.4, 1.0, 0.9));
+    space.Add(FloatParam("lambda", 0.1, 10.0, 1.0, true));
+  }
+  return space;
+}
+
+SearchSpace SpaceForSkeleton(const std::string& learner,
+                             const std::vector<std::string>& preprocessors) {
+  SearchSpace space = SpaceForLearner(learner);
+  for (const std::string& p : preprocessors) {
+    if (p == "select_k_best") {
+      space.Add(IntParam("k", 2, 30, 10));
+    } else if (p == "pca") {
+      space.Add(IntParam("n_components", 2, 16, 8));
+    } else if (p == "variance_threshold") {
+      space.Add(FloatParam("threshold", 1e-9, 1e-2, 1e-8, true));
+    }
+  }
+  return space;
+}
+
+Json IntegrationDocument() {
+  Json doc = Json::Object();
+  Json estimators = Json::Object();
+  for (const ml::LearnerInfo& info : ml::LearnerRegistry()) {
+    Json entry = Json::Object();
+    entry.Set("classification", Json(info.supports_classification));
+    entry.Set("regression", Json(info.supports_regression));
+    entry.Set("relative_cost", Json(info.relative_cost));
+    entry.Set("space", SpaceForLearner(info.name).ToJson());
+    estimators.Set(info.name, std::move(entry));
+  }
+  doc.Set("estimators", std::move(estimators));
+  Json preprocessors = Json::Array();
+  for (const std::string& name : ml::TransformerRegistry()) {
+    preprocessors.Append(name);
+  }
+  doc.Set("preprocessors", std::move(preprocessors));
+  return doc;
+}
+
+}  // namespace kgpip::hpo

@@ -1,0 +1,73 @@
+#ifndef KGPIP_HPO_SEARCH_SPACE_H_
+#define KGPIP_HPO_SEARCH_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/hyperparams.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgpip::hpo {
+
+/// One tunable dimension of a learner/transformer search space.
+struct ParamSpec {
+  enum class Kind { kFloat, kInt, kChoice };
+  std::string name;
+  Kind kind = Kind::kFloat;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  std::vector<std::string> choices;  // kChoice only
+  double default_value = 0.0;
+  std::string default_choice;
+};
+
+/// The search space of one pipeline skeleton (estimator + transformers).
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+
+  void Add(ParamSpec spec) { params_.push_back(std::move(spec)); }
+  const std::vector<ParamSpec>& params() const { return params_; }
+  bool empty() const { return params_.empty(); }
+
+  /// Default configuration (centre of the space).
+  ml::HyperParams DefaultConfig() const;
+
+  /// Uniform random configuration.
+  ml::HyperParams Sample(Rng* rng) const;
+
+  /// Local perturbation of `base`: one randomly chosen dimension moves by
+  /// `step` (relative for numeric, neighbouring for choices). This is the
+  /// move operator of the FLAML-style cost-frugal local search.
+  ml::HyperParams Perturb(const ml::HyperParams& base, double step,
+                          Rng* rng) const;
+
+  /// JSON document of the space (the integration contract the paper
+  /// mentions: "a JSON document of the particular preprocessors and
+  /// estimators supported by the hyperparameter optimizer").
+  Json ToJson() const;
+  static Result<SearchSpace> FromJson(const Json& json);
+
+ private:
+  std::vector<ParamSpec> params_;
+};
+
+/// Built-in search space for a registry learner name (tuned dimensions
+/// match the corresponding sklearn/XGBoost/LightGBM knobs).
+SearchSpace SpaceForLearner(const std::string& learner);
+
+/// Extends a learner space with the knobs of the given transformers
+/// (e.g. select_k_best.k, pca.n_components).
+SearchSpace SpaceForSkeleton(const std::string& learner,
+                             const std::vector<std::string>& preprocessors);
+
+/// The full integration document: every supported estimator and
+/// preprocessor with its search space.
+Json IntegrationDocument();
+
+}  // namespace kgpip::hpo
+
+#endif  // KGPIP_HPO_SEARCH_SPACE_H_

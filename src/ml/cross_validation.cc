@@ -1,0 +1,41 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace kgpip::ml {
+
+Result<CrossValResult> CrossValidate(const PipelineSpec& spec,
+                                     const Table& table, TaskType task,
+                                     int folds, uint64_t seed) {
+  if (folds < 2) {
+    return Status::InvalidArgument("cross validation needs >= 2 folds");
+  }
+  if (table.num_rows() < static_cast<size_t>(2 * folds)) {
+    return Status::InvalidArgument("too few rows for " +
+                                   std::to_string(folds) + " folds");
+  }
+  std::vector<int> assignment = KFoldAssignment(table.num_rows(), folds,
+                                                seed);
+  CrossValResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<size_t> train_rows, test_rows;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      (assignment[r] == fold ? test_rows : train_rows).push_back(r);
+    }
+    Table train = table.TakeRows(train_rows);
+    Table test = table.TakeRows(test_rows);
+    KGPIP_ASSIGN_OR_RETURN(
+        Pipeline pipeline,
+        Pipeline::FitOnTable(spec, train, task,
+                             seed + static_cast<uint64_t>(fold)));
+    KGPIP_ASSIGN_OR_RETURN(double score, pipeline.ScoreTable(test));
+    result.fold_scores.push_back(score);
+  }
+  result.mean = Mean(result.fold_scores);
+  result.stddev = StdDev(result.fold_scores);
+  return result;
+}
+
+}  // namespace kgpip::ml

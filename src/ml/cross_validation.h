@@ -1,0 +1,26 @@
+#ifndef KGPIP_ML_CROSS_VALIDATION_H_
+#define KGPIP_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "ml/pipeline.h"
+
+namespace kgpip::ml {
+
+/// Result of a k-fold evaluation.
+struct CrossValResult {
+  std::vector<double> fold_scores;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Stratification-free k-fold cross validation of a pipeline spec on a
+/// raw table: featurization is refit inside every fold (no leakage).
+/// Scores are macro-F1 / R² by task.
+Result<CrossValResult> CrossValidate(const PipelineSpec& spec,
+                                     const Table& table, TaskType task,
+                                     int folds, uint64_t seed);
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,41 @@
+#ifndef KGPIP_ML_DATASET_H_
+#define KGPIP_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace kgpip::ml {
+
+/// Dense row-major numeric feature matrix — what learners consume after
+/// featurization.
+struct FeatureMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> values;
+
+  FeatureMatrix() = default;
+  FeatureMatrix(size_t r, size_t c) : rows(r), cols(c), values(r * c, 0.0) {}
+
+  double& At(size_t r, size_t c) { return values[r * cols + c]; }
+  double At(size_t r, size_t c) const { return values[r * cols + c]; }
+  const double* Row(size_t r) const { return values.data() + r * cols; }
+  double* Row(size_t r) { return values.data() + r * cols; }
+};
+
+/// A featurized supervised dataset. For classification, `y` holds class
+/// indices (0..num_classes-1) and `class_names` maps them back to labels.
+struct LabeledData {
+  FeatureMatrix x;
+  std::vector<double> y;
+  TaskType task = TaskType::kBinaryClassification;
+  int num_classes = 0;
+  std::vector<std::string> class_names;
+
+  size_t rows() const { return x.rows; }
+};
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_DATASET_H_

@@ -1,0 +1,40 @@
+#ifndef KGPIP_ML_FOREST_H_
+#define KGPIP_ML_FOREST_H_
+
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace kgpip::ml {
+
+/// Bagged tree ensemble behind two registry names:
+///   - "random_forest": bootstrap rows + sqrt-fraction features + best
+///     splits
+///   - "extra_trees": full rows + random thresholds
+/// Classification predicts by majority vote; regression by mean.
+class ForestLearner : public Learner {
+ public:
+  ForestLearner(std::string registry_name, TaskType task, bool extra_trees,
+                const HyperParams& params, uint64_t seed);
+
+  Status Fit(const LabeledData& data) override;
+  std::vector<double> Predict(const FeatureMatrix& x) const override;
+  std::string name() const override { return registry_name_; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::string registry_name_;
+  TaskType task_;
+  bool extra_trees_;
+  int n_estimators_;
+  TreeParams tree_params_;
+  Rng rng_;
+  int num_classes_ = 0;
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_FOREST_H_

@@ -1,0 +1,52 @@
+#ifndef KGPIP_ML_GBDT_H_
+#define KGPIP_ML_GBDT_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace kgpip::ml {
+
+/// Histogram-free gradient-boosted trees in the XGBoost second-order
+/// formulation. Serves three registry names with different presets:
+///   - "gradient_boosting": sklearn-like (depth 3, lr 0.1)
+///   - "xgboost": deeper trees, column subsampling
+///   - "lgbm": more estimators, lighter trees, row subsampling
+/// Classification boosts one score tree per class per round (softmax);
+/// regression boosts squared error.
+class GbdtLearner : public Learner {
+ public:
+  GbdtLearner(std::string registry_name, TaskType task,
+              const HyperParams& params, uint64_t seed);
+
+  Status Fit(const LabeledData& data) override;
+  std::vector<double> Predict(const FeatureMatrix& x) const override;
+  std::string name() const override { return registry_name_; }
+
+  /// Raw per-class scores for one row (classification).
+  std::vector<double> ScoreRow(const double* row) const;
+
+  int rounds_used() const { return rounds_used_; }
+
+ private:
+  std::string registry_name_;
+  TaskType task_;
+  int n_estimators_;
+  double learning_rate_;
+  double subsample_;
+  TreeParams tree_params_;
+  Rng rng_;
+
+  int num_classes_ = 0;
+  double base_score_ = 0.0;
+  /// trees_[round * score_dims + k]
+  std::vector<Tree> trees_;
+  int score_dims_ = 1;
+  int rounds_used_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_GBDT_H_

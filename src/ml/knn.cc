@@ -1,0 +1,179 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::ml {
+
+KnnLearner::KnnLearner(TaskType task, const HyperParams& params,
+                       uint64_t seed)
+    : task_(task),
+      k_(params.GetInt("n_neighbors", 5)),
+      distance_weighted_(params.GetStr("weights", "uniform") == "distance") {
+  (void)seed;
+}
+
+Status KnnLearner::Fit(const LabeledData& data) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  num_classes_ = data.num_classes;
+  const size_t n = data.rows();
+  const size_t d = data.x.cols;
+  feature_mean_.assign(d, 0.0);
+  feature_std_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) feature_mean_[c] += data.x.At(r, c);
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      double diff = data.x.At(r, c) - feature_mean_[c];
+      feature_std_[c] += diff * diff;
+    }
+  }
+  for (double& s : feature_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-9) s = 1.0;
+  }
+  train_x_ = FeatureMatrix(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      train_x_.At(r, c) = (data.x.At(r, c) - feature_mean_[c]) /
+                          feature_std_[c];
+    }
+  }
+  train_y_ = data.y;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> KnnLearner::Predict(const FeatureMatrix& x) const {
+  KGPIP_CHECK(fitted_);
+  const size_t n = train_x_.rows;
+  const size_t d = train_x_.cols;
+  const size_t k = std::min<size_t>(static_cast<size_t>(std::max(1, k_)), n);
+  std::vector<double> out(x.rows);
+  std::vector<std::pair<double, size_t>> dists(n);
+  std::vector<double> query(d);
+  for (size_t q = 0; q < x.rows; ++q) {
+    for (size_t c = 0; c < d; ++c) {
+      query[c] = (x.At(q, c) - feature_mean_[c]) / feature_std_[c];
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = train_x_.Row(r);
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double diff = query[c] - row[c];
+        s += diff * diff;
+      }
+      dists[r] = {s, r};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    if (IsClassification(task_)) {
+      std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+      for (size_t i = 0; i < k; ++i) {
+        double w = distance_weighted_
+                       ? 1.0 / (std::sqrt(dists[i].first) + 1e-9)
+                       : 1.0;
+        votes[static_cast<size_t>(train_y_[dists[i].second])] += w;
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < votes.size(); ++c) {
+        if (votes[c] > votes[best]) best = c;
+      }
+      out[q] = static_cast<double>(best);
+    } else {
+      double sum = 0.0;
+      double weight = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        double w = distance_weighted_
+                       ? 1.0 / (std::sqrt(dists[i].first) + 1e-9)
+                       : 1.0;
+        sum += w * train_y_[dists[i].second];
+        weight += w;
+      }
+      out[q] = sum / weight;
+    }
+  }
+  return out;
+}
+
+GaussianNbLearner::GaussianNbLearner(TaskType task, const HyperParams& params,
+                                     uint64_t seed)
+    : var_smoothing_(params.GetNum("var_smoothing", 1e-9)) {
+  (void)seed;
+  KGPIP_CHECK(IsClassification(task)) << "gaussian_nb is classification-only";
+}
+
+Status GaussianNbLearner::Fit(const LabeledData& data) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  num_classes_ = std::max(2, data.num_classes);
+  num_features_ = data.x.cols;
+  const size_t n = data.rows();
+  const size_t kc = static_cast<size_t>(num_classes_);
+  priors_.assign(kc, 0.0);
+  means_.assign(kc * num_features_, 0.0);
+  variances_.assign(kc * num_features_, 0.0);
+  std::vector<double> counts(kc, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    size_t c = static_cast<size_t>(data.y[r]);
+    counts[c] += 1.0;
+    for (size_t f = 0; f < num_features_; ++f) {
+      means_[c * num_features_ + f] += data.x.At(r, f);
+    }
+  }
+  for (size_t c = 0; c < kc; ++c) {
+    priors_[c] = counts[c] / static_cast<double>(n);
+    if (counts[c] > 0.0) {
+      for (size_t f = 0; f < num_features_; ++f) {
+        means_[c * num_features_ + f] /= counts[c];
+      }
+    }
+  }
+  double max_var = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    size_t c = static_cast<size_t>(data.y[r]);
+    for (size_t f = 0; f < num_features_; ++f) {
+      double diff = data.x.At(r, f) - means_[c * num_features_ + f];
+      variances_[c * num_features_ + f] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < kc; ++c) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      if (counts[c] > 0.0) variances_[c * num_features_ + f] /= counts[c];
+      max_var = std::max(max_var, variances_[c * num_features_ + f]);
+    }
+  }
+  const double eps = var_smoothing_ * std::max(max_var, 1.0);
+  for (double& v : variances_) v += eps;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> GaussianNbLearner::Predict(const FeatureMatrix& x) const {
+  KGPIP_CHECK(fitted_);
+  std::vector<double> out(x.rows);
+  const size_t kc = static_cast<size_t>(num_classes_);
+  for (size_t r = 0; r < x.rows; ++r) {
+    double best_score = -1e300;
+    size_t best = 0;
+    for (size_t c = 0; c < kc; ++c) {
+      double score = priors_[c] > 0.0 ? std::log(priors_[c]) : -1e300;
+      for (size_t f = 0; f < num_features_; ++f) {
+        double var = variances_[c * num_features_ + f];
+        double diff = x.At(r, f) - means_[c * num_features_ + f];
+        score += -0.5 * std::log(2.0 * M_PI * var) -
+                 diff * diff / (2.0 * var);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    out[r] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace kgpip::ml

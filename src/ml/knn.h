@@ -1,0 +1,53 @@
+#ifndef KGPIP_ML_KNN_H_
+#define KGPIP_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace kgpip::ml {
+
+/// Brute-force k-nearest-neighbours with internal standardization.
+/// Majority vote for classification, neighbour mean for regression.
+class KnnLearner : public Learner {
+ public:
+  KnnLearner(TaskType task, const HyperParams& params, uint64_t seed);
+
+  Status Fit(const LabeledData& data) override;
+  std::vector<double> Predict(const FeatureMatrix& x) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  TaskType task_;
+  int k_;
+  bool distance_weighted_;
+  int num_classes_ = 0;
+  FeatureMatrix train_x_;  // standardized
+  std::vector<double> train_y_;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  bool fitted_ = false;
+};
+
+/// Gaussian naive Bayes (classification only).
+class GaussianNbLearner : public Learner {
+ public:
+  GaussianNbLearner(TaskType task, const HyperParams& params, uint64_t seed);
+
+  Status Fit(const LabeledData& data) override;
+  std::vector<double> Predict(const FeatureMatrix& x) const override;
+  std::string name() const override { return "gaussian_nb"; }
+
+ private:
+  int num_classes_ = 0;
+  double var_smoothing_;
+  std::vector<double> priors_;          // per class
+  std::vector<double> means_;           // class * features
+  std::vector<double> variances_;      // class * features
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_KNN_H_

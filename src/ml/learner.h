@@ -1,0 +1,55 @@
+#ifndef KGPIP_ML_LEARNER_H_
+#define KGPIP_ML_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/hyperparams.h"
+#include "util/status.h"
+
+namespace kgpip::ml {
+
+/// Base interface for every estimator (the library's equivalent of an
+/// sklearn / XGBoost / LightGBM model).
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Trains on featurized data. Must be called before Predict.
+  virtual Status Fit(const LabeledData& data) = 0;
+
+  /// Predicts a class index (classification) or value (regression) per
+  /// row. Precondition: a successful Fit.
+  virtual std::vector<double> Predict(const FeatureMatrix& x) const = 0;
+
+  /// Registry name, e.g. "xgboost".
+  virtual std::string name() const = 0;
+};
+
+/// Capability record for one registered learner.
+struct LearnerInfo {
+  std::string name;
+  bool supports_classification = false;
+  bool supports_regression = false;
+  /// Relative fit cost, used by cost-frugal optimizers (FLAML-style ECI).
+  double relative_cost = 1.0;
+};
+
+/// All learners known to the library (stable order).
+const std::vector<LearnerInfo>& LearnerRegistry();
+
+/// True if `name` is registered and supports `task`.
+bool LearnerSupports(const std::string& name, TaskType task);
+
+/// Instantiates a learner by registry name. `params` carries
+/// hyper-parameters; `seed` feeds any internal randomness.
+Result<std::unique_ptr<Learner>> CreateLearner(const std::string& name,
+                                               TaskType task,
+                                               const HyperParams& params,
+                                               uint64_t seed);
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_LEARNER_H_

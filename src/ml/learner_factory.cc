@@ -1,0 +1,95 @@
+#include <memory>
+
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/learner.h"
+#include "ml/linear.h"
+#include "ml/tree.h"
+
+namespace kgpip::ml {
+
+const std::vector<LearnerInfo>& LearnerRegistry() {
+  static const std::vector<LearnerInfo>& kRegistry =
+      *new std::vector<LearnerInfo>{
+          {"logistic_regression", true, false, 1.0},
+          {"linear_svm", true, false, 1.0},
+          {"sgd", true, true, 0.8},
+          {"gaussian_nb", true, false, 0.3},
+          {"knn", true, true, 0.5},
+          {"decision_tree", true, true, 0.6},
+          {"random_forest", true, true, 3.0},
+          {"extra_trees", true, true, 2.5},
+          {"gradient_boosting", true, true, 4.0},
+          {"xgboost", true, true, 4.5},
+          {"lgbm", true, true, 4.0},
+          {"linear_regression", false, true, 0.8},
+          {"ridge", false, true, 0.8},
+          {"lasso", false, true, 1.0},
+      };
+  return kRegistry;
+}
+
+bool LearnerSupports(const std::string& name, TaskType task) {
+  for (const LearnerInfo& info : LearnerRegistry()) {
+    if (info.name == name) {
+      return IsClassification(task) ? info.supports_classification
+                                    : info.supports_regression;
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<Learner>> CreateLearner(const std::string& name,
+                                               TaskType task,
+                                               const HyperParams& params,
+                                               uint64_t seed) {
+  if (!LearnerSupports(name, task)) {
+    return Status::InvalidArgument("learner '" + name +
+                                   "' does not support task " +
+                                   TaskTypeName(task));
+  }
+  using L = LinearLearner;
+  std::unique_ptr<Learner> out;
+  if (name == "logistic_regression") {
+    out = std::make_unique<L>(name, task, L::Loss::kSoftmax,
+                              L::Penalty::kL2, params, seed);
+  } else if (name == "linear_svm") {
+    out = std::make_unique<L>(name, task, L::Loss::kHinge, L::Penalty::kL2,
+                              params, seed);
+  } else if (name == "sgd") {
+    L::Loss loss = IsClassification(task) ? L::Loss::kSoftmax
+                                          : L::Loss::kSquared;
+    out = std::make_unique<L>(name, task, loss, L::Penalty::kL2, params,
+                              seed);
+  } else if (name == "linear_regression") {
+    out = std::make_unique<L>(name, task, L::Loss::kSquared,
+                              L::Penalty::kNone, params, seed);
+  } else if (name == "ridge") {
+    out = std::make_unique<L>(name, task, L::Loss::kSquared,
+                              L::Penalty::kL2, params, seed);
+  } else if (name == "lasso") {
+    out = std::make_unique<L>(name, task, L::Loss::kSquared,
+                              L::Penalty::kL1, params, seed);
+  } else if (name == "gaussian_nb") {
+    out = std::make_unique<GaussianNbLearner>(task, params, seed);
+  } else if (name == "knn") {
+    out = std::make_unique<KnnLearner>(task, params, seed);
+  } else if (name == "decision_tree") {
+    out = std::make_unique<DecisionTreeLearner>(task, params, seed);
+  } else if (name == "random_forest") {
+    out = std::make_unique<ForestLearner>(name, task, /*extra_trees=*/false,
+                                          params, seed);
+  } else if (name == "extra_trees") {
+    out = std::make_unique<ForestLearner>(name, task, /*extra_trees=*/true,
+                                          params, seed);
+  } else if (name == "gradient_boosting" || name == "xgboost" ||
+             name == "lgbm") {
+    out = std::make_unique<GbdtLearner>(name, task, params, seed);
+  } else {
+    return Status::NotFound("unknown learner '" + name + "'");
+  }
+  return out;
+}
+
+}  // namespace kgpip::ml

@@ -1,0 +1,202 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::ml {
+
+LinearLearner::LinearLearner(std::string registry_name, TaskType task,
+                             Loss loss, Penalty penalty,
+                             const HyperParams& params, uint64_t seed)
+    : registry_name_(std::move(registry_name)),
+      task_(task),
+      loss_(loss),
+      penalty_(penalty),
+      alpha_(params.GetNum("alpha", 1e-3)),
+      learning_rate_(params.GetNum("lr", 0.15)),
+      epochs_(params.GetInt("epochs", 120)),
+      rng_(seed) {
+  // "sgd" exposes its loss as a hyper-parameter, sklearn-style.
+  std::string loss_name = params.GetStr("loss", "");
+  if (!loss_name.empty()) {
+    if (loss_name == "hinge") loss_ = Loss::kHinge;
+    else if (loss_name == "log") loss_ = Loss::kSoftmax;
+    else if (loss_name == "squared") loss_ = Loss::kSquared;
+  }
+  std::string penalty_name = params.GetStr("penalty", "");
+  if (!penalty_name.empty()) {
+    if (penalty_name == "l1") penalty_ = Penalty::kL1;
+    else if (penalty_name == "l2") penalty_ = Penalty::kL2;
+    else if (penalty_name == "none") penalty_ = Penalty::kNone;
+  }
+  if (task_ == TaskType::kRegression && loss_ != Loss::kSquared) {
+    loss_ = Loss::kSquared;
+  }
+}
+
+void LinearLearner::StandardizeInto(const FeatureMatrix& x,
+                                    FeatureMatrix* standardized) const {
+  *standardized = FeatureMatrix(x.rows, x.cols);
+  for (size_t r = 0; r < x.rows; ++r) {
+    for (size_t c = 0; c < x.cols; ++c) {
+      standardized->At(r, c) =
+          (x.At(r, c) - feature_mean_[c]) / feature_std_[c];
+    }
+  }
+}
+
+Status LinearLearner::Fit(const LabeledData& data) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  const size_t n = data.rows();
+  num_features_ = data.x.cols;
+  num_outputs_ = IsClassification(task_) ? std::max(2, data.num_classes) : 1;
+
+  // Standardization statistics.
+  feature_mean_.assign(num_features_, 0.0);
+  feature_std_.assign(num_features_, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_features_; ++c) {
+      feature_mean_[c] += data.x.At(r, c);
+    }
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_features_; ++c) {
+      double d = data.x.At(r, c) - feature_mean_[c];
+      feature_std_[c] += d * d;
+    }
+  }
+  for (double& s : feature_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-9) s = 1.0;
+  }
+
+  FeatureMatrix xs;
+  StandardizeInto(data.x, &xs);
+
+  const int k = num_outputs_;
+  weights_.assign(num_features_ * static_cast<size_t>(k), 0.0);
+  bias_.assign(static_cast<size_t>(k), 0.0);
+  std::vector<double> w_velocity(weights_.size(), 0.0);
+  std::vector<double> b_velocity(bias_.size(), 0.0);
+  std::vector<double> grad_w(weights_.size());
+  std::vector<double> grad_b(bias_.size());
+  std::vector<double> scores(static_cast<size_t>(k));
+  const double momentum = 0.9;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+    const double lr =
+        learning_rate_ / (1.0 + 0.02 * static_cast<double>(epoch));
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = xs.Row(r);
+      for (int c = 0; c < k; ++c) {
+        double s = bias_[c];
+        const double* w = weights_.data() + static_cast<size_t>(c);
+        for (size_t f = 0; f < num_features_; ++f) {
+          s += row[f] * w[f * static_cast<size_t>(k)];
+        }
+        scores[c] = s;
+      }
+      // Per-output error signal, by loss.
+      if (loss_ == Loss::kSquared) {
+        double err = scores[0] - data.y[r];
+        grad_b[0] += err * inv_n;
+        for (size_t f = 0; f < num_features_; ++f) {
+          grad_w[f * static_cast<size_t>(k)] += err * row[f] * inv_n;
+        }
+      } else if (loss_ == Loss::kSoftmax) {
+        double max_s = *std::max_element(scores.begin(), scores.end());
+        double z = 0.0;
+        for (int c = 0; c < k; ++c) z += std::exp(scores[c] - max_s);
+        int target = static_cast<int>(data.y[r]);
+        for (int c = 0; c < k; ++c) {
+          double p = std::exp(scores[c] - max_s) / z;
+          double err = (p - (c == target ? 1.0 : 0.0)) * inv_n;
+          grad_b[c] += err;
+          for (size_t f = 0; f < num_features_; ++f) {
+            grad_w[f * static_cast<size_t>(k) + c] += err * row[f];
+          }
+        }
+      } else {  // hinge, one-vs-rest
+        int target = static_cast<int>(data.y[r]);
+        for (int c = 0; c < k; ++c) {
+          double sign = c == target ? 1.0 : -1.0;
+          if (sign * scores[c] < 1.0) {
+            double err = -sign * inv_n;
+            grad_b[c] += err;
+            for (size_t f = 0; f < num_features_; ++f) {
+              grad_w[f * static_cast<size_t>(k) + c] += err * row[f];
+            }
+          }
+        }
+      }
+    }
+    // L2 penalty folds into the gradient; L1 is proximal below.
+    if (penalty_ == Penalty::kL2) {
+      for (size_t i = 0; i < weights_.size(); ++i) {
+        grad_w[i] += alpha_ * weights_[i];
+      }
+    }
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      w_velocity[i] = momentum * w_velocity[i] - lr * grad_w[i];
+      weights_[i] += w_velocity[i];
+    }
+    for (size_t i = 0; i < bias_.size(); ++i) {
+      b_velocity[i] = momentum * b_velocity[i] - lr * grad_b[i];
+      bias_[i] += b_velocity[i];
+    }
+    if (penalty_ == Penalty::kL1) {
+      const double shrink = lr * alpha_;
+      for (double& w : weights_) {
+        if (w > shrink) w -= shrink;
+        else if (w < -shrink) w += shrink;
+        else w = 0.0;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> LinearLearner::DecisionScores(
+    const FeatureMatrix& x) const {
+  KGPIP_CHECK(fitted_);
+  const int k = num_outputs_;
+  std::vector<double> out(x.rows * static_cast<size_t>(k));
+  for (size_t r = 0; r < x.rows; ++r) {
+    for (int c = 0; c < k; ++c) {
+      double s = bias_[c];
+      for (size_t f = 0; f < num_features_; ++f) {
+        double v = (x.At(r, f) - feature_mean_[f]) / feature_std_[f];
+        s += v * weights_[f * static_cast<size_t>(k) + c];
+      }
+      out[r * static_cast<size_t>(k) + c] = s;
+    }
+  }
+  return out;
+}
+
+std::vector<double> LinearLearner::Predict(const FeatureMatrix& x) const {
+  std::vector<double> scores = DecisionScores(x);
+  std::vector<double> out(x.rows);
+  if (!IsClassification(task_)) {
+    for (size_t r = 0; r < x.rows; ++r) out[r] = scores[r];
+    return out;
+  }
+  const size_t k = static_cast<size_t>(num_outputs_);
+  for (size_t r = 0; r < x.rows; ++r) {
+    size_t best = 0;
+    for (size_t c = 1; c < k; ++c) {
+      if (scores[r * k + c] > scores[r * k + best]) best = c;
+    }
+    out[r] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace kgpip::ml

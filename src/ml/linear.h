@@ -1,0 +1,62 @@
+#ifndef KGPIP_ML_LINEAR_H_
+#define KGPIP_ML_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "util/rng.h"
+
+namespace kgpip::ml {
+
+/// Family of linear models behind several registry names:
+///   - "logistic_regression": softmax + L1/L2 penalty
+///   - "linear_svm": one-vs-rest hinge + L2
+///   - "sgd": configurable loss (log/hinge/squared)
+///   - "linear_regression" / "ridge" / "lasso": squared loss with
+///     none / L2 / L1 penalty
+///
+/// All variants standardize features internally (means/stds learned at
+/// fit) and train with full-batch gradient descent plus momentum; L1 is
+/// applied as a proximal soft-threshold step.
+class LinearLearner : public Learner {
+ public:
+  enum class Loss { kSoftmax, kHinge, kSquared };
+  enum class Penalty { kNone, kL1, kL2 };
+
+  LinearLearner(std::string registry_name, TaskType task, Loss loss,
+                Penalty penalty, const HyperParams& params, uint64_t seed);
+
+  Status Fit(const LabeledData& data) override;
+  std::vector<double> Predict(const FeatureMatrix& x) const override;
+  std::string name() const override { return registry_name_; }
+
+  /// Raw decision scores (n x outputs), post-standardization.
+  std::vector<double> DecisionScores(const FeatureMatrix& x) const;
+
+ private:
+  void StandardizeInto(const FeatureMatrix& x,
+                       FeatureMatrix* standardized) const;
+
+  std::string registry_name_;
+  TaskType task_;
+  Loss loss_;
+  Penalty penalty_;
+  double alpha_;
+  double learning_rate_;
+  int epochs_;
+  Rng rng_;
+
+  // Fitted state.
+  size_t num_features_ = 0;
+  int num_outputs_ = 0;  // classes, or 1 for regression
+  std::vector<double> weights_;  // (features x outputs), column-major rows
+  std::vector<double> bias_;     // per output
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  bool fitted_ = false;
+};
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_LINEAR_H_

@@ -1,0 +1,325 @@
+#include "ml/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kgpip::ml {
+
+namespace {
+
+class StandardScaler : public Transformer {
+ public:
+  Status Fit(const FeatureMatrix& x, const std::vector<double>*) override {
+    mean_.assign(x.cols, 0.0);
+    std_.assign(x.cols, 0.0);
+    if (x.rows == 0) return Status::InvalidArgument("empty input");
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < x.cols; ++c) mean_[c] += x.At(r, c);
+    }
+    for (double& m : mean_) m /= static_cast<double>(x.rows);
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < x.cols; ++c) {
+        double d = x.At(r, c) - mean_[c];
+        std_[c] += d * d;
+      }
+    }
+    for (double& s : std_) {
+      s = std::sqrt(s / static_cast<double>(x.rows));
+      if (s < 1e-9) s = 1.0;
+    }
+    return Status::Ok();
+  }
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, x.cols);
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < x.cols; ++c) {
+        out.At(r, c) = (x.At(r, c) - mean_[c]) / std_[c];
+      }
+    }
+    return out;
+  }
+  std::string name() const override { return "standard_scaler"; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+class MinMaxScaler : public Transformer {
+ public:
+  Status Fit(const FeatureMatrix& x, const std::vector<double>*) override {
+    lo_.assign(x.cols, 1e300);
+    hi_.assign(x.cols, -1e300);
+    if (x.rows == 0) return Status::InvalidArgument("empty input");
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < x.cols; ++c) {
+        lo_[c] = std::min(lo_[c], x.At(r, c));
+        hi_[c] = std::max(hi_[c], x.At(r, c));
+      }
+    }
+    return Status::Ok();
+  }
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, x.cols);
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < x.cols; ++c) {
+        double range = hi_[c] - lo_[c];
+        out.At(r, c) = range > 1e-12 ? (x.At(r, c) - lo_[c]) / range : 0.0;
+      }
+    }
+    return out;
+  }
+  std::string name() const override { return "minmax_scaler"; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+class Normalizer : public Transformer {
+ public:
+  Status Fit(const FeatureMatrix&, const std::vector<double>*) override {
+    return Status::Ok();
+  }
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, x.cols);
+    for (size_t r = 0; r < x.rows; ++r) {
+      double norm = 0.0;
+      for (size_t c = 0; c < x.cols; ++c) norm += x.At(r, c) * x.At(r, c);
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) norm = 1.0;
+      for (size_t c = 0; c < x.cols; ++c) out.At(r, c) = x.At(r, c) / norm;
+    }
+    return out;
+  }
+  std::string name() const override { return "normalizer"; }
+};
+
+class VarianceThreshold : public Transformer {
+ public:
+  explicit VarianceThreshold(double threshold) : threshold_(threshold) {}
+  Status Fit(const FeatureMatrix& x, const std::vector<double>*) override {
+    keep_.clear();
+    if (x.rows == 0) return Status::InvalidArgument("empty input");
+    for (size_t c = 0; c < x.cols; ++c) {
+      double mean = 0.0;
+      for (size_t r = 0; r < x.rows; ++r) mean += x.At(r, c);
+      mean /= static_cast<double>(x.rows);
+      double var = 0.0;
+      for (size_t r = 0; r < x.rows; ++r) {
+        double d = x.At(r, c) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(x.rows);
+      if (var > threshold_) keep_.push_back(c);
+    }
+    if (keep_.empty()) keep_.push_back(0);  // never drop everything
+    return Status::Ok();
+  }
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, keep_.size());
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t i = 0; i < keep_.size(); ++i) {
+        out.At(r, i) = x.At(r, keep_[i]);
+      }
+    }
+    return out;
+  }
+  std::string name() const override { return "variance_threshold"; }
+
+ private:
+  double threshold_;
+  std::vector<size_t> keep_;
+};
+
+/// Univariate F-score style feature selection: ranks features by absolute
+/// correlation with the target and keeps the top k.
+class SelectKBest : public Transformer {
+ public:
+  explicit SelectKBest(int k) : k_(k) {}
+  Status Fit(const FeatureMatrix& x, const std::vector<double>* y) override {
+    if (y == nullptr || y->size() != x.rows) {
+      return Status::InvalidArgument("select_k_best requires targets");
+    }
+    std::vector<std::pair<double, size_t>> scored(x.cols);
+    double y_mean =
+        std::accumulate(y->begin(), y->end(), 0.0) /
+        std::max<double>(1.0, static_cast<double>(y->size()));
+    for (size_t c = 0; c < x.cols; ++c) {
+      double x_mean = 0.0;
+      for (size_t r = 0; r < x.rows; ++r) x_mean += x.At(r, c);
+      x_mean /= static_cast<double>(x.rows);
+      double sxy = 0.0, sxx = 0.0, syy = 0.0;
+      for (size_t r = 0; r < x.rows; ++r) {
+        double dx = x.At(r, c) - x_mean;
+        double dy = (*y)[r] - y_mean;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+      }
+      double corr = sxx > 0 && syy > 0 ? std::fabs(sxy) /
+                                             std::sqrt(sxx * syy)
+                                       : 0.0;
+      scored[c] = {corr, c};
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    size_t keep_count = std::min<size_t>(
+        x.cols, static_cast<size_t>(std::max(1, k_)));
+    keep_.clear();
+    for (size_t i = 0; i < keep_count; ++i) keep_.push_back(scored[i].second);
+    std::sort(keep_.begin(), keep_.end());
+    return Status::Ok();
+  }
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, keep_.size());
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t i = 0; i < keep_.size(); ++i) {
+        out.At(r, i) = x.At(r, keep_[i]);
+      }
+    }
+    return out;
+  }
+  std::string name() const override { return "select_k_best"; }
+
+ private:
+  int k_;
+  std::vector<size_t> keep_;
+};
+
+/// PCA via power iteration with deflation (top-k components on the
+/// standardized data).
+class Pca : public Transformer {
+ public:
+  Pca(int components, uint64_t seed) : components_(components), rng_(seed) {}
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>*) override {
+    if (x.rows < 2) return Status::InvalidArgument("pca needs >= 2 rows");
+    const size_t d = x.cols;
+    mean_.assign(d, 0.0);
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t c = 0; c < d; ++c) mean_[c] += x.At(r, c);
+    }
+    for (double& m : mean_) m /= static_cast<double>(x.rows);
+    // Covariance matrix (d x d); d stays small in this library.
+    std::vector<double> cov(d * d, 0.0);
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t a = 0; a < d; ++a) {
+        double da = x.At(r, a) - mean_[a];
+        for (size_t b = a; b < d; ++b) {
+          cov[a * d + b] += da * (x.At(r, b) - mean_[b]);
+        }
+      }
+    }
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a; b < d; ++b) {
+        cov[a * d + b] /= static_cast<double>(x.rows - 1);
+        cov[b * d + a] = cov[a * d + b];
+      }
+    }
+    size_t k = std::min<size_t>(static_cast<size_t>(
+                                    std::max(1, components_)),
+                                d);
+    components_matrix_.assign(k * d, 0.0);
+    std::vector<double> v(d), next(d);
+    for (size_t comp = 0; comp < k; ++comp) {
+      for (double& vi : v) vi = rng_.Normal();
+      for (int iter = 0; iter < 60; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (size_t a = 0; a < d; ++a) {
+          for (size_t b = 0; b < d; ++b) {
+            next[a] += cov[a * d + b] * v[b];
+          }
+        }
+        double norm = 0.0;
+        for (double nv : next) norm += nv * nv;
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) break;
+        for (size_t a = 0; a < d; ++a) v[a] = next[a] / norm;
+      }
+      // Deflate.
+      double lambda = 0.0;
+      for (size_t a = 0; a < d; ++a) {
+        double av = 0.0;
+        for (size_t b = 0; b < d; ++b) av += cov[a * d + b] * v[b];
+        lambda += v[a] * av;
+      }
+      for (size_t a = 0; a < d; ++a) {
+        for (size_t b = 0; b < d; ++b) {
+          cov[a * d + b] -= lambda * v[a] * v[b];
+        }
+      }
+      for (size_t a = 0; a < d; ++a) {
+        components_matrix_[comp * d + a] = v[a];
+      }
+    }
+    num_components_ = k;
+    return Status::Ok();
+  }
+
+  FeatureMatrix Transform(const FeatureMatrix& x) const override {
+    FeatureMatrix out(x.rows, num_components_);
+    const size_t d = mean_.size();
+    for (size_t r = 0; r < x.rows; ++r) {
+      for (size_t comp = 0; comp < num_components_; ++comp) {
+        double s = 0.0;
+        for (size_t c = 0; c < d; ++c) {
+          s += (x.At(r, c) - mean_[c]) * components_matrix_[comp * d + c];
+        }
+        out.At(r, comp) = s;
+      }
+    }
+    return out;
+  }
+  std::string name() const override { return "pca"; }
+
+ private:
+  int components_;
+  Rng rng_;
+  size_t num_components_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> components_matrix_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& TransformerRegistry() {
+  static const std::vector<std::string>& kNames =
+      *new std::vector<std::string>{
+          "standard_scaler",    "minmax_scaler", "normalizer",
+          "variance_threshold", "select_k_best", "pca",
+      };
+  return kNames;
+}
+
+bool IsKnownTransformer(const std::string& name) {
+  const auto& names = TransformerRegistry();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Result<std::unique_ptr<Transformer>> CreateTransformer(
+    const std::string& name, const HyperParams& params, uint64_t seed) {
+  std::unique_ptr<Transformer> out;
+  if (name == "standard_scaler") {
+    out = std::make_unique<StandardScaler>();
+  } else if (name == "minmax_scaler") {
+    out = std::make_unique<MinMaxScaler>();
+  } else if (name == "normalizer") {
+    out = std::make_unique<Normalizer>();
+  } else if (name == "variance_threshold") {
+    out = std::make_unique<VarianceThreshold>(
+        params.GetNum("threshold", 1e-8));
+  } else if (name == "select_k_best") {
+    out = std::make_unique<SelectKBest>(params.GetInt("k", 10));
+  } else if (name == "pca") {
+    out = std::make_unique<Pca>(params.GetInt("n_components", 8), seed);
+  } else {
+    return Status::NotFound("unknown transformer '" + name + "'");
+  }
+  return out;
+}
+
+}  // namespace kgpip::ml

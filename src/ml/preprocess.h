@@ -1,0 +1,38 @@
+#ifndef KGPIP_ML_PREPROCESS_H_
+#define KGPIP_ML_PREPROCESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/hyperparams.h"
+#include "util/status.h"
+
+namespace kgpip::ml {
+
+/// A fitted feature-space transformation (sklearn-preprocessor analog).
+/// `y` is only consulted by supervised selectors (select_k_best).
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+  virtual Status Fit(const FeatureMatrix& x,
+                     const std::vector<double>* y) = 0;
+  virtual FeatureMatrix Transform(const FeatureMatrix& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// All transformer registry names.
+const std::vector<std::string>& TransformerRegistry();
+
+bool IsKnownTransformer(const std::string& name);
+
+/// Instantiates a transformer by registry name:
+///   "standard_scaler", "minmax_scaler", "normalizer",
+///   "variance_threshold", "select_k_best", "pca".
+Result<std::unique_ptr<Transformer>> CreateTransformer(
+    const std::string& name, const HyperParams& params, uint64_t seed);
+
+}  // namespace kgpip::ml
+
+#endif  // KGPIP_ML_PREPROCESS_H_

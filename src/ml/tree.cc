@@ -1,0 +1,383 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kgpip::ml {
+
+double Tree::Evaluate(const double* row) const {
+  if (nodes_.empty()) return 0.0;
+  int idx = 0;
+  while (nodes_[idx].feature >= 0) {
+    const TreeNode& n = nodes_[idx];
+    idx = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[idx].value;
+}
+
+namespace {
+
+/// Chooses the feature subset scanned at one split.
+std::vector<int> SampleFeatures(size_t num_features, double max_features,
+                                Rng* rng) {
+  std::vector<int> all(num_features);
+  std::iota(all.begin(), all.end(), 0);
+  if (max_features <= 0.0 || max_features >= 1.0) return all;
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(
+             max_features * static_cast<double>(num_features))));
+  rng->Shuffle(all);
+  all.resize(keep);
+  return all;
+}
+
+struct GradientSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+};
+
+double LeafObjective(double sum_g, double sum_h, double lambda) {
+  return sum_g * sum_g / (sum_h + lambda);
+}
+
+/// Builder state shared across the recursion for gradient trees.
+struct GradientBuilder {
+  const FeatureMatrix* x;
+  const std::vector<double>* grad;
+  const std::vector<double>* hess;
+  TreeParams params;
+  Rng* rng;
+  std::vector<TreeNode>* nodes;
+
+  int Build(const std::vector<size_t>& rows, int depth) {
+    double sum_g = 0.0;
+    double sum_h = 0.0;
+    for (size_t r : rows) {
+      sum_g += (*grad)[r];
+      sum_h += (*hess)[r];
+    }
+    const double leaf_value = -sum_g / (sum_h + params.lambda);
+    const bool can_split =
+        depth < params.max_depth &&
+        rows.size() >= static_cast<size_t>(params.min_samples_split);
+    GradientSplit best;
+    if (can_split) best = FindSplit(rows, sum_g, sum_h);
+    int node_index = static_cast<int>(nodes->size());
+    nodes->push_back(TreeNode{});
+    if (best.feature < 0) {
+      (*nodes)[node_index].value = leaf_value;
+      return node_index;
+    }
+    (*nodes)[node_index].feature = best.feature;
+    (*nodes)[node_index].threshold = best.threshold;
+    int left = Build(best.left_rows, depth + 1);
+    int right = Build(best.right_rows, depth + 1);
+    (*nodes)[node_index].left = left;
+    (*nodes)[node_index].right = right;
+    return node_index;
+  }
+
+  GradientSplit FindSplit(const std::vector<size_t>& rows, double sum_g,
+                          double sum_h) {
+    GradientSplit best;
+    const double parent_obj =
+        LeafObjective(sum_g, sum_h, params.lambda);
+    std::vector<int> features =
+        SampleFeatures(x->cols, params.max_features, rng);
+    const size_t min_leaf = static_cast<size_t>(params.min_samples_leaf);
+    std::vector<std::pair<double, size_t>> sorted;
+    sorted.reserve(rows.size());
+    for (int f : features) {
+      sorted.clear();
+      for (size_t r : rows) sorted.emplace_back(x->At(r, f), r);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+      if (params.random_thresholds) {
+        double lo = sorted.front().first;
+        double hi = sorted.back().first;
+        double threshold = rng->Uniform(lo, hi);
+        double left_g = 0.0;
+        double left_h = 0.0;
+        size_t left_count = 0;
+        for (const auto& [v, r] : sorted) {
+          if (v <= threshold) {
+            left_g += (*grad)[r];
+            left_h += (*hess)[r];
+            ++left_count;
+          }
+        }
+        if (left_count < min_leaf || rows.size() - left_count < min_leaf) {
+          continue;
+        }
+        double gain = LeafObjective(left_g, left_h, params.lambda) +
+                      LeafObjective(sum_g - left_g, sum_h - left_h,
+                                    params.lambda) -
+                      parent_obj;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = threshold;
+        }
+      } else {
+        double left_g = 0.0;
+        double left_h = 0.0;
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+          left_g += (*grad)[sorted[i].second];
+          left_h += (*hess)[sorted[i].second];
+          if (sorted[i].first == sorted[i + 1].first) continue;
+          size_t left_count = i + 1;
+          if (left_count < min_leaf ||
+              sorted.size() - left_count < min_leaf) {
+            continue;
+          }
+          double gain = LeafObjective(left_g, left_h, params.lambda) +
+                        LeafObjective(sum_g - left_g, sum_h - left_h,
+                                      params.lambda) -
+                        parent_obj;
+          if (gain > best.gain) {
+            best.gain = gain;
+            best.feature = f;
+            best.threshold =
+                0.5 * (sorted[i].first + sorted[i + 1].first);
+          }
+        }
+      }
+    }
+    if (best.feature >= 0) {
+      for (size_t r : rows) {
+        if (x->At(r, best.feature) <= best.threshold) {
+          best.left_rows.push_back(r);
+        } else {
+          best.right_rows.push_back(r);
+        }
+      }
+      if (best.left_rows.size() < min_leaf ||
+          best.right_rows.size() < min_leaf) {
+        best.feature = -1;
+      }
+    }
+    return best;
+  }
+};
+
+/// Builder for Gini classification trees.
+struct GiniBuilder {
+  const FeatureMatrix* x;
+  const std::vector<double>* y;
+  int num_classes;
+  TreeParams params;
+  Rng* rng;
+  std::vector<TreeNode>* nodes;
+
+  static double Gini(const std::vector<double>& counts, double total) {
+    if (total <= 0.0) return 0.0;
+    double g = 1.0;
+    for (double c : counts) {
+      double p = c / total;
+      g -= p * p;
+    }
+    return g;
+  }
+
+  int Build(const std::vector<size_t>& rows, int depth) {
+    std::vector<double> counts(num_classes, 0.0);
+    for (size_t r : rows) {
+      counts[static_cast<size_t>((*y)[r])] += 1.0;
+    }
+    int majority = 0;
+    bool pure = false;
+    for (int c = 1; c < num_classes; ++c) {
+      if (counts[c] > counts[majority]) majority = c;
+    }
+    pure = counts[majority] == static_cast<double>(rows.size());
+    int node_index = static_cast<int>(nodes->size());
+    nodes->push_back(TreeNode{});
+    const bool can_split =
+        !pure && depth < params.max_depth &&
+        rows.size() >= static_cast<size_t>(params.min_samples_split);
+    if (can_split) {
+      auto [feature, threshold, gain] = FindSplit(rows, counts);
+      if (feature >= 0 && gain > 1e-12) {
+        std::vector<size_t> left_rows, right_rows;
+        for (size_t r : rows) {
+          if (x->At(r, feature) <= threshold) {
+            left_rows.push_back(r);
+          } else {
+            right_rows.push_back(r);
+          }
+        }
+        const size_t min_leaf =
+            static_cast<size_t>(params.min_samples_leaf);
+        if (left_rows.size() >= min_leaf &&
+            right_rows.size() >= min_leaf) {
+          (*nodes)[node_index].feature = feature;
+          (*nodes)[node_index].threshold = threshold;
+          int left = Build(left_rows, depth + 1);
+          int right = Build(right_rows, depth + 1);
+          (*nodes)[node_index].left = left;
+          (*nodes)[node_index].right = right;
+          return node_index;
+        }
+      }
+    }
+    (*nodes)[node_index].value = static_cast<double>(majority);
+    return node_index;
+  }
+
+  std::tuple<int, double, double> FindSplit(
+      const std::vector<size_t>& rows, const std::vector<double>& counts) {
+    const double total = static_cast<double>(rows.size());
+    const double parent_gini = Gini(counts, total);
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_gain = 0.0;
+    std::vector<int> features =
+        SampleFeatures(x->cols, params.max_features, rng);
+    std::vector<std::pair<double, size_t>> sorted;
+    std::vector<double> left_counts(num_classes, 0.0);
+    const size_t min_leaf = static_cast<size_t>(params.min_samples_leaf);
+    for (int f : features) {
+      sorted.clear();
+      for (size_t r : rows) sorted.emplace_back(x->At(r, f), r);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      if (params.random_thresholds) {
+        double threshold =
+            rng->Uniform(sorted.front().first, sorted.back().first);
+        double left_total = 0.0;
+        for (const auto& [v, r] : sorted) {
+          if (v <= threshold) {
+            left_counts[static_cast<size_t>((*y)[r])] += 1.0;
+            left_total += 1.0;
+          }
+        }
+        if (left_total < static_cast<double>(min_leaf) ||
+            total - left_total < static_cast<double>(min_leaf)) {
+          continue;
+        }
+        std::vector<double> right_counts(num_classes);
+        for (int c = 0; c < num_classes; ++c) {
+          right_counts[c] = counts[c] - left_counts[c];
+        }
+        double gain = parent_gini -
+                      (left_total / total) * Gini(left_counts, left_total) -
+                      ((total - left_total) / total) *
+                          Gini(right_counts, total - left_total);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = threshold;
+        }
+      } else {
+        double left_total = 0.0;
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+          left_counts[static_cast<size_t>((*y)[sorted[i].second])] += 1.0;
+          left_total += 1.0;
+          if (sorted[i].first == sorted[i + 1].first) continue;
+          if (left_total < static_cast<double>(min_leaf) ||
+              total - left_total < static_cast<double>(min_leaf)) {
+            continue;
+          }
+          double right_total = total - left_total;
+          double left_gini = Gini(left_counts, left_total);
+          double right_gini = 1.0;
+          {
+            double g = 1.0;
+            for (int c = 0; c < num_classes; ++c) {
+              double p = (counts[c] - left_counts[c]) / right_total;
+              g -= p * p;
+            }
+            right_gini = g;
+          }
+          double gain = parent_gini -
+                        (left_total / total) * left_gini -
+                        (right_total / total) * right_gini;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = f;
+            best_threshold =
+                0.5 * (sorted[i].first + sorted[i + 1].first);
+          }
+        }
+      }
+    }
+    return {best_feature, best_threshold, best_gain};
+  }
+};
+
+}  // namespace
+
+Tree FitGradientTree(const FeatureMatrix& x, const std::vector<double>& grad,
+                     const std::vector<double>& hess,
+                     const std::vector<size_t>& rows,
+                     const TreeParams& params, Rng* rng) {
+  KGPIP_CHECK(grad.size() == x.rows && hess.size() == x.rows);
+  Tree tree;
+  if (rows.empty()) return tree;
+  GradientBuilder builder{&x, &grad, &hess, params, rng,
+                          &tree.mutable_nodes()};
+  builder.Build(rows, 0);
+  return tree;
+}
+
+Tree FitClassificationTree(const FeatureMatrix& x,
+                           const std::vector<double>& y, int num_classes,
+                           const std::vector<size_t>& rows,
+                           const TreeParams& params, Rng* rng) {
+  KGPIP_CHECK(y.size() == x.rows);
+  Tree tree;
+  if (rows.empty()) return tree;
+  GiniBuilder builder{&x, &y, num_classes, params, rng,
+                      &tree.mutable_nodes()};
+  builder.Build(rows, 0);
+  return tree;
+}
+
+DecisionTreeLearner::DecisionTreeLearner(TaskType task,
+                                         const HyperParams& params,
+                                         uint64_t seed)
+    : task_(task), rng_(seed) {
+  tree_params_.max_depth = params.GetInt("max_depth", 10);
+  tree_params_.min_samples_leaf = params.GetInt("min_samples_leaf", 2);
+  tree_params_.min_samples_split =
+      params.GetInt("min_samples_split",
+                    2 * tree_params_.min_samples_leaf);
+  tree_params_.max_features = params.GetNum("max_features", 1.0);
+}
+
+Status DecisionTreeLearner::Fit(const LabeledData& data) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  std::vector<size_t> rows(data.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  if (IsClassification(task_)) {
+    tree_ = FitClassificationTree(data.x, data.y, data.num_classes, rows,
+                                  tree_params_, &rng_);
+  } else {
+    // Least-squares regression tree: g = -y, h = 1 gives mean leaves.
+    std::vector<double> grad(data.rows());
+    std::vector<double> hess(data.rows(), 1.0);
+    for (size_t i = 0; i < data.rows(); ++i) grad[i] = -data.y[i];
+    TreeParams p = tree_params_;
+    p.lambda = 0.0;
+    tree_ = FitGradientTree(data.x, grad, hess, rows, p, &rng_);
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+std::vector<double> DecisionTreeLearner::Predict(
+    const FeatureMatrix& x) const {
+  KGPIP_CHECK(fitted_);
+  std::vector<double> out(x.rows);
+  for (size_t r = 0; r < x.rows; ++r) out[r] = tree_.Evaluate(x.Row(r));
+  return out;
+}
+
+}  // namespace kgpip::ml

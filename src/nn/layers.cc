@@ -1,0 +1,142 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::nn {
+
+Var ParamStore::Create(const std::string& name, size_t rows, size_t cols,
+                       Rng* rng) {
+  Var param(Matrix::Randn(rows, cols, rng), /*requires_grad=*/true);
+  params_.push_back(param);
+  names_.push_back(name);
+  return param;
+}
+
+void ParamStore::ZeroGrads() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+size_t ParamStore::TotalSize() const {
+  size_t n = 0;
+  for (const Var& p : params_) n += p.value().size();
+  return n;
+}
+
+Json ParamStore::ToJson() const {
+  Json out = Json::Object();
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Json entry = Json::Object();
+    entry.Set("rows", Json(params_[i].value().rows()));
+    entry.Set("cols", Json(params_[i].value().cols()));
+    Json values = Json::Array();
+    const Matrix& m = params_[i].value();
+    for (size_t k = 0; k < m.size(); ++k) values.Append(Json(m.data()[k]));
+    entry.Set("values", std::move(values));
+    out.Set(names_[i], std::move(entry));
+  }
+  return out;
+}
+
+Status ParamStore::FromJson(const Json& json) {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!json.Has(names_[i])) {
+      return Status::NotFound("missing parameter '" + names_[i] + "'");
+    }
+    const Json& entry = json.Get(names_[i]);
+    Matrix& m = params_[i].mutable_value();
+    if (static_cast<size_t>(entry.Get("rows").AsInt()) != m.rows() ||
+        static_cast<size_t>(entry.Get("cols").AsInt()) != m.cols()) {
+      return Status::InvalidArgument("shape mismatch for parameter '" +
+                                     names_[i] + "'");
+    }
+    const Json& values = entry.Get("values");
+    if (values.size() != m.size()) {
+      return Status::InvalidArgument("value count mismatch for '" +
+                                     names_[i] + "'");
+    }
+    for (size_t k = 0; k < m.size(); ++k) {
+      m.data()[k] = values.at(k).AsDouble();
+    }
+  }
+  return Status::Ok();
+}
+
+Linear::Linear(ParamStore* store, const std::string& name, size_t in,
+               size_t out, Rng* rng) {
+  weight_ = store->Create(name + ".weight", in, out, rng);
+  bias_ = store->Create(name + ".bias", 1, out, rng);
+  bias_.mutable_value().Fill(0.0);
+}
+
+Var Linear::Forward(const Var& x) const {
+  return AddRowBroadcast(MatMul(x, weight_), bias_);
+}
+
+GruCell::GruCell(ParamStore* store, const std::string& name, size_t input,
+                 size_t hidden, Rng* rng)
+    : xz_(store, name + ".xz", input, hidden, rng),
+      hz_(store, name + ".hz", hidden, hidden, rng),
+      xr_(store, name + ".xr", input, hidden, rng),
+      hr_(store, name + ".hr", hidden, hidden, rng),
+      xn_(store, name + ".xn", input, hidden, rng),
+      hn_(store, name + ".hn", hidden, hidden, rng) {}
+
+Var GruCell::Forward(const Var& x, const Var& h) const {
+  Var z = Sigmoid(Add(xz_.Forward(x), hz_.Forward(h)));
+  Var r = Sigmoid(Add(xr_.Forward(x), hr_.Forward(h)));
+  Var n = Tanh(Add(xn_.Forward(x), hn_.Forward(Mul(r, h))));
+  // h' = (1 - z) * n + z * h  ==  n - z*n + z*h
+  return Add(Sub(n, Mul(z, n)), Mul(z, h));
+}
+
+Adam::Adam(ParamStore* store, double lr, double beta1, double beta2,
+           double eps)
+    : store_(store), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (const Var& p : store_->params()) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step(double clip) {
+  KGPIP_CHECK(m_.size() == store_->params().size())
+      << "parameters registered after optimizer construction";
+  ++t_;
+  // Global-norm gradient clipping.
+  double scale = 1.0;
+  if (clip > 0.0) {
+    double norm_sq = 0.0;
+    for (const Var& p : store_->params()) {
+      const Matrix& g = p.grad();
+      if (g.size() != p.value().size()) continue;
+      for (size_t k = 0; k < g.size(); ++k) {
+        norm_sq += g.data()[k] * g.data()[k];
+      }
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm > clip) scale = clip / norm;
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < store_->params().size(); ++i) {
+    Var p = store_->params()[i];
+    Matrix& value = p.mutable_value();
+    const Matrix& grad = p.grad();
+    if (grad.size() != value.size()) continue;  // never touched this step
+    for (size_t k = 0; k < value.size(); ++k) {
+      double g = grad.data()[k] * scale;
+      double& m = m_[i].data()[k];
+      double& v = v_[i].data()[k];
+      m = beta1_ * m + (1.0 - beta1_) * g;
+      v = beta2_ * v + (1.0 - beta2_) * g * g;
+      double m_hat = m / bc1;
+      double v_hat = v / bc2;
+      value.data()[k] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+  store_->ZeroGrads();
+}
+
+}  // namespace kgpip::nn

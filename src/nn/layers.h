@@ -1,0 +1,96 @@
+#ifndef KGPIP_NN_LAYERS_H_
+#define KGPIP_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace kgpip::nn {
+
+/// Owns every trainable parameter of a model; the optimizer and the
+/// (de)serializer iterate over it.
+class ParamStore {
+ public:
+  /// Registers a parameter (Xavier-initialized) and returns its Var.
+  Var Create(const std::string& name, size_t rows, size_t cols, Rng* rng);
+
+  /// All registered parameters in registration order.
+  const std::vector<Var>& params() const { return params_; }
+
+  void ZeroGrads();
+
+  /// Total number of scalar parameters.
+  size_t TotalSize() const;
+
+  /// Serializes all parameter values to JSON (name -> flat array + shape).
+  Json ToJson() const;
+
+  /// Restores values from `ToJson` output; shapes must match.
+  Status FromJson(const Json& json);
+
+ private:
+  std::vector<Var> params_;
+  std::vector<std::string> names_;
+};
+
+/// Fully connected layer: y = x W + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParamStore* store, const std::string& name, size_t in, size_t out,
+         Rng* rng);
+
+  Var Forward(const Var& x) const;
+
+ private:
+  Var weight_;
+  Var bias_;
+};
+
+/// Batched GRU cell applied row-wise: every row of `h` (one graph node) is
+/// updated from the matching row of `x` (its aggregated message). This is
+/// the propagation-update used by the Li et al. (2018) graph generator.
+class GruCell {
+ public:
+  GruCell() = default;
+  GruCell(ParamStore* store, const std::string& name, size_t input,
+          size_t hidden, Rng* rng);
+
+  Var Forward(const Var& x, const Var& h) const;
+
+ private:
+  Linear xz_, hz_;  // update gate
+  Linear xr_, hr_;  // reset gate
+  Linear xn_, hn_;  // candidate
+};
+
+/// Adam optimizer over a ParamStore.
+class Adam {
+ public:
+  explicit Adam(ParamStore* store, double lr = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  /// Gradients are clipped to a global norm of `clip` first (0 = off).
+  void Step(double clip = 5.0);
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ private:
+  ParamStore* store_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace kgpip::nn
+
+#endif  // KGPIP_NN_LAYERS_H_

@@ -1,0 +1,96 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::nn {
+
+Matrix Matrix::Randn(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(2.0 / static_cast<double>(rows + cols));
+  for (size_t i = 0; i < m.data_.size(); ++i) {
+    m.data_[i] = rng->Normal() * scale;
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  KGPIP_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  KGPIP_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  KGPIP_CHECK(a.cols_ == b.rows_)
+      << "matmul shape mismatch: " << a.rows_ << "x" << a.cols_ << " * "
+      << b.rows_ << "x" << b.cols_;
+  Matrix c(a.rows_, b.cols_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    for (size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols_;
+      double* crow = c.data() + i * c.cols_;
+      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& a, const Matrix& b) {
+  KGPIP_CHECK(a.rows_ == b.rows_);
+  Matrix c(a.cols_, b.cols_);
+  for (size_t k = 0; k < a.rows_; ++k) {
+    const double* arow = a.data() + k * a.cols_;
+    const double* brow = b.data() + k * b.cols_;
+    for (size_t i = 0; i < a.cols_; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * c.cols_;
+      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& a, const Matrix& b) {
+  KGPIP_CHECK(a.cols_ == b.cols_);
+  Matrix c(a.rows_, b.rows_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    const double* arow = a.data() + i * a.cols_;
+    for (size_t j = 0; j < b.rows_; ++j) {
+      const double* brow = b.data() + j * b.cols_;
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols_; ++k) s += arow[k] * brow[k];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+}  // namespace kgpip::nn

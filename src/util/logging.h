@@ -1,0 +1,78 @@
+#ifndef KGPIP_UTIL_LOGGING_H_
+#define KGPIP_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace kgpip {
+
+/// Log severities, ordered; messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets / reads the process-wide minimum severity (default: kWarning, so
+/// benchmarks and tests stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Prints the failed condition plus streamed context and aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  ~CheckFailure();  // aborts
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a statement-expression macro discard a stream chain: the `&`
+/// operator binds looser than `<<`, so the whole chain is evaluated first.
+struct Voidify {
+  void operator&(const LogMessage&) {}
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_logging
+
+/// KGPIP_LOG(Info) << "message"; — dropped entirely below the threshold.
+#define KGPIP_LOG(severity)                                     \
+  (::kgpip::LogLevel::k##severity < ::kgpip::GetLogLevel())     \
+      ? (void)0                                                 \
+      : ::kgpip::internal_logging::Voidify() &                  \
+            ::kgpip::internal_logging::LogMessage(              \
+                ::kgpip::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertion for programmer errors; recoverable
+/// conditions use Status instead.
+#define KGPIP_CHECK(cond)                                  \
+  (cond) ? (void)0                                         \
+         : ::kgpip::internal_logging::Voidify() &          \
+               ::kgpip::internal_logging::CheckFailure(    \
+                   __FILE__, __LINE__, #cond)
+
+}  // namespace kgpip
+
+#endif  // KGPIP_UTIL_LOGGING_H_

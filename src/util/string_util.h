@@ -1,0 +1,43 @@
+#ifndef KGPIP_UTIL_STRING_UTIL_H_
+#define KGPIP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgpip {
+
+/// Splits `text` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool Contains(std::string_view text, std::string_view needle);
+
+/// Attempts to parse a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Attempts to parse a 64-bit integer.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// FNV-1a 64-bit hash, the library's canonical string hash (stable across
+/// platforms, unlike std::hash).
+uint64_t Fnv1a64(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kgpip
+
+#endif  // KGPIP_UTIL_STRING_UTIL_H_

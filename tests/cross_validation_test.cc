@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ml/cross_validation.h"
+
+namespace kgpip::ml {
+namespace {
+
+Table EasyTable(uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "cv";
+  spec.family = ConceptFamily::kLinear;
+  spec.rows = 240;
+  spec.label_noise = 0.02;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+TEST(CrossValidationTest, FoldsScoreConsistentlyOnEasyData) {
+  PipelineSpec spec;
+  spec.learner = "logistic_regression";
+  auto result = CrossValidate(spec, EasyTable(3),
+                              TaskType::kBinaryClassification, 4, 7);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_scores.size(), 4u);
+  EXPECT_GT(result->mean, 0.85);
+  EXPECT_LT(result->stddev, 0.12);
+  for (double s : result->fold_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(CrossValidationTest, DeterministicForSameSeed) {
+  PipelineSpec spec;
+  spec.learner = "decision_tree";
+  auto a = CrossValidate(spec, EasyTable(5),
+                         TaskType::kBinaryClassification, 3, 11);
+  auto b = CrossValidate(spec, EasyTable(5),
+                         TaskType::kBinaryClassification, 3, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->fold_scores.size(), b->fold_scores.size());
+  for (size_t i = 0; i < a->fold_scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->fold_scores[i], b->fold_scores[i]);
+  }
+}
+
+TEST(CrossValidationTest, RejectsDegenerateRequests) {
+  PipelineSpec spec;
+  spec.learner = "knn";
+  EXPECT_FALSE(CrossValidate(spec, EasyTable(1),
+                             TaskType::kBinaryClassification, 1, 1)
+                   .ok());
+  DatasetSpec tiny;
+  tiny.name = "tiny";
+  tiny.rows = 6;
+  EXPECT_FALSE(CrossValidate(spec, GenerateDataset(tiny),
+                             TaskType::kBinaryClassification, 5, 1)
+                   .ok());
+}
+
+TEST(CrossValidationTest, RegressionTaskUsesR2) {
+  PipelineSpec spec;
+  spec.learner = "ridge";
+  DatasetSpec data_spec;
+  data_spec.name = "cv_reg";
+  data_spec.family = ConceptFamily::kLinear;
+  data_spec.task = TaskType::kRegression;
+  data_spec.rows = 240;
+  data_spec.label_noise = 0.02;
+  auto result = CrossValidate(spec, GenerateDataset(data_spec),
+                              TaskType::kRegression, 3, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean, 0.8);
+}
+
+}  // namespace
+}  // namespace kgpip::ml

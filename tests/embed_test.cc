@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "data/benchmark_registry.h"
+#include "embed/embedder.h"
+#include "embed/sim_index.h"
+#include "embed/tsne.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace kgpip::embed {
+namespace {
+
+TEST(EmbedderTest, OutputIsUnitNormAndFixedSize) {
+  DatasetSpec spec;
+  spec.name = "unit";
+  Table table = GenerateDataset(spec);
+  TableEmbedder embedder;
+  std::vector<double> v = embedder.Embed(table);
+  ASSERT_EQ(v.size(), TableEmbedder::kDims);
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(EmbedderTest, SameRecipeDifferentSeedIsSimilar) {
+  TableEmbedder embedder;
+  DatasetSpec spec;
+  spec.name = "a";
+  spec.family = ConceptFamily::kRules;
+  spec.domain = Domain::kFinance;
+  spec.seed = 1;
+  auto va = embedder.Embed(GenerateDataset(spec));
+  spec.seed = 2;
+  spec.name = "b";
+  auto vb = embedder.Embed(GenerateDataset(spec));
+  // Different domain and family should be farther.
+  DatasetSpec other = spec;
+  other.name = "c";
+  other.family = ConceptFamily::kText;
+  other.domain = Domain::kReviews;
+  other.num_text = 1;
+  auto vc = embedder.Embed(GenerateDataset(other));
+  double same = TableEmbedder::Cosine(va, vb);
+  double different = TableEmbedder::Cosine(va, vc);
+  EXPECT_GT(same, different + 0.1);
+  EXPECT_GT(same, 0.8);
+}
+
+TEST(EmbedderTest, NearestNeighbourRecoversFamilyAndDomain) {
+  // Index the training corpus; evaluation datasets must retrieve a
+  // training dataset with the same (family, domain, task) most of the
+  // time — this is the retrieval property KGpip's pipeline prediction
+  // rests on.
+  BenchmarkRegistry registry;
+  TableEmbedder embedder;
+  SimIndex index;
+  auto training = registry.TrainingSpecs();
+  std::map<std::string, const DatasetSpec*> by_name;
+  for (const auto& spec : training) {
+    ASSERT_TRUE(index.Add(spec.name,
+                          embedder.Embed(GenerateDataset(spec))).ok());
+    by_name[spec.name] = &spec;
+  }
+  ASSERT_TRUE(index.Build().ok());
+
+  int family_hits = 0;
+  int domain_hits = 0;
+  int total = 0;
+  for (const auto& eval_spec : registry.eval_specs()) {
+    auto query = embedder.Embed(GenerateDataset(eval_spec));
+    auto hits = index.Search(query, 1);
+    ASSERT_TRUE(hits.ok());
+    const DatasetSpec* match = by_name[(*hits)[0].key];
+    ASSERT_NE(match, nullptr);
+    ++total;
+    if (match->family == eval_spec.family) ++family_hits;
+    if (match->domain == eval_spec.domain) ++domain_hits;
+  }
+  // Content embeddings must recover the concept family for most datasets.
+  EXPECT_GT(family_hits, total * 6 / 10)
+      << "family recall " << family_hits << "/" << total;
+  EXPECT_GT(domain_hits, total / 2)
+      << "domain recall " << domain_hits << "/" << total;
+}
+
+TEST(SimIndexTest, FlatSearchExactOrder) {
+  SimIndex index;
+  ASSERT_TRUE(index.Add("x", {1.0, 0.0}).ok());
+  ASSERT_TRUE(index.Add("y", {0.0, 1.0}).ok());
+  ASSERT_TRUE(index.Add("xy", {0.7, 0.7}).ok());
+  ASSERT_TRUE(index.Build().ok());
+  auto hits = index.Search({1.0, 0.1}, 2);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].key, "x");
+  EXPECT_EQ((*hits)[1].key, "xy");
+  // Dimensionality checks.
+  EXPECT_FALSE(index.Add("bad", {1.0}).ok());
+  EXPECT_FALSE(index.Search({1.0}, 1).ok());
+}
+
+TEST(SimIndexTest, IvfModeFindsNearNeighbours) {
+  SimIndex::Options options;
+  options.num_cells = 4;
+  options.num_probes = 2;
+  SimIndex ivf(options);
+  kgpip::Rng rng(5);
+  // Four well-separated clusters of unit vectors.
+  std::vector<std::vector<double>> centers = {
+      {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      std::vector<double> v = centers[c];
+      for (double& x : v) x += rng.Normal() * 0.05;
+      ASSERT_TRUE(
+          ivf.Add("c" + std::to_string(c) + "_" + std::to_string(i), v)
+              .ok());
+    }
+  }
+  ASSERT_TRUE(ivf.Build().ok());
+  auto hits = ivf.Search({0.0, 0.98, 0.05, 0.0}, 3);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : *hits) {
+    EXPECT_EQ(hit.key.substr(0, 2), "c1") << hit.key;
+  }
+}
+
+TEST(TsneTest, SeparatesObviousClusters) {
+  kgpip::Rng rng(3);
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      std::vector<double> p(8, 0.0);
+      p[c] = 5.0;
+      for (double& x : p) x += rng.Normal() * 0.1;
+      points.push_back(p);
+      labels.push_back(c);
+    }
+  }
+  TsneOptions options;
+  options.iterations = 250;
+  auto map = Tsne2D(points, options);
+  ASSERT_EQ(map.size(), points.size());
+  std::vector<std::vector<double>> mapped;
+  for (const auto& [x, y] : map) mapped.push_back({x, y});
+  EXPECT_GT(SilhouetteScore(mapped, labels), 0.3);
+}
+
+}  // namespace
+}  // namespace kgpip::embed

@@ -1,0 +1,254 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "codegraph/corpus.h"
+#include "data/benchmark_registry.h"
+#include "embed/embedder.h"
+#include "gen/graph_generator.h"
+#include "gen/skeleton.h"
+#include "graph4ml/graph4ml.h"
+
+namespace kgpip::gen {
+namespace {
+
+using graph4ml::PipelineVocab;
+using graph4ml::TypedGraph;
+
+/// A tiny deterministic training set: two conditioning signatures mapped
+/// to two different chain "pipelines".
+std::vector<GraphExample> TwoModeExamples(int copies) {
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  const int scaler = vocab.TypeOf("standard_scaler");
+  const int logreg = vocab.TypeOf("logistic_regression");
+  const int xgb = vocab.TypeOf("xgboost");
+  std::vector<GraphExample> examples;
+  for (int c = 0; c < copies; ++c) {
+    GraphExample a;
+    a.graph.node_types = {PipelineVocab::kDatasetType,
+                          PipelineVocab::kReadCsvType, scaler, logreg};
+    a.graph.edges = {{0, 1}, {1, 2}, {2, 3}};
+    a.condition = {1.0, 0.0};
+    a.given_nodes = 2;
+    examples.push_back(a);
+
+    GraphExample b;
+    b.graph.node_types = {PipelineVocab::kDatasetType,
+                          PipelineVocab::kReadCsvType, xgb};
+    b.graph.edges = {{0, 1}, {1, 2}};
+    b.condition = {0.0, 1.0};
+    b.given_nodes = 2;
+    examples.push_back(b);
+  }
+  return examples;
+}
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.vocab_size = PipelineVocab::Get().size();
+  config.hidden = 24;
+  config.prop_rounds = 2;
+  config.max_nodes = 8;
+  config.condition_dims = 2;
+  config.learning_rate = 5e-3;
+  return config;
+}
+
+TEST(GraphGeneratorTest, LossDecreasesDuringTraining) {
+  GraphGenerator generator(SmallConfig(), 7);
+  auto examples = TwoModeExamples(4);
+  Rng rng(1);
+  double first = generator.TrainEpoch(examples, &rng);
+  double last = first;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    last = generator.TrainEpoch(examples, &rng);
+  }
+  EXPECT_LT(last, first * 0.5)
+      << "training loss did not decrease: " << first << " -> " << last;
+}
+
+TEST(GraphGeneratorTest, LearnsConditionalModes) {
+  GraphGenerator generator(SmallConfig(), 7);
+  auto examples = TwoModeExamples(4);
+  Rng rng(1);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    generator.TrainEpoch(examples, &rng);
+  }
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  TypedGraph seed;
+  seed.node_types = {PipelineVocab::kDatasetType,
+                     PipelineVocab::kReadCsvType};
+  seed.edges = {{0, 1}};
+  Rng sample_rng(3);
+  // Greedy generation under condition A must produce the A-chain.
+  GeneratedGraph a =
+      generator.Generate(seed, {1.0, 0.0}, &sample_rng, /*temperature=*/0.0);
+  ASSERT_EQ(a.graph.node_types.size(), 4u);
+  EXPECT_EQ(a.graph.node_types[2], vocab.TypeOf("standard_scaler"));
+  EXPECT_EQ(a.graph.node_types[3], vocab.TypeOf("logistic_regression"));
+  GeneratedGraph b =
+      generator.Generate(seed, {0.0, 1.0}, &sample_rng, 0.0);
+  ASSERT_EQ(b.graph.node_types.size(), 3u);
+  EXPECT_EQ(b.graph.node_types[2], vocab.TypeOf("xgboost"));
+  // Scores are log-probabilities: non-positive and higher for the learned
+  // mode than for the swapped condition.
+  EXPECT_LE(a.log_prob, 0.0);
+}
+
+TEST(GraphGeneratorTest, LogProbPrefersTrainedGraphs) {
+  GraphGenerator generator(SmallConfig(), 7);
+  auto examples = TwoModeExamples(4);
+  Rng rng(1);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    generator.TrainEpoch(examples, &rng);
+  }
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  GraphExample trained = examples[0];  // scaler -> logreg under A
+  GraphExample wrong = trained;
+  wrong.graph.node_types[3] = vocab.TypeOf("knn");
+  EXPECT_GT(generator.LogProb(trained), generator.LogProb(wrong) + 0.5);
+}
+
+TEST(GraphGeneratorTest, SamplingIsStochasticAtHighTemperature) {
+  GraphGenerator generator(SmallConfig(), 7);
+  auto examples = TwoModeExamples(4);
+  Rng rng(1);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    generator.TrainEpoch(examples, &rng);
+  }
+  TypedGraph seed;
+  seed.node_types = {PipelineVocab::kDatasetType,
+                     PipelineVocab::kReadCsvType};
+  seed.edges = {{0, 1}};
+  Rng sample_rng(11);
+  std::set<std::vector<int>> distinct;
+  for (int i = 0; i < 12; ++i) {
+    GeneratedGraph g =
+        generator.Generate(seed, {0.5, 0.5}, &sample_rng, 1.5);
+    distinct.insert(g.graph.node_types);
+  }
+  EXPECT_GT(distinct.size(), 1u) << "no diversity across samples";
+}
+
+TEST(GraphGeneratorTest, WeightsJsonRoundTrip) {
+  GraphGenerator generator(SmallConfig(), 7);
+  auto examples = TwoModeExamples(2);
+  Rng rng(1);
+  generator.TrainEpoch(examples, &rng);
+  Json json = generator.ToJson();
+
+  GraphGenerator reloaded(SmallConfig(), 99);
+  ASSERT_TRUE(reloaded.LoadWeights(json).ok());
+  EXPECT_NEAR(reloaded.LogProb(examples[0]),
+              generator.LogProb(examples[0]), 1e-9);
+
+  GeneratorConfig other = SmallConfig();
+  other.hidden = 16;
+  GraphGenerator mismatched(other, 1);
+  EXPECT_FALSE(mismatched.LoadWeights(json).ok());
+}
+
+TEST(SkeletonTest, MapsGraphsAndRejectsInvalid) {
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  GeneratedGraph g;
+  g.graph.node_types = {PipelineVocab::kDatasetType,
+                        PipelineVocab::kReadCsvType,
+                        vocab.TypeOf("standard_scaler"),
+                        vocab.TypeOf("simple_imputer"),
+                        vocab.TypeOf("xgboost")};
+  g.log_prob = -1.5;
+  auto skeleton = GraphToSkeleton(g, TaskType::kBinaryClassification);
+  ASSERT_TRUE(skeleton.ok()) << skeleton.status().ToString();
+  EXPECT_EQ(skeleton->spec.learner, "xgboost");
+  // simple_imputer is featurizer-level: not a FeatureMatrix transformer.
+  ASSERT_EQ(skeleton->spec.preprocessors.size(), 1u);
+  EXPECT_EQ(skeleton->spec.preprocessors[0], "standard_scaler");
+  EXPECT_DOUBLE_EQ(skeleton->log_prob, -1.5);
+
+  // No estimator -> invalid.
+  GeneratedGraph no_est;
+  no_est.graph.node_types = {PipelineVocab::kDatasetType,
+                             vocab.TypeOf("pca")};
+  EXPECT_FALSE(GraphToSkeleton(no_est,
+                               TaskType::kBinaryClassification).ok());
+
+  // Task-incompatible estimator -> invalid.
+  GeneratedGraph reg;
+  reg.graph.node_types = {PipelineVocab::kDatasetType,
+                          vocab.TypeOf("ridge")};
+  EXPECT_FALSE(GraphToSkeleton(reg, TaskType::kBinaryClassification).ok());
+  EXPECT_TRUE(GraphToSkeleton(reg, TaskType::kRegression).ok());
+}
+
+TEST(GraphGeneratorTest, TrainsOnMinedCorpusAndGeneratesValidPipelines) {
+  // End-to-end over the real mining chain: corpus -> analyze -> filter ->
+  // train -> conditional generation must produce mostly valid skeletons
+  // biased toward the dataset family's affine learners.
+  BenchmarkRegistry registry;
+  auto specs = registry.TrainingSpecs();
+  // Two contrasting families, one domain each.
+  std::vector<DatasetSpec> chosen;
+  for (const auto& spec : specs) {
+    if (spec.task != TaskType::kBinaryClassification) continue;
+    if (spec.family == ConceptFamily::kLinear ||
+        spec.family == ConceptFamily::kRules) {
+      chosen.push_back(spec);
+    }
+  }
+  ASSERT_GE(chosen.size(), 4u);
+  chosen.resize(4);
+
+  codegraph::CorpusOptions corpus_options;
+  corpus_options.pipelines_per_dataset = 10;
+  corpus_options.noise_scripts_per_dataset = 2;
+  codegraph::CorpusGenerator corpus(corpus_options);
+  graph4ml::Graph4Ml store;
+  ASSERT_TRUE(store.Build(corpus.GenerateCorpus(chosen)).ok());
+
+  embed::TableEmbedder embedder;
+  std::map<std::string, std::vector<double>> embeddings;
+  for (const auto& spec : chosen) {
+    embeddings[spec.name] = embedder.Embed(GenerateDataset(spec));
+  }
+
+  GeneratorConfig config;
+  config.vocab_size = PipelineVocab::Get().size();
+  config.hidden = 24;
+  config.condition_dims =
+      static_cast<int>(embed::TableEmbedder::kDims);
+  config.learning_rate = 5e-3;
+  GraphGenerator generator(config, 13);
+
+  std::vector<GraphExample> examples;
+  for (const auto* pipeline : store.AllPipelines()) {
+    GraphExample example;
+    example.graph = pipeline->graph;
+    example.condition = embeddings[pipeline->dataset_name];
+    example.given_nodes = 2;
+    examples.push_back(example);
+  }
+  ASSERT_EQ(examples.size(), 40u);
+  Rng rng(3);
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    generator.TrainEpoch(examples, &rng);
+  }
+
+  TypedGraph seed;
+  seed.node_types = {PipelineVocab::kDatasetType,
+                     PipelineVocab::kReadCsvType};
+  seed.edges = {{0, 1}};
+  Rng sample_rng(5);
+  int valid = 0, total = 0;
+  for (const auto& spec : chosen) {
+    for (int s = 0; s < 5; ++s) {
+      GeneratedGraph g = generator.Generate(seed, embeddings[spec.name],
+                                            &sample_rng, 0.8);
+      ++total;
+      if (GraphToSkeleton(g, spec.task).ok()) ++valid;
+    }
+  }
+  EXPECT_GT(valid, total / 2) << "trained generator mostly invalid";
+}
+
+}  // namespace
+}  // namespace kgpip::gen

@@ -1,0 +1,104 @@
+// Tests for the shared benchmark harness utilities (option parsing and
+// score aggregation) — the code every experiment binary depends on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace kgpip::bench {
+namespace {
+
+TEST(ParseOptionsTest, DefaultsAndFlags) {
+  const char* argv_defaults[] = {"bench"};
+  HarnessOptions defaults =
+      ParseOptions(1, const_cast<char**>(argv_defaults));
+  EXPECT_EQ(defaults.runs, 3);
+  EXPECT_FALSE(defaults.quick);
+
+  const char* argv_quick[] = {"bench", "--quick"};
+  HarnessOptions quick = ParseOptions(2, const_cast<char**>(argv_quick));
+  EXPECT_TRUE(quick.quick);
+  EXPECT_EQ(quick.runs, 1);
+  EXPECT_LT(quick.trials, defaults.trials);
+
+  const char* argv_custom[] = {"bench", "--runs=5", "--trials=99",
+                               "--seed=123"};
+  HarnessOptions custom = ParseOptions(4, const_cast<char**>(argv_custom));
+  EXPECT_EQ(custom.runs, 5);
+  EXPECT_EQ(custom.trials, 99);
+  EXPECT_EQ(custom.seed, 123u);
+
+  // --quick then --trials overrides the quick trial count.
+  const char* argv_both[] = {"bench", "--quick", "--trials=33"};
+  HarnessOptions both = ParseOptions(3, const_cast<char**>(argv_both));
+  EXPECT_TRUE(both.quick);
+  EXPECT_EQ(both.trials, 33);
+}
+
+TEST(MeanScoreTest, SkipsNansAndHandlesAllFailed) {
+  EXPECT_DOUBLE_EQ(MeanScore({0.5, 0.7}), 0.6);
+  EXPECT_DOUBLE_EQ(MeanScore({0.5, std::nan(""), 0.7}), 0.6);
+  EXPECT_TRUE(std::isnan(MeanScore({std::nan("")})));
+  EXPECT_TRUE(std::isnan(MeanScore({})));
+}
+
+std::vector<DatasetSpec> ThreeSpecs() {
+  DatasetSpec binary;
+  binary.name = "b";
+  binary.task = TaskType::kBinaryClassification;
+  DatasetSpec multi;
+  multi.name = "m";
+  multi.task = TaskType::kMultiClassification;
+  DatasetSpec regression;
+  regression.name = "r";
+  regression.task = TaskType::kRegression;
+  return {binary, multi, regression};
+}
+
+TEST(AggregationTest, PerTaskMeansAndFailuresScoreZero) {
+  SystemScores scores;
+  scores.system = "test";
+  scores.scores["b"] = {0.8, 0.9};
+  scores.scores["m"] = {0.6};
+  scores.scores["r"] = {std::nan("")};  // failed on regression
+  auto specs = ThreeSpecs();
+
+  TaskAggregate agg = AggregateByTask(scores, specs);
+  EXPECT_NEAR(agg.binary_mean, 0.85, 1e-12);
+  EXPECT_NEAR(agg.multi_mean, 0.6, 1e-12);
+  EXPECT_NEAR(agg.regression_mean, 0.0, 1e-12);  // failure counts as 0
+
+  std::vector<double> per_dataset = PerDatasetMeans(scores, specs);
+  ASSERT_EQ(per_dataset.size(), 3u);
+  EXPECT_NEAR(per_dataset[0], 0.85, 1e-12);
+  EXPECT_NEAR(per_dataset[1], 0.6, 1e-12);
+  EXPECT_NEAR(per_dataset[2], 0.0, 1e-12);
+}
+
+TEST(EvaluateOnceTest, ScoresSystemAndReportsFailure) {
+  HarnessOptions options;
+  options.runs = 1;
+  EvalHarness harness(options);
+  automl::FlamlSystem flaml;
+  DatasetSpec spec;
+  spec.name = "harness_probe";
+  spec.family = ConceptFamily::kLinear;
+  spec.rows = 200;
+  double score = harness.EvaluateOnce(flaml, spec, 0, /*trials=*/8);
+  EXPECT_FALSE(std::isnan(score));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+
+  // AL on a text dataset fails -> NaN, not a crash.
+  automl::AlSystem al;
+  DatasetSpec text;
+  text.name = "harness_text";
+  text.family = ConceptFamily::kText;
+  text.num_text = 1;
+  text.rows = 150;
+  EXPECT_TRUE(std::isnan(harness.EvaluateOnce(al, text, 0, 8)));
+}
+
+}  // namespace
+}  // namespace kgpip::bench

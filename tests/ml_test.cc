@@ -1,0 +1,325 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/logging.h"
+#include "ml/featurizer.h"
+#include "ml/learner.h"
+#include "ml/metrics.h"
+#include "ml/pipeline.h"
+#include "ml/preprocess.h"
+
+namespace kgpip::ml {
+namespace {
+
+TEST(MetricsTest, MacroF1PerfectAndWorst) {
+  std::vector<double> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(MacroF1(truth, truth, 3), 1.0);
+  std::vector<double> wrong = {1, 1, 2, 2, 0, 0};
+  EXPECT_DOUBLE_EQ(MacroF1(truth, wrong, 3), 0.0);
+}
+
+TEST(MetricsTest, MacroF1IgnoresAbsentClasses) {
+  // Class 2 never appears in truth; macro averages over classes 0 and 1.
+  std::vector<double> truth = {0, 0, 1, 1};
+  std::vector<double> pred = {0, 0, 1, 2};
+  double f1_0 = 1.0;                 // perfect on class 0
+  double f1_1 = 2.0 * 1 / (2 + 1);   // tp=1, fn=1
+  EXPECT_NEAR(MacroF1(truth, pred, 3), (f1_0 + f1_1) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, R2KnownValue) {
+  std::vector<double> truth = {1, 2, 3, 4};
+  std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(R2Score(truth, mean_pred), 0.0, 1e-12);
+  EXPECT_NEAR(R2Score(truth, truth), 1.0, 1e-12);
+}
+
+/// Shared fixture data: featurized synthetic datasets per family.
+LabeledData MakeData(ConceptFamily family, TaskType task, int rows = 400,
+                     uint64_t seed = 5) {
+  DatasetSpec spec;
+  spec.name = "fixture";
+  spec.family = family;
+  spec.task = task;
+  spec.rows = rows;
+  spec.num_numeric = 8;
+  spec.num_categorical = 2;
+  spec.num_classes = task == TaskType::kBinaryClassification ? 2 : 4;
+  spec.label_noise = 0.02;
+  spec.seed = seed;
+  Table table = GenerateDataset(spec);
+  Featurizer featurizer;
+  KGPIP_CHECK(featurizer.Fit(table, task).ok());
+  auto data = featurizer.Transform(table);
+  KGPIP_CHECK(data.ok());
+  return *data;
+}
+
+/// Train/test split of LabeledData by row index parity.
+void SplitData(const LabeledData& all, LabeledData* train,
+               LabeledData* test) {
+  *train = LabeledData{};
+  *test = LabeledData{};
+  train->task = test->task = all.task;
+  train->num_classes = test->num_classes = all.num_classes;
+  train->class_names = test->class_names = all.class_names;
+  size_t n_test = all.rows() / 4;
+  size_t n_train = all.rows() - n_test;
+  train->x = FeatureMatrix(n_train, all.x.cols);
+  test->x = FeatureMatrix(n_test, all.x.cols);
+  size_t tr = 0, te = 0;
+  for (size_t r = 0; r < all.rows(); ++r) {
+    if (r % 4 == 3) {
+      for (size_t c = 0; c < all.x.cols; ++c) {
+        test->x.At(te, c) = all.x.At(r, c);
+      }
+      test->y.push_back(all.y[r]);
+      ++te;
+    } else {
+      for (size_t c = 0; c < all.x.cols; ++c) {
+        train->x.At(tr, c) = all.x.At(r, c);
+      }
+      train->y.push_back(all.y[r]);
+      ++tr;
+    }
+  }
+}
+
+double FitAndScore(const std::string& learner_name, ConceptFamily family,
+                   TaskType task) {
+  LabeledData all = MakeData(family, task);
+  LabeledData train, test;
+  SplitData(all, &train, &test);
+  auto learner = CreateLearner(learner_name, task, HyperParams{}, 7);
+  KGPIP_CHECK(learner.ok()) << learner.status().ToString();
+  KGPIP_CHECK((*learner)->Fit(train).ok());
+  auto pred = (*learner)->Predict(test.x);
+  if (IsClassification(task)) {
+    return MacroF1(test.y, pred, all.num_classes);
+  }
+  return R2Score(test.y, pred);
+}
+
+struct LearnerCase {
+  const char* name;
+  ConceptFamily family;
+  TaskType task;
+  double min_score;
+};
+
+class LearnerQualityTest : public ::testing::TestWithParam<LearnerCase> {};
+
+TEST_P(LearnerQualityTest, BeatsThresholdOnAffineFamily) {
+  const LearnerCase& c = GetParam();
+  double score = FitAndScore(c.name, c.family, c.task);
+  EXPECT_GE(score, c.min_score)
+      << c.name << " on " << ConceptFamilyName(c.family);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLearners, LearnerQualityTest,
+    ::testing::Values(
+        LearnerCase{"logistic_regression", ConceptFamily::kLinear,
+                    TaskType::kBinaryClassification, 0.85},
+        LearnerCase{"linear_svm", ConceptFamily::kLinear,
+                    TaskType::kBinaryClassification, 0.85},
+        LearnerCase{"sgd", ConceptFamily::kLinear,
+                    TaskType::kBinaryClassification, 0.85},
+        LearnerCase{"gaussian_nb", ConceptFamily::kClusters,
+                    TaskType::kBinaryClassification, 0.8},
+        LearnerCase{"knn", ConceptFamily::kClusters,
+                    TaskType::kBinaryClassification, 0.8},
+        LearnerCase{"decision_tree", ConceptFamily::kRules,
+                    TaskType::kBinaryClassification, 0.8},
+        LearnerCase{"random_forest", ConceptFamily::kRules,
+                    TaskType::kBinaryClassification, 0.85},
+        LearnerCase{"extra_trees", ConceptFamily::kRules,
+                    TaskType::kBinaryClassification, 0.8},
+        LearnerCase{"gradient_boosting", ConceptFamily::kInteractions,
+                    TaskType::kBinaryClassification, 0.65},
+        LearnerCase{"xgboost", ConceptFamily::kInteractions,
+                    TaskType::kBinaryClassification, 0.65},
+        LearnerCase{"lgbm", ConceptFamily::kInteractions,
+                    TaskType::kBinaryClassification, 0.65},
+        LearnerCase{"linear_regression", ConceptFamily::kLinear,
+                    TaskType::kRegression, 0.85},
+        LearnerCase{"ridge", ConceptFamily::kLinear, TaskType::kRegression,
+                    0.85},
+        LearnerCase{"lasso", ConceptFamily::kSparse, TaskType::kRegression,
+                    0.8},
+        LearnerCase{"xgboost", ConceptFamily::kRules, TaskType::kRegression,
+                    0.75},
+        LearnerCase{"knn", ConceptFamily::kClusters, TaskType::kRegression,
+                    0.3}),
+    [](const ::testing::TestParamInfo<LearnerCase>& info) {
+      return std::string(info.param.name) + "_" +
+             ConceptFamilyName(info.param.family) + "_" +
+             (info.param.task == TaskType::kRegression ? "reg" : "cls");
+    });
+
+TEST(LearnerAffinityTest, LinearBeatsTreesOnLinearFamily) {
+  double linear = FitAndScore("logistic_regression", ConceptFamily::kLinear,
+                              TaskType::kBinaryClassification);
+  double tree = FitAndScore("decision_tree", ConceptFamily::kLinear,
+                            TaskType::kBinaryClassification);
+  EXPECT_GT(linear, tree - 0.02);
+}
+
+TEST(LearnerAffinityTest, BoostingBeatsLinearOnInteractions) {
+  double boost = FitAndScore("xgboost", ConceptFamily::kInteractions,
+                             TaskType::kBinaryClassification);
+  double linear = FitAndScore("logistic_regression",
+                              ConceptFamily::kInteractions,
+                              TaskType::kBinaryClassification);
+  EXPECT_GT(boost, linear + 0.1);
+}
+
+TEST(LearnerRegistryTest, NamesAndTaskSupport) {
+  EXPECT_TRUE(LearnerSupports("xgboost", TaskType::kBinaryClassification));
+  EXPECT_TRUE(LearnerSupports("xgboost", TaskType::kRegression));
+  EXPECT_FALSE(LearnerSupports("logistic_regression",
+                               TaskType::kRegression));
+  EXPECT_FALSE(LearnerSupports("ridge", TaskType::kBinaryClassification));
+  EXPECT_FALSE(LearnerSupports("no_such_learner",
+                               TaskType::kBinaryClassification));
+  EXPECT_FALSE(
+      CreateLearner("ridge", TaskType::kBinaryClassification, {}, 1).ok());
+}
+
+TEST(TransformerTest, StandardScalerZeroMeanUnitVar) {
+  LabeledData data = MakeData(ConceptFamily::kLinear,
+                              TaskType::kBinaryClassification, 200);
+  auto scaler = CreateTransformer("standard_scaler", {}, 1);
+  ASSERT_TRUE(scaler.ok());
+  ASSERT_TRUE((*scaler)->Fit(data.x, &data.y).ok());
+  FeatureMatrix out = (*scaler)->Transform(data.x);
+  for (size_t c = 0; c < out.cols; ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < out.rows; ++r) mean += out.At(r, c);
+    mean /= static_cast<double>(out.rows);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(TransformerTest, MinMaxScalerBounds) {
+  LabeledData data = MakeData(ConceptFamily::kLinear,
+                              TaskType::kBinaryClassification, 200);
+  auto scaler = CreateTransformer("minmax_scaler", {}, 1);
+  ASSERT_TRUE(scaler.ok());
+  ASSERT_TRUE((*scaler)->Fit(data.x, &data.y).ok());
+  FeatureMatrix out = (*scaler)->Transform(data.x);
+  for (size_t i = 0; i < out.values.size(); ++i) {
+    EXPECT_GE(out.values[i], -1e-12);
+    EXPECT_LE(out.values[i], 1.0 + 1e-12);
+  }
+}
+
+TEST(TransformerTest, SelectKBestReducesWidthAndKeepsSignal) {
+  LabeledData data = MakeData(ConceptFamily::kSparse,
+                              TaskType::kBinaryClassification, 300);
+  HyperParams params;
+  params.SetNum("k", 4);
+  auto selector = CreateTransformer("select_k_best", params, 1);
+  ASSERT_TRUE(selector.ok());
+  ASSERT_TRUE((*selector)->Fit(data.x, &data.y).ok());
+  FeatureMatrix out = (*selector)->Transform(data.x);
+  EXPECT_EQ(out.cols, 4u);
+  EXPECT_EQ(out.rows, data.rows());
+}
+
+TEST(TransformerTest, SelectKBestRequiresTargets) {
+  LabeledData data = MakeData(ConceptFamily::kLinear,
+                              TaskType::kBinaryClassification, 100);
+  auto selector = CreateTransformer("select_k_best", {}, 1);
+  ASSERT_TRUE(selector.ok());
+  EXPECT_FALSE((*selector)->Fit(data.x, nullptr).ok());
+}
+
+TEST(TransformerTest, PcaProducesRequestedComponents) {
+  LabeledData data = MakeData(ConceptFamily::kLinear,
+                              TaskType::kBinaryClassification, 200);
+  HyperParams params;
+  params.SetNum("n_components", 3);
+  auto pca = CreateTransformer("pca", params, 1);
+  ASSERT_TRUE(pca.ok());
+  ASSERT_TRUE((*pca)->Fit(data.x, nullptr).ok());
+  FeatureMatrix out = (*pca)->Transform(data.x);
+  EXPECT_EQ(out.cols, 3u);
+}
+
+TEST(FeaturizerTest, EncodesMixedColumns) {
+  DatasetSpec spec;
+  spec.name = "mixed";
+  spec.rows = 150;
+  spec.num_numeric = 3;
+  spec.num_categorical = 2;
+  spec.num_text = 1;
+  spec.family = ConceptFamily::kText;
+  spec.task = TaskType::kBinaryClassification;
+  Table table = GenerateDataset(spec);
+  Featurizer featurizer;
+  ASSERT_TRUE(featurizer.Fit(table, spec.task).ok());
+  auto data = featurizer.Transform(table);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->rows(), 150u);
+  EXPECT_GT(data->x.cols, 3u + 2u);  // one-hot + text expand the width
+  EXPECT_EQ(data->num_classes, 2);
+  // No NaNs after imputation.
+  for (double v : data->x.values) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(FeaturizerTest, TransformUnseenTableWithSameSchema) {
+  DatasetSpec spec;
+  spec.name = "schema";
+  spec.rows = 100;
+  spec.seed = 11;
+  Table train = GenerateDataset(spec);
+  spec.seed = 12;
+  Table test = GenerateDataset(spec);
+  Featurizer featurizer;
+  ASSERT_TRUE(featurizer.Fit(train, spec.task).ok());
+  auto test_data = featurizer.Transform(test);
+  ASSERT_TRUE(test_data.ok());
+  EXPECT_EQ(test_data->x.cols, featurizer.output_dims());
+}
+
+TEST(PipelineTest, EndToEndOnTable) {
+  DatasetSpec spec;
+  spec.name = "e2e";
+  spec.rows = 300;
+  spec.family = ConceptFamily::kRules;
+  spec.task = TaskType::kBinaryClassification;
+  Table table = GenerateDataset(spec);
+  auto split = SplitTable(table, 0.25, 3);
+
+  PipelineSpec pspec;
+  pspec.preprocessors = {"standard_scaler"};
+  pspec.learner = "xgboost";
+  auto pipeline = Pipeline::FitOnTable(pspec, split.train, spec.task, 1);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto score = pipeline->ScoreTable(split.test);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.8);
+}
+
+TEST(PipelineTest, SpecToStringIsReadable) {
+  PipelineSpec spec;
+  spec.preprocessors = {"standard_scaler", "pca"};
+  spec.learner = "lgbm";
+  EXPECT_EQ(spec.ToString(), "standard_scaler -> pca -> lgbm");
+}
+
+TEST(PipelineTest, UnknownLearnerFails) {
+  DatasetSpec spec;
+  spec.name = "bad";
+  spec.rows = 60;
+  Table table = GenerateDataset(spec);
+  PipelineSpec pspec;
+  pspec.learner = "hal9000";
+  EXPECT_FALSE(Pipeline::FitOnTable(pspec, table, spec.task, 1).ok());
+}
+
+}  // namespace
+}  // namespace kgpip::ml
