@@ -237,12 +237,13 @@ int Run(int argc, char** argv) {
       }
       auto evaluator = hpo::TrialEvaluator::Create(
           split.train, spec.task, 0.25, options.seed);
+      hpo::TrialGuard guard(&*evaluator, hpo::TrialGuardOptions{});
       double best = 0.0;
       ml::PipelineSpec best_spec;
       for (const auto& skeleton : skeletons) {
         hpo::Budget budget(hpo_trials / static_cast<int>(skeletons.size()) +
                                1, 1e9);
-        auto result = (*optimizer)->OptimizeSkeleton(skeleton, &*evaluator,
+        auto result = (*optimizer)->OptimizeSkeleton(skeleton, &guard,
                                                      &budget, options.seed);
         if (result.best_score > best) {
           best = result.best_score;

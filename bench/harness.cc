@@ -87,6 +87,14 @@ std::vector<SystemScores> EvalHarness::RunComparison(
         double score = EvaluateOnce(*system, spec, run, trials, &result);
         scores.scores[spec.name].push_back(score);
         if (!std::isnan(score)) {
+          const hpo::RunReport& report = result.report;
+          scores.trial_failures += report.total_failures;
+          scores.trial_retries += report.total_retries;
+          scores.quarantined_scores += report.quarantined_scores;
+          scores.circuit_breaker_trips += report.circuit_breaker_trips;
+          if (report.fallback_portfolio || report.last_resort_pass) {
+            ++scores.degraded_runs;
+          }
           scores.skeleton_ranks[spec.name].push_back(
               result.best_skeleton_rank);
           scores.learner_sequences[spec.name].push_back(
@@ -103,6 +111,15 @@ std::vector<SystemScores> EvalHarness::RunComparison(
       }
       std::fprintf(stderr, "  [%s] %s done\n", scores.system.c_str(),
                    spec.name.c_str());
+    }
+    if (scores.trial_failures > 0 || scores.degraded_runs > 0) {
+      std::fprintf(stderr,
+                   "  [%s] robustness: %d trial failures, %d retries, "
+                   "%d NaN quarantined, %d circuit trips, %d degraded "
+                   "runs\n",
+                   scores.system.c_str(), scores.trial_failures,
+                   scores.trial_retries, scores.quarantined_scores,
+                   scores.circuit_breaker_trips, scores.degraded_runs);
     }
     out.push_back(std::move(scores));
   }

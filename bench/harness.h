@@ -41,6 +41,14 @@ struct SystemScores {
   std::map<std::string, std::vector<std::vector<std::string>>>
       predicted_learners;  // skeleton learners in rank order (KGpip)
   std::map<std::string, std::vector<std::string>> best_learners;
+  /// Robustness accounting aggregated over every successful run's
+  /// RunReport (see hpo::RunReport): how often the system degraded and
+  /// how much trial-level failure it absorbed along the way.
+  int trial_failures = 0;
+  int trial_retries = 0;
+  int quarantined_scores = 0;
+  int circuit_breaker_trips = 0;
+  int degraded_runs = 0;  // runs that used a fallback / last-resort rung
 };
 
 /// Trains both KGpip variants once and evaluates systems over dataset

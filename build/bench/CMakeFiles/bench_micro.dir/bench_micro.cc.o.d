@@ -253,11 +253,11 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/embed/embedder.h \
- /root/repo/src/embed/sim_index.h /root/repo/src/gen/graph_generator.h \
- /root/repo/src/graph4ml/vocab.h /root/repo/src/nn/layers.h \
- /root/repo/src/nn/autograd.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/hpo/trial_guard.h \
+ /root/repo/src/embed/embedder.h /root/repo/src/embed/sim_index.h \
+ /root/repo/src/gen/graph_generator.h /root/repo/src/graph4ml/vocab.h \
+ /root/repo/src/nn/layers.h /root/repo/src/nn/autograd.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

@@ -239,7 +239,9 @@ bench/CMakeFiles/bench_table2_main_comparison.dir/bench_table2_main_comparison.c
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/hpo/trial_guard.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/automl/autosklearn_system.h \
  /root/repo/src/automl/flaml_system.h /root/repo/src/core/kgpip.h \
  /root/repo/src/codegraph/corpus.h /root/repo/src/data/synthetic.h \

@@ -216,9 +216,11 @@ examples/CMakeFiles/example_save_load_artifacts.dir/save_load_artifacts.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/codegraph/corpus.h \
- /root/repo/src/data/synthetic.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/hpo/trial_guard.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/codegraph/corpus.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -216,9 +216,11 @@ src/core/CMakeFiles/kgpip_core.dir/kgpip.cc.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/codegraph/corpus.h \
- /root/repo/src/data/synthetic.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/hpo/trial_guard.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/codegraph/corpus.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -263,6 +265,5 @@ src/core/CMakeFiles/kgpip_core.dir/kgpip.cc.o: \
  /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/logging.h
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/fault.h \
+ /root/repo/src/util/logging.h /root/repo/src/util/string_util.h

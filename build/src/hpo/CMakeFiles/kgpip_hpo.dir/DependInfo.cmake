@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/hpo/evaluator.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/evaluator.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/evaluator.cc.o.d"
   "/root/repo/src/hpo/optimizer.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/optimizer.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/optimizer.cc.o.d"
   "/root/repo/src/hpo/search_space.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/search_space.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/search_space.cc.o.d"
+  "/root/repo/src/hpo/trial_guard.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o.d"
   )
 
 # Targets to which this target links.

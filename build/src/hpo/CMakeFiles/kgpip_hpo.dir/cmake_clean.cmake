@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/kgpip_hpo.dir/optimizer.cc.o.d"
   "CMakeFiles/kgpip_hpo.dir/search_space.cc.o"
   "CMakeFiles/kgpip_hpo.dir/search_space.cc.o.d"
+  "CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o"
+  "CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o.d"
   "libkgpip_hpo.a"
   "libkgpip_hpo.pdb"
 )

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fault.cc" "src/util/CMakeFiles/kgpip_util.dir/fault.cc.o" "gcc" "src/util/CMakeFiles/kgpip_util.dir/fault.cc.o.d"
   "/root/repo/src/util/json.cc" "src/util/CMakeFiles/kgpip_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/kgpip_util.dir/json.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/kgpip_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/kgpip_util.dir/logging.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/kgpip_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/kgpip_util.dir/stats.cc.o.d"

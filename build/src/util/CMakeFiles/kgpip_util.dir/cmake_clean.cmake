@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_util.dir/fault.cc.o"
+  "CMakeFiles/kgpip_util.dir/fault.cc.o.d"
   "CMakeFiles/kgpip_util.dir/json.cc.o"
   "CMakeFiles/kgpip_util.dir/json.cc.o.d"
   "CMakeFiles/kgpip_util.dir/logging.cc.o"

@@ -301,7 +301,8 @@ tests/CMakeFiles/kgpip_tests.dir/automl_test.cc.o: \
  /root/repo/src/ml/hyperparams.h /root/repo/src/util/json.h \
  /root/repo/src/ml/preprocess.h /root/repo/src/util/stopwatch.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/automl/autosklearn_system.h \
+ /usr/include/c++/12/ratio /root/repo/src/hpo/trial_guard.h \
+ /root/repo/src/automl/autosklearn_system.h \
  /root/repo/src/automl/flaml_system.h \
  /root/repo/src/automl/meta_features.h \
  /root/repo/src/data/benchmark_registry.h /root/repo/src/data/synthetic.h \

@@ -303,9 +303,9 @@ tests/CMakeFiles/kgpip_tests.dir/edge_case_test.cc.o: \
  /root/repo/src/ml/hyperparams.h /root/repo/src/util/json.h \
  /root/repo/src/ml/preprocess.h /root/repo/src/util/stopwatch.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/codegraph/corpus.h \
- /root/repo/src/data/synthetic.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/ratio /root/repo/src/hpo/trial_guard.h \
+ /root/repo/src/codegraph/corpus.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -325,6 +325,7 @@ tests/CMakeFiles/kgpip_tests.dir/harness_test.cc.o: \
  /root/repo/src/util/json.h /root/repo/src/ml/preprocess.h \
  /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/hpo/trial_guard.h \
  /root/repo/src/automl/autosklearn_system.h \
  /root/repo/src/automl/flaml_system.h /root/repo/src/core/kgpip.h \
  /root/repo/src/codegraph/corpus.h /root/repo/src/data/synthetic.h \

@@ -91,6 +91,9 @@ Result<AutoMlResult> AutoSklearnSystem::Fit(const Table& train,
       hpo::TrialEvaluator::Create(train, task, 0.25, seed));
 
   AutoMlResult result;
+  // All trials run through the guard: NaN quarantine, bounded retries,
+  // and a per-learner circuit breaker feeding the run report.
+  hpo::TrialGuard guard(&evaluator, hpo::TrialGuardOptions{});
   uint64_t trial_seed = seed * 131 + 17;
 
   auto run_trial = [&](const std::string& learner,
@@ -98,12 +101,12 @@ Result<AutoMlResult> AutoSklearnSystem::Fit(const Table& train,
     ml::PipelineSpec spec;
     spec.learner = learner;
     spec.params = config;
-    auto score = evaluator.Evaluate(spec, ++trial_seed);
-    double value = score.ok() ? *score : -1e18;
+    hpo::GuardedTrial trial = guard.Evaluate(spec, ++trial_seed, learner);
+    double value = trial.ok() ? trial.score : -1e18;
     result.learner_sequence.push_back(learner);
     ++result.trials;
-    if (value > result.validation_score) {
-      result.validation_score = value;
+    if (trial.ok() && trial.score > result.validation_score) {
+      result.validation_score = trial.score;
       result.best_spec = spec;
     }
     return value;
@@ -155,6 +158,13 @@ Result<AutoMlResult> AutoSklearnSystem::Fit(const Table& train,
   std::map<std::string, hpo::RandomSearch> searches;
   Rng pick_rng(seed ^ 0xA5C3);
   while (budget.ConsumeTrial()) {
+    // Drop learners whose circuit breaker tripped before picking.
+    ranked.erase(std::remove_if(ranked.begin(), ranked.end(),
+                                [&](const auto& entry) {
+                                  return guard.CircuitOpen(entry.second);
+                                }),
+                 ranked.end());
+    if (ranked.empty()) break;
     // 60% best learner, 25% runner-up, 15% anything from the top five.
     size_t rank = 0;
     double u = pick_rng.Uniform();
@@ -183,6 +193,7 @@ Result<AutoMlResult> AutoSklearnSystem::Fit(const Table& train,
     std::sort(ranked.rbegin(), ranked.rend());
   }
 
+  result.report = guard.TakeReport();
   if (result.best_spec.learner.empty()) {
     return Status::Internal("Auto-Sklearn search produced no candidate");
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "hpo/optimizer.h"
 #include "ml/learner.h"
@@ -47,15 +48,19 @@ Result<AutoMlResult> FlamlSystem::Fit(const Table& train, TaskType task,
             });
 
   AutoMlResult result;
+  // Trials run through the guard: NaN quarantine, bounded retries, and a
+  // per-learner circuit breaker that drops a learner whose trials keep
+  // failing instead of letting it eat the whole budget.
+  hpo::TrialGuard guard(&evaluator, hpo::TrialGuardOptions{});
   uint64_t trial_seed = seed * 31 + 7;
   int total_trials = 0;
-  while (budget.ConsumeTrial()) {
+  while (!budget.Exhausted()) {
     // Estimated-cost-for-improvement scheduling: untried learners first
     // (in cost order); afterwards pick the learner with the best
-    // score-per-cost upper bound.
+    // score-per-cost upper bound. Circuit-open learners are skipped.
     LearnerState* chosen = nullptr;
     for (LearnerState& s : states) {
-      if (s.trials == 0) {
+      if (s.trials == 0 && !guard.CircuitOpen(s.name)) {
         chosen = &s;
         break;
       }
@@ -63,6 +68,7 @@ Result<AutoMlResult> FlamlSystem::Fit(const Table& train, TaskType task,
     if (chosen == nullptr) {
       double best_priority = -1e18;
       for (LearnerState& s : states) {
+        if (guard.CircuitOpen(s.name)) continue;
         double exploration =
             0.25 * std::sqrt(std::log(static_cast<double>(total_trials + 2)) /
                             static_cast<double>(s.trials + 1));
@@ -74,23 +80,28 @@ Result<AutoMlResult> FlamlSystem::Fit(const Table& train, TaskType task,
         }
       }
     }
+    if (chosen == nullptr) break;  // every learner abandoned
+    if (!budget.ConsumeTrial()) break;
     ml::HyperParams config = chosen->search.Propose();
     ml::PipelineSpec spec;
     spec.learner = chosen->name;
     spec.params = config;
-    auto score = evaluator.Evaluate(spec, ++trial_seed);
-    double value = score.ok() ? *score : -1e18;
+    hpo::GuardedTrial trial = guard.Evaluate(spec, ++trial_seed,
+                                             chosen->name);
+    double value = trial.ok() ? trial.score
+                              : std::numeric_limits<double>::quiet_NaN();
     chosen->search.Tell(config, value);
-    chosen->best = std::max(chosen->best, value);
+    if (trial.ok()) chosen->best = std::max(chosen->best, trial.score);
     ++chosen->trials;
     ++total_trials;
     result.learner_sequence.push_back(chosen->name);
-    if (value > result.validation_score) {
-      result.validation_score = value;
+    if (trial.ok() && trial.score > result.validation_score) {
+      result.validation_score = trial.score;
       result.best_spec = spec;
     }
   }
   result.trials = total_trials;
+  result.report = guard.TakeReport();
   if (result.best_spec.learner.empty()) {
     return Status::Internal("FLAML search produced no candidate");
   }

@@ -7,6 +7,7 @@
 
 #include "data/table.h"
 #include "hpo/evaluator.h"
+#include "hpo/trial_guard.h"
 #include "ml/pipeline.h"
 
 namespace kgpip::automl {
@@ -16,6 +17,10 @@ struct AutoMlResult {
   ml::PipelineSpec best_spec;
   double validation_score = -1e18;
   int trials = 0;
+  /// Structured fault/degradation accounting for the run: per-skeleton
+  /// trial counts, failure taxonomy by StatusCode, retries, and which
+  /// rungs of the degradation ladder were taken.
+  hpo::RunReport report;
   /// Estimator of every trial, in order (Figure 8 / diversity analyses).
   std::vector<std::string> learner_sequence;
   /// Candidate skeletons in predicted rank order (KGpip only).

@@ -5,13 +5,50 @@
 #include <set>
 #include <sstream>
 
+#include <cstdio>
+
 #include "data/synthetic.h"
+#include "ml/learner.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace kgpip::core {
 
 using graph4ml::PipelineVocab;
+
+namespace {
+
+/// Artifact header: magic, FNV-1a checksum of the payload, payload size.
+constexpr char kArtifactMagic[] = "KGPIP1";
+
+}  // namespace
+
+std::vector<gen::ScoredSkeleton> FallbackPortfolio(TaskType task, int k) {
+  // Robust defaults, cheap-and-reliable first; mirrors the spirit of
+  // Auto-Sklearn's static portfolio but with empty preprocessor lists so
+  // the automatic featurizer does the heavy lifting.
+  static const char* kOrder[] = {
+      "gradient_boosting", "random_forest", "logistic_regression",
+      "ridge",             "extra_trees",   "decision_tree",
+      "knn",               "gaussian_nb",   "linear_regression",
+      "lasso",
+  };
+  std::vector<gen::ScoredSkeleton> portfolio;
+  int rank = 0;
+  for (const char* name : kOrder) {
+    if (static_cast<int>(portfolio.size()) >= k) break;
+    if (!ml::LearnerSupports(name, task)) continue;
+    gen::ScoredSkeleton skeleton;
+    skeleton.spec.learner = name;
+    // Ranked after any generator-scored skeleton, in portfolio order.
+    skeleton.log_prob = -100.0 - rank;
+    ++rank;
+    portfolio.push_back(std::move(skeleton));
+  }
+  return portfolio;
+}
 
 Kgpip::Kgpip(KgpipConfig config) : config_(std::move(config)) {
   auto optimizer = hpo::CreateOptimizer(config_.optimizer);
@@ -152,26 +189,57 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
 Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
                                         hpo::Budget budget,
                                         uint64_t seed) const {
+  automl::AutoMlResult result;
+  bool used_fallback = false;
+  std::string fallback_reason;
+
   // t: time consumed generating and validating the graphs.
-  KGPIP_ASSIGN_OR_RETURN(std::vector<gen::ScoredSkeleton> skeletons,
-                         PredictSkeletons(train, task, seed));
+  Result<std::vector<gen::ScoredSkeleton>> predicted =
+      trained_ ? PredictSkeletons(train, task, seed)
+               : Result<std::vector<gen::ScoredSkeleton>>(
+                     Status::FailedPrecondition("KGpip is not trained"));
+  std::vector<gen::ScoredSkeleton> skeletons;
+  if (predicted.ok()) {
+    skeletons = std::move(*predicted);
+  } else {
+    // Degradation rung 2: skeleton prediction (generator or
+    // nearest-dataset lookup) failed. Never return empty-handed — run the
+    // static default-skeleton portfolio instead.
+    fallback_reason = predicted.status().ToString();
+    KGPIP_LOG(Warning) << "skeleton prediction failed ("
+                       << fallback_reason
+                       << "); using fallback portfolio";
+    skeletons = FallbackPortfolio(task, config_.top_k);
+    used_fallback = true;
+    if (skeletons.empty()) {
+      return Status::Internal("no fallback learner supports this task");
+    }
+  }
 
   KGPIP_ASSIGN_OR_RETURN(
       hpo::TrialEvaluator evaluator,
       hpo::TrialEvaluator::Create(train, task, 0.25, seed));
+  hpo::TrialGuard guard(&evaluator, config_.guard);
 
-  automl::AutoMlResult result;
   for (const gen::ScoredSkeleton& s : skeletons) {
     result.skeletons.push_back(s.spec);
   }
 
   // The remaining budget is divided equally between the K graphs — the
-  // paper's (T - t) / K rule.
+  // paper's (T - t) / K rule. A skeleton abandoned by the circuit
+  // breaker (or cut short by the wall clock) leaves its unconsumed slice
+  // in the shared budget, so the next SplitRemaining redistributes it to
+  // the surviving skeletons.
   const int k = static_cast<int>(skeletons.size());
+  bool stopped_early = false;
   for (int i = 0; i < k; ++i) {
+    if (budget.Exhausted()) {
+      stopped_early = true;  // best-so-far is returned below
+      break;
+    }
     hpo::Budget slice = budget.SplitRemaining(k - i);
     hpo::OptimizeResult optimized = hp_optimizer_->OptimizeSkeleton(
-        skeletons[static_cast<size_t>(i)].spec, &evaluator, &slice,
+        skeletons[static_cast<size_t>(i)].spec, &guard, &slice,
         seed + static_cast<uint64_t>(i) * 977);
     // Account the slice's trials against the shared budget.
     for (int t = 0; t < optimized.trials; ++t) budget.ConsumeTrial();
@@ -186,6 +254,37 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
       result.best_skeleton_rank = i + 1;
     }
   }
+
+  // Degradation rung 3: every trial failed (or the budget was zero).
+  // One default-config pass over the fallback portfolio, stopping at the
+  // first learner that fits — the "never return empty-handed" floor.
+  bool last_resort = false;
+  if (result.best_spec.learner.empty()) {
+    last_resort = true;
+    uint64_t lr_seed = seed ^ 0xFA11BACCULL;
+    for (const gen::ScoredSkeleton& s :
+         FallbackPortfolio(task, 1 << 20)) {
+      hpo::GuardedTrial trial =
+          guard.Evaluate(s.spec, ++lr_seed, "last_resort:" + s.spec.learner);
+      ++result.trials;
+      result.learner_sequence.push_back(s.spec.learner);
+      if (trial.ok() && trial.score > result.validation_score) {
+        result.validation_score = trial.score;
+        result.best_spec = s.spec;
+        break;
+      }
+    }
+  }
+
+  hpo::RunReport report = guard.TakeReport();
+  report.fallback_portfolio = used_fallback;
+  if (used_fallback) {
+    report.notes = "skeleton prediction failed: " + fallback_reason;
+  }
+  report.last_resort_pass = last_resort;
+  report.returned_best_so_far = stopped_early;
+  result.report = std::move(report);
+
   if (result.best_spec.learner.empty()) {
     return Status::Internal("KGpip optimization produced no candidate");
   }
@@ -240,9 +339,20 @@ Status Kgpip::LoadJson(const Json& json) {
 
 Status Kgpip::SaveFile(const std::string& path) const {
   if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
+  std::string payload = ToJson().Dump();
+  const uint64_t checksum = Fnv1a64(payload);
+  const std::string header =
+      StrFormat("%s %016llx %llu\n", kArtifactMagic,
+                static_cast<unsigned long long>(checksum),
+                static_cast<unsigned long long>(payload.size()));
+  if (util::FaultInjector* inject = util::FaultInjector::Active()) {
+    // Corruption is injected *after* the checksum so LoadFile must
+    // catch it.
+    inject->CorruptArtifact(&payload);
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open '" + path + "' for write");
-  out << ToJson().Dump();
+  out << header << payload;
   if (!out) return Status::IoError("write failed for '" + path + "'");
   return Status::Ok();
 }
@@ -252,8 +362,56 @@ Status Kgpip::LoadFile(const std::string& path) {
   if (!in) return Status::IoError("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  KGPIP_ASSIGN_OR_RETURN(Json json, Json::Parse(buffer.str()));
-  return LoadJson(json);
+  std::string contents = buffer.str();
+
+  // Checksummed artifacts lead with "KGPIP1 <fnv1a> <size>\n"; files
+  // without the magic are treated as legacy raw-JSON artifacts.
+  std::string payload = contents;
+  size_t payload_offset = 0;
+  if (StartsWith(contents, std::string(kArtifactMagic) + " ")) {
+    const size_t eol = contents.find('\n');
+    if (eol == std::string::npos) {
+      return Status::ParseError(StrFormat(
+          "artifact '%s': unterminated header in the first %llu bytes",
+          path.c_str(),
+          static_cast<unsigned long long>(contents.size())));
+    }
+    unsigned long long checksum = 0, declared = 0;
+    if (std::sscanf(contents.c_str(), "KGPIP1 %16llx %llu", &checksum,
+                    &declared) != 2) {
+      return Status::ParseError(StrFormat(
+          "artifact '%s': malformed header in bytes [0, %llu)",
+          path.c_str(), static_cast<unsigned long long>(eol)));
+    }
+    payload_offset = eol + 1;
+    payload = contents.substr(payload_offset);
+    if (payload.size() != declared) {
+      return Status::ParseError(StrFormat(
+          "artifact '%s': truncated or padded payload — header declares "
+          "%llu bytes but %llu are present after byte offset %llu",
+          path.c_str(), declared,
+          static_cast<unsigned long long>(payload.size()),
+          static_cast<unsigned long long>(payload_offset)));
+    }
+    const uint64_t actual = Fnv1a64(payload);
+    if (actual != checksum) {
+      return Status::ParseError(StrFormat(
+          "artifact '%s': checksum mismatch over payload bytes "
+          "[%llu, %llu) — expected %016llx, got %016llx",
+          path.c_str(), static_cast<unsigned long long>(payload_offset),
+          static_cast<unsigned long long>(payload_offset + payload.size()),
+          checksum, static_cast<unsigned long long>(actual)));
+    }
+  }
+  auto json = Json::Parse(payload);
+  if (!json.ok()) {
+    return Status::ParseError(StrFormat(
+        "artifact '%s': payload (at byte offset %llu) is not valid "
+        "JSON: %s",
+        path.c_str(), static_cast<unsigned long long>(payload_offset),
+        json.status().message().c_str()));
+  }
+  return LoadJson(*json);
 }
 
 }  // namespace kgpip::core

@@ -35,7 +35,16 @@ struct KgpipConfig {
   int hidden = 32;
   double learning_rate = 5e-3;
   int max_nodes = 10;
+  /// Fault-tolerance policy applied to every trial during Fit (NaN
+  /// quarantine, bounded retry on transient failures, per-trial deadline,
+  /// per-skeleton circuit breaking). See hpo::TrialGuard.
+  hpo::TrialGuardOptions guard;
 };
+
+/// The static default-skeleton portfolio used when skeleton prediction
+/// fails (degradation rung 2): robust default configurations, cheap and
+/// reliable learners first, filtered by task support, capped at `k`.
+std::vector<gen::ScoredSkeleton> FallbackPortfolio(TaskType task, int k);
 
 /// The KGpip system (paper §3): a learner & transformer selection
 /// component that (1) mines pipelines from scripts with static analysis,

@@ -35,12 +35,16 @@ class Budget {
     return std::max(0, max_trials_ - used_trials_);
   }
 
-  /// Splits the *remaining* budget into `k` equal sub-budgets — the
-  /// paper's "(T - t) / K" division across predicted graphs.
+  /// Splits the *remaining* budget into `k` near-equal sub-budgets — the
+  /// paper's "(T - t) / K" division across predicted graphs. Uses ceiling
+  /// division so the remainder trials go to the first sub-budgets instead
+  /// of being dropped (10 trials / 3 skeletons → 4, then 3, then 3 when
+  /// callers re-split the remainder after each skeleton).
   Budget SplitRemaining(int k) const {
-    int share = std::max(1, remaining_trials() / std::max(1, k));
-    return Budget(share, deadline_.RemainingSeconds() /
-                             static_cast<double>(std::max(1, k)));
+    k = std::max(1, k);
+    int share = std::max(1, (remaining_trials() + k - 1) / k);
+    return Budget(share,
+                  deadline_.RemainingSeconds() / static_cast<double>(k));
   }
 
  private:

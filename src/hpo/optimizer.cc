@@ -1,6 +1,8 @@
 #include "hpo/optimizer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace kgpip::hpo {
 
@@ -14,17 +16,27 @@ ml::HyperParams CfoSearch::Propose() {
 }
 
 void CfoSearch::Tell(const ml::HyperParams& config, double score) {
-  if (score > best_score_) {
+  // A NaN score compares false against everything, which used to flip
+  // `first_` while leaving `best_config_` unset — the search could then
+  // return an empty incumbent. Treat non-finite scores as failures: they
+  // shrink the step but never win a comparison, and until a finite score
+  // arrives the last-told config stands in as the incumbent so the
+  // search never returns an empty configuration.
+  const bool finite = std::isfinite(score);
+  if (finite && score > best_score_) {
     best_score_ = score;
+    best_config_ = config;
+    has_best_ = true;
+  } else if (!has_best_) {
     best_config_ = config;
   }
   if (first_) {
     first_ = false;
     incumbent_ = config;
-    incumbent_score_ = score;
+    incumbent_score_ = finite ? score : -1e18;
     return;
   }
-  if (score > incumbent_score_) {
+  if (finite && score > incumbent_score_) {
     incumbent_ = config;
     incumbent_score_ = score;
     step_ = std::min(0.6, step_ * 1.2);  // expand on success
@@ -43,38 +55,52 @@ ml::HyperParams RandomSearch::Propose() {
 
 void RandomSearch::Tell(const ml::HyperParams& config, double score) {
   first_ = false;
-  if (score > best_score_) {
+  if (std::isfinite(score) && score > best_score_) {
     best_score_ = score;
     best_config_ = config;
+    has_best_ = true;
+  } else if (!has_best_) {
+    best_config_ = config;  // never return an empty incumbent
   }
 }
 
 namespace {
 
-/// Runs any Propose/Tell searcher against the evaluator until the budget
-/// runs out; shared by both optimizers.
+/// Runs any Propose/Tell searcher through the trial guard until the
+/// budget runs out or the skeleton's circuit breaker opens; shared by
+/// both optimizers.
 template <typename Search>
 OptimizeResult RunSearch(Search* search, const ml::PipelineSpec& skeleton,
-                         TrialEvaluator* evaluator, Budget* budget,
+                         TrialGuard* guard, Budget* budget,
                          uint64_t seed) {
   OptimizeResult result;
   result.best_spec = skeleton;
+  const std::string group = skeleton.ToString();
   uint64_t trial_seed = seed;
-  while (budget->ConsumeTrial()) {
+  while (!guard->CircuitOpen(group) && budget->ConsumeTrial()) {
     ml::HyperParams config = search->Propose();
     ml::PipelineSpec spec = skeleton;
     // Merge skeleton params under the proposed configuration.
     for (const auto& [k, v] : config.numeric()) spec.params.SetNum(k, v);
     for (const auto& [k, v] : config.strings()) spec.params.SetStr(k, v);
-    auto score = evaluator->Evaluate(spec, ++trial_seed);
-    double value = score.ok() ? *score : -1e18;
-    search->Tell(config, value);
-    evaluator->Record(spec, value);
+    GuardedTrial trial = guard->Evaluate(spec, ++trial_seed, group);
     ++result.trials;
-    if (value > result.best_score) {
-      result.best_score = value;
-      result.best_spec = spec;
+    if (trial.ok()) {
+      search->Tell(config, trial.score);
+      if (trial.score > result.best_score) {
+        result.best_score = trial.score;
+        result.best_spec = spec;
+      }
+    } else {
+      // Failure signal: NaN shrinks CFO's step without polluting the
+      // incumbent (the searchers are NaN-safe by contract).
+      search->Tell(config, std::numeric_limits<double>::quiet_NaN());
+      ++result.failures;
     }
+  }
+  if (guard->CircuitOpen(group)) {
+    result.abandoned = true;
+    guard->NoteRedistribution(group, budget->remaining_trials());
   }
   return result;
 }
@@ -82,11 +108,11 @@ OptimizeResult RunSearch(Search* search, const ml::PipelineSpec& skeleton,
 class FlamlOptimizer : public HpOptimizer {
  public:
   OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
-                                  TrialEvaluator* evaluator, Budget* budget,
+                                  TrialGuard* guard, Budget* budget,
                                   uint64_t seed) const override {
     CfoSearch search(
         SpaceForSkeleton(skeleton.learner, skeleton.preprocessors), seed);
-    return RunSearch(&search, skeleton, evaluator, budget, seed);
+    return RunSearch(&search, skeleton, guard, budget, seed);
   }
   std::string name() const override { return "flaml"; }
 };
@@ -94,11 +120,11 @@ class FlamlOptimizer : public HpOptimizer {
 class AskOptimizer : public HpOptimizer {
  public:
   OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
-                                  TrialEvaluator* evaluator, Budget* budget,
+                                  TrialGuard* guard, Budget* budget,
                                   uint64_t seed) const override {
     RandomSearch search(
         SpaceForSkeleton(skeleton.learner, skeleton.preprocessors), seed);
-    return RunSearch(&search, skeleton, evaluator, budget, seed);
+    return RunSearch(&search, skeleton, guard, budget, seed);
   }
   std::string name() const override { return "autosklearn"; }
 };

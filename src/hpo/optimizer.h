@@ -6,6 +6,7 @@
 
 #include "hpo/evaluator.h"
 #include "hpo/search_space.h"
+#include "hpo/trial_guard.h"
 
 namespace kgpip::hpo {
 
@@ -14,12 +15,18 @@ struct OptimizeResult {
   ml::PipelineSpec best_spec;
   double best_score = -1e18;
   int trials = 0;
+  int failures = 0;
+  /// True when the skeleton's circuit breaker tripped and its remaining
+  /// budget was released for redistribution.
+  bool abandoned = false;
 };
 
 /// Stateful cost-frugal local search (FLAML's CFO flavour): start from
 /// the default configuration, propose one-dimension perturbations, expand
 /// the step on success and shrink it on failure, with occasional random
-/// restarts.
+/// restarts. Non-finite scores are failure signals: they shrink the step
+/// (FLAML treats failed trials as evidence to search more locally) and
+/// never enter best/incumbent comparisons.
 class CfoSearch {
  public:
   CfoSearch(SearchSpace space, uint64_t seed);
@@ -29,12 +36,15 @@ class CfoSearch {
 
   double best_score() const { return best_score_; }
   const ml::HyperParams& best_config() const { return best_config_; }
+  /// False until a finite-score trial has been told.
+  bool has_best() const { return has_best_; }
 
  private:
   SearchSpace space_;
   Rng rng_;
   double step_ = 0.3;
   bool first_ = true;
+  bool has_best_ = false;
   ml::HyperParams incumbent_;
   double incumbent_score_ = -1e18;
   ml::HyperParams best_config_;
@@ -42,7 +52,8 @@ class CfoSearch {
 };
 
 /// Stateful random search with a default-config warm start (the
-/// Auto-Sklearn-style optimizer's inner loop).
+/// Auto-Sklearn-style optimizer's inner loop). NaN-score safe like
+/// CfoSearch.
 class RandomSearch {
  public:
   RandomSearch(SearchSpace space, uint64_t seed);
@@ -52,11 +63,13 @@ class RandomSearch {
 
   double best_score() const { return best_score_; }
   const ml::HyperParams& best_config() const { return best_config_; }
+  bool has_best() const { return has_best_; }
 
  private:
   SearchSpace space_;
   Rng rng_;
   bool first_ = true;
+  bool has_best_ = false;
   ml::HyperParams best_config_;
   double best_score_ = -1e18;
 };
@@ -67,9 +80,12 @@ class HpOptimizer {
  public:
   virtual ~HpOptimizer() = default;
 
-  /// Spends `budget` tuning `skeleton`'s hyper-parameters on `evaluator`.
+  /// Spends `budget` tuning `skeleton`'s hyper-parameters through
+  /// `guard` (which owns retries, quarantine, and the per-skeleton
+  /// circuit breaker). Stops early — with `abandoned` set — when the
+  /// guard opens the skeleton's circuit.
   virtual OptimizeResult OptimizeSkeleton(const ml::PipelineSpec& skeleton,
-                                          TrialEvaluator* evaluator,
+                                          TrialGuard* guard,
                                           Budget* budget,
                                           uint64_t seed) const = 0;
   virtual std::string name() const = 0;

@@ -1,0 +1,196 @@
+#include "hpo/trial_guard.h"
+
+#include <cmath>
+
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace kgpip::hpo {
+
+const char* TrialFailureName(TrialFailure failure) {
+  switch (failure) {
+    case TrialFailure::kNone:
+      return "none";
+    case TrialFailure::kError:
+      return "error";
+    case TrialFailure::kNanScore:
+      return "nan_score";
+    case TrialFailure::kTimeout:
+      return "timeout";
+    case TrialFailure::kCircuitOpen:
+      return "circuit_open";
+  }
+  return "unknown";
+}
+
+SkeletonReport* RunReport::FindOrAdd(const std::string& key) {
+  for (SkeletonReport& s : skeletons) {
+    if (s.key == key) return &s;
+  }
+  skeletons.push_back(SkeletonReport{});
+  skeletons.back().key = key;
+  return &skeletons.back();
+}
+
+const SkeletonReport* RunReport::Find(const std::string& key) const {
+  for (const SkeletonReport& s : skeletons) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+Json RunReport::ToJson() const {
+  Json out = Json::Object();
+  Json groups = Json::Array();
+  for (const SkeletonReport& s : skeletons) {
+    Json g = Json::Object();
+    g.Set("key", s.key);
+    g.Set("trials", s.trials);
+    g.Set("failures", s.failures);
+    g.Set("retries", s.retries);
+    g.Set("nan_quarantined", s.nan_quarantined);
+    g.Set("timeouts", s.timeouts);
+    g.Set("abandoned", s.abandoned);
+    g.Set("redistributed_trials", s.redistributed_trials);
+    g.Set("best_score", s.best_score);
+    groups.Append(std::move(g));
+  }
+  out.Set("skeletons", std::move(groups));
+  Json taxonomy = Json::Object();
+  for (const auto& [code, count] : failures_by_code) {
+    taxonomy.Set(StatusCodeName(code), count);
+  }
+  out.Set("failures_by_code", std::move(taxonomy));
+  out.Set("total_trials", total_trials);
+  out.Set("total_failures", total_failures);
+  out.Set("total_retries", total_retries);
+  out.Set("quarantined_scores", quarantined_scores);
+  out.Set("timeouts", timeouts);
+  out.Set("circuit_breaker_trips", circuit_breaker_trips);
+  out.Set("simulated_backoff_seconds", simulated_backoff_seconds);
+  out.Set("fallback_portfolio", fallback_portfolio);
+  out.Set("last_resort_pass", last_resort_pass);
+  out.Set("returned_best_so_far", returned_best_so_far);
+  out.Set("notes", notes);
+  return out;
+}
+
+std::string RunReport::Summary() const {
+  std::string out = StrFormat(
+      "trials=%d failures=%d retries=%d nan=%d timeouts=%d breaker=%d",
+      total_trials, total_failures, total_retries, quarantined_scores,
+      timeouts, circuit_breaker_trips);
+  if (fallback_portfolio) out += " fallback_portfolio";
+  if (last_resort_pass) out += " last_resort";
+  if (returned_best_so_far) out += " best_so_far";
+  return out;
+}
+
+GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
+                                  uint64_t seed, const std::string& group) {
+  GuardedTrial out;
+  if (CircuitOpen(group)) {
+    out.failure = TrialFailure::kCircuitOpen;
+    out.code = StatusCode::kFailedPrecondition;
+    return out;
+  }
+
+  SkeletonReport* sr = report_.FindOrAdd(group);
+  ++sr->trials;
+  ++report_.total_trials;
+
+  util::FaultInjector* inject = util::FaultInjector::Active();
+  Stopwatch watch;
+  double injected_delay = 0.0;
+  Status error;
+  for (int attempt = 0;; ++attempt) {
+    // Each attempt re-seeds so a retry is not a bit-identical rerun.
+    uint64_t attempt_seed =
+        seed + static_cast<uint64_t>(attempt) * 0x9E3779B9ULL;
+    Result<double> score = inject != nullptr
+                               ? [&]() -> Result<double> {
+                                   if (auto fault =
+                                           inject->EvaluatorFault(
+                                               spec.learner)) {
+                                     return *fault;
+                                   }
+                                   return evaluator_->Evaluate(spec,
+                                                               attempt_seed);
+                                 }()
+                               : evaluator_->Evaluate(spec, attempt_seed);
+    if (inject != nullptr) {
+      injected_delay += inject->InjectedDelaySeconds(spec.learner);
+    }
+
+    if (score.ok()) {
+      double value = *score;
+      if (inject != nullptr && inject->InjectNanScore(spec.learner)) {
+        value = std::nan("");
+      }
+      // NaN/Inf quarantine: a non-finite score must never reach the
+      // searcher's comparisons or the incumbent. Not transient, so no
+      // retry.
+      if (!std::isfinite(value)) {
+        out.failure = TrialFailure::kNanScore;
+        out.code = StatusCode::kOutOfRange;
+        ++sr->nan_quarantined;
+        ++report_.quarantined_scores;
+        break;
+      }
+      double elapsed = watch.ElapsedSeconds() + injected_delay;
+      if (options_.trial_deadline_seconds > 0.0 &&
+          elapsed > options_.trial_deadline_seconds) {
+        out.failure = TrialFailure::kTimeout;
+        out.code = StatusCode::kResourceExhausted;
+        ++sr->timeouts;
+        ++report_.timeouts;
+        break;
+      }
+      out.score = value;
+      out.failure = TrialFailure::kNone;
+      out.code = StatusCode::kOk;
+      break;
+    }
+
+    error = score.status();
+    const bool transient = error.code() == StatusCode::kInternal ||
+                           error.code() == StatusCode::kResourceExhausted;
+    if (transient && out.retries < options_.max_retries) {
+      ++out.retries;
+      ++sr->retries;
+      ++report_.total_retries;
+      report_.simulated_backoff_seconds +=
+          options_.retry_backoff_seconds * static_cast<double>(1 << attempt);
+      continue;
+    }
+    out.failure = TrialFailure::kError;
+    out.code = error.code();
+    break;
+  }
+
+  evaluator_->Record(spec, out.ok() ? out.score : -1e18);
+  if (out.ok()) {
+    consecutive_failures_[group] = 0;
+    if (out.score > sr->best_score) sr->best_score = out.score;
+    return out;
+  }
+
+  ++sr->failures;
+  ++report_.total_failures;
+  ++report_.failures_by_code[out.code];
+  int streak = ++consecutive_failures_[group];
+  if (options_.circuit_breaker_threshold > 0 &&
+      streak >= options_.circuit_breaker_threshold) {
+    open_.insert(group);
+    sr->abandoned = true;
+    ++report_.circuit_breaker_trips;
+  }
+  return out;
+}
+
+void TrialGuard::NoteRedistribution(const std::string& group, int trials) {
+  if (trials <= 0) return;
+  report_.FindOrAdd(group)->redistributed_trials += trials;
+}
+
+}  // namespace kgpip::hpo

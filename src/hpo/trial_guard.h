@@ -1,0 +1,132 @@
+#ifndef KGPIP_HPO_TRIAL_GUARD_H_
+#define KGPIP_HPO_TRIAL_GUARD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hpo/evaluator.h"
+#include "util/json.h"
+
+namespace kgpip::hpo {
+
+/// Why a guarded trial produced no usable score.
+enum class TrialFailure {
+  kNone = 0,       // trial succeeded
+  kError,          // evaluator returned a non-OK status (after retries)
+  kNanScore,       // score was NaN/Inf and was quarantined
+  kTimeout,        // trial ran past the per-trial deadline
+  kCircuitOpen,    // the skeleton's circuit breaker is open; not evaluated
+};
+const char* TrialFailureName(TrialFailure failure);
+
+/// Outcome of one guarded evaluation.
+struct GuardedTrial {
+  bool ok() const { return failure == TrialFailure::kNone; }
+  double score = -1e18;  // meaningful only when ok()
+  TrialFailure failure = TrialFailure::kNone;
+  StatusCode code = StatusCode::kOk;  // taxonomy bucket for failures
+  int retries = 0;       // transient-failure retries spent on this trial
+};
+
+/// Knobs for the guard; the defaults match `KgpipConfig`.
+struct TrialGuardOptions {
+  /// Retries per trial on transient codes (kInternal/kResourceExhausted).
+  int max_retries = 2;
+  /// Simulated backoff recorded (not slept) per retry; doubles each
+  /// attempt. Keeping it virtual keeps guarded runs deterministic.
+  double retry_backoff_seconds = 0.05;
+  /// Per-trial wall-clock deadline; 0 disables it. Evaluation is
+  /// single-threaded so the check is post-hoc: an overrunning trial's
+  /// score is discarded and counted as a timeout.
+  double trial_deadline_seconds = 0.0;
+  /// Consecutive failures (per group) that open the circuit breaker and
+  /// abandon the skeleton; <= 0 disables breaking.
+  int circuit_breaker_threshold = 3;
+};
+
+/// Per-skeleton (or per-learner) slice of a run's failure accounting.
+struct SkeletonReport {
+  std::string key;  // skeleton spec string or learner name
+  int trials = 0;
+  int failures = 0;
+  int retries = 0;
+  int nan_quarantined = 0;
+  int timeouts = 0;
+  bool abandoned = false;         // circuit breaker tripped
+  int redistributed_trials = 0;   // budget released to surviving skeletons
+  double best_score = -1e18;
+};
+
+/// Structured account of why (and how much) a run degraded, attached to
+/// `automl::AutoMlResult`. Deliberately wall-clock-free so a fixed seed
+/// yields a byte-identical report.
+struct RunReport {
+  std::vector<SkeletonReport> skeletons;
+  /// Failure taxonomy over terminal (post-retry) trial failures.
+  std::map<StatusCode, int> failures_by_code;
+  int total_trials = 0;
+  int total_failures = 0;
+  int total_retries = 0;
+  int quarantined_scores = 0;
+  int timeouts = 0;
+  int circuit_breaker_trips = 0;
+  double simulated_backoff_seconds = 0.0;
+  /// Degradation ladder flags (see DESIGN.md "Failure semantics").
+  bool fallback_portfolio = false;   // skeleton prediction failed
+  bool last_resort_pass = false;     // search yielded nothing; defaults run
+  bool returned_best_so_far = false; // budget expired before all skeletons
+  std::string notes;
+
+  SkeletonReport* FindOrAdd(const std::string& key);
+  const SkeletonReport* Find(const std::string& key) const;
+
+  Json ToJson() const;
+  /// One-line human summary for logs and the bench harness.
+  std::string Summary() const;
+};
+
+/// Wraps a `TrialEvaluator` with the fault-tolerance policy: NaN/Inf
+/// score quarantine, per-trial deadline, bounded retry-with-backoff on
+/// transient failures, and a per-group circuit breaker. All failure
+/// accounting lands in the embedded `RunReport`. Groups are arbitrary
+/// strings — KGpip uses the skeleton spec, the host-optimizer baselines
+/// use the learner name.
+class TrialGuard {
+ public:
+  TrialGuard(TrialEvaluator* evaluator, TrialGuardOptions options)
+      : evaluator_(evaluator), options_(options) {}
+
+  /// Evaluates `spec` under the guard. Never propagates an error: every
+  /// outcome is a `GuardedTrial`. A trial against an open circuit returns
+  /// kCircuitOpen without touching the evaluator (and without counting a
+  /// trial).
+  GuardedTrial Evaluate(const ml::PipelineSpec& spec, uint64_t seed,
+                        const std::string& group);
+
+  /// True once `group` has been abandoned by the circuit breaker.
+  bool CircuitOpen(const std::string& group) const {
+    return open_.count(group) > 0;
+  }
+
+  /// Records budget trials an abandoned group released back to the pool.
+  void NoteRedistribution(const std::string& group, int trials);
+
+  const TrialEvaluator& evaluator() const { return *evaluator_; }
+  const TrialGuardOptions& options() const { return options_; }
+  RunReport& report() { return report_; }
+  /// Moves the accumulated report out (the guard keeps running state).
+  RunReport TakeReport() { return std::move(report_); }
+
+ private:
+  TrialEvaluator* evaluator_;
+  TrialGuardOptions options_;
+  RunReport report_;
+  std::map<std::string, int> consecutive_failures_;
+  std::set<std::string> open_;
+};
+
+}  // namespace kgpip::hpo
+
+#endif  // KGPIP_HPO_TRIAL_GUARD_H_

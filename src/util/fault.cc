@@ -1,0 +1,96 @@
+#include "util/fault.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgpip::util {
+
+namespace {
+
+FaultInjector* g_active = nullptr;
+
+/// Site identifiers feeding the decision hash; stable across runs.
+enum Site {
+  kSiteEvaluatorError = 1,
+  kSiteResourceExhausted = 2,
+  kSiteNanScore = 3,
+  kSiteSlowTrial = 4,
+};
+
+/// SplitMix64 finalizer — turns a structured key into white bits.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector* FaultInjector::Active() { return g_active; }
+
+bool FaultInjector::Roll(int site, const std::string& key, double rate) {
+  if (rate <= 0.0) return false;
+  uint64_t index = calls_[{site, key}]++;
+  uint64_t h = Mix(config_.seed ^ Mix(static_cast<uint64_t>(site)) ^
+                   Fnv1a64(key) ^ Mix(index * 0x2545F4914F6CDD1DULL));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+std::optional<Status> FaultInjector::EvaluatorFault(
+    const std::string& learner) {
+  if (config_.fail_learners.count(learner) > 0) {
+    ++counters_.evaluator_errors;
+    return Status::Internal("injected: learner '" + learner +
+                            "' always fails");
+  }
+  if (Roll(kSiteEvaluatorError, learner, config_.evaluator_error_rate)) {
+    ++counters_.evaluator_errors;
+    return Status::Internal("injected evaluator error for '" + learner +
+                            "'");
+  }
+  if (Roll(kSiteResourceExhausted, learner,
+           config_.resource_exhausted_rate)) {
+    ++counters_.resource_exhausted;
+    return Status::ResourceExhausted("injected transient exhaustion for '" +
+                                     learner + "'");
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::InjectNanScore(const std::string& learner) {
+  if (Roll(kSiteNanScore, learner, config_.nan_score_rate)) {
+    ++counters_.nan_scores;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::InjectedDelaySeconds(const std::string& learner) {
+  if (Roll(kSiteSlowTrial, learner, config_.slow_trial_rate)) {
+    ++counters_.slow_trials;
+    return config_.slow_trial_seconds;
+  }
+  return 0.0;
+}
+
+void FaultInjector::CorruptArtifact(std::string* payload) {
+  if (config_.corrupt_byte_stride <= 0 || payload->empty()) return;
+  for (size_t i = 0; i < payload->size();
+       i += static_cast<size_t>(config_.corrupt_byte_stride)) {
+    (*payload)[i] = static_cast<char>((*payload)[i] ^ 0x20);
+    ++counters_.corrupted_bytes;
+  }
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultConfig config)
+    : injector_(std::move(config)) {
+  KGPIP_CHECK(g_active == nullptr)
+      << "nested ScopedFaultInjection scopes are not supported";
+  g_active = &injector_;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() { g_active = nullptr; }
+
+}  // namespace kgpip::util

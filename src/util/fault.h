@@ -1,0 +1,106 @@
+#ifndef KGPIP_UTIL_FAULT_H_
+#define KGPIP_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "util/status.h"
+
+namespace kgpip::util {
+
+/// Deterministic fault-injection configuration. Rates are probabilities
+/// in [0, 1]. Every injection decision is a pure function of
+/// (config seed, site, key, per-site-and-key call index), so a run with
+/// a fixed seed sees the identical fault sequence regardless of wall
+/// clock or call interleaving — CI can assert on exact degradation
+/// behaviour.
+struct FaultConfig {
+  uint64_t seed = 0;
+  /// P(an Evaluate call fails with kInternal) — a *permanent* trial
+  /// failure; retrying re-rolls with the next call index.
+  double evaluator_error_rate = 0.0;
+  /// P(an Evaluate call fails with kResourceExhausted) — the transient
+  /// flavour, expected to clear under retry-with-backoff.
+  double resource_exhausted_rate = 0.0;
+  /// P(an Evaluate call yields a NaN score instead of a real one).
+  double nan_score_rate = 0.0;
+  /// P(a trial reports `slow_trial_seconds` of extra simulated latency),
+  /// used to exercise per-trial deadlines without real sleeps.
+  double slow_trial_rate = 0.0;
+  double slow_trial_seconds = 0.0;
+  /// Learners whose every trial fails with kInternal — the
+  /// "always-invalid skeleton" that must trip the circuit breaker.
+  std::set<std::string> fail_learners;
+  /// Flip one bit in every `corrupt_byte_stride`-th payload byte of a
+  /// saved artifact (0 = off).
+  int corrupt_byte_stride = 0;
+};
+
+/// Counters of faults actually injected, for test assertions.
+struct FaultCounters {
+  int evaluator_errors = 0;
+  int resource_exhausted = 0;
+  int nan_scores = 0;
+  int slow_trials = 0;
+  int corrupted_bytes = 0;
+};
+
+/// The process-wide fault injector. Production code consults
+/// `FaultInjector::Active()` at its fault sites; when no `ScopedFaultInjection`
+/// is live the pointer is null and every site is a no-op branch.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  /// Null when no injection scope is active (the production default).
+  static FaultInjector* Active();
+
+  /// Fault decision for one Evaluate attempt on `learner`. Returns the
+  /// injected error status, or nullopt to let the real evaluation run.
+  std::optional<Status> EvaluatorFault(const std::string& learner);
+
+  /// True if this attempt's score should be replaced with NaN.
+  bool InjectNanScore(const std::string& learner);
+
+  /// Extra simulated latency (seconds) for this attempt; 0 when the
+  /// trial is not selected as slow.
+  double InjectedDelaySeconds(const std::string& learner);
+
+  /// Corrupts artifact bytes in place per `corrupt_byte_stride`.
+  void CorruptArtifact(std::string* payload);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// Deterministic Bernoulli draw for (site, key, call index).
+  bool Roll(int site, const std::string& key, double rate);
+
+  FaultConfig config_;
+  FaultCounters counters_;
+  /// Per-(site, key) call indices; the only mutable decision state.
+  std::map<std::pair<int, std::string>, uint64_t> calls_;
+};
+
+/// RAII installation of a fault injector. Scopes may not nest (the inner
+/// scope would silently mask the outer one); nesting aborts via KGPIP_CHECK.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultConfig config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace kgpip::util
+
+#endif  // KGPIP_UTIL_FAULT_H_

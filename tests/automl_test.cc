@@ -89,8 +89,9 @@ TEST(OptimizerTest, CfoImprovesOverDefault) {
   auto optimizer = hpo::CreateOptimizer("flaml");
   ASSERT_TRUE(optimizer.ok());
   hpo::Budget budget(20, 1e9);
+  hpo::TrialGuard guard(&*evaluator, hpo::TrialGuardOptions{});
   hpo::OptimizeResult result = (*optimizer)->OptimizeSkeleton(
-      skeleton, &*evaluator, &budget, 5);
+      skeleton, &guard, &budget, 5);
   EXPECT_EQ(result.trials, 20);
   EXPECT_GT(result.best_score, 0.6);
   // The default config is trial 1; the best must be at least as good.

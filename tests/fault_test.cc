@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+#include "data/synthetic.h"
+#include "hpo/optimizer.h"
+#include "hpo/trial_guard.h"
+#include "ml/learner.h"
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace kgpip {
+namespace {
+
+Table MakeTable(uint64_t seed, int rows = 150) {
+  DatasetSpec spec;
+  spec.name = "fault_ds";
+  spec.family = ConceptFamily::kLinear;
+  spec.rows = rows;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+Result<hpo::TrialEvaluator> MakeEvaluator(const Table& table) {
+  return hpo::TrialEvaluator::Create(
+      table, TaskType::kBinaryClassification, 0.25, 3);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+TEST(FaultInjectorTest, InactiveWithoutScope) {
+  EXPECT_EQ(util::FaultInjector::Active(), nullptr);
+  {
+    util::ScopedFaultInjection scope(util::FaultConfig{});
+    EXPECT_EQ(util::FaultInjector::Active(), &scope.injector());
+  }
+  EXPECT_EQ(util::FaultInjector::Active(), nullptr);
+}
+
+TEST(FaultInjectorTest, DeterministicForFixedSeed) {
+  util::FaultConfig config;
+  config.seed = 7;
+  config.evaluator_error_rate = 0.5;
+  auto draw = [&config]() {
+    std::vector<bool> out;
+    util::FaultInjector injector(config);
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(injector.EvaluatorFault("learner").has_value());
+    }
+    return out;
+  };
+  std::vector<bool> a = draw();
+  EXPECT_EQ(a, draw());
+  // A 50% rate must actually produce both outcomes.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+
+  // A different seed yields a different sequence.
+  config.seed = 8;
+  EXPECT_NE(a, draw());
+}
+
+TEST(FaultInjectorTest, AlwaysFailLearnersAlwaysFail) {
+  util::FaultConfig config;
+  config.fail_learners = {"knn"};
+  util::FaultInjector injector(config);
+  for (int i = 0; i < 8; ++i) {
+    auto fault = injector.EvaluatorFault("knn");
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->code(), StatusCode::kInternal);
+  }
+  EXPECT_FALSE(injector.EvaluatorFault("ridge").has_value());
+}
+
+TEST(FaultInjectorTest, CorruptsArtifactBytes) {
+  util::FaultConfig config;
+  config.corrupt_byte_stride = 4;
+  util::FaultInjector injector(config);
+  std::string payload(16, 'a');
+  std::string original = payload;
+  injector.CorruptArtifact(&payload);
+  EXPECT_NE(payload, original);
+  EXPECT_EQ(injector.counters().corrupted_bytes, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Budget remainder distribution (satellite fix)
+
+TEST(BudgetTest, SplitRemainingDistributesRemainder) {
+  hpo::Budget budget(10, 1e9);
+  // Ceiling division: the first slice carries the remainder trial
+  // instead of dropping it (10 / 3 used to yield 3+3+3 = 9).
+  EXPECT_EQ(budget.SplitRemaining(3).max_trials(), 4);
+
+  // The Fit loop re-splits the remainder after each skeleton: no trial
+  // is lost in total.
+  int total = 0;
+  for (int i = 0; i < 3; ++i) {
+    hpo::Budget slice = budget.SplitRemaining(3 - i);
+    while (slice.ConsumeTrial()) {
+      ++total;
+      budget.ConsumeTrial();
+    }
+  }
+  EXPECT_EQ(total, 10);
+}
+
+// ---------------------------------------------------------------------------
+// NaN-safe searchers (satellite fix)
+
+TEST(NanGuardTest, CfoSearchNeverReturnsEmptyIncumbent) {
+  hpo::CfoSearch search(hpo::SpaceForLearner("decision_tree"), 1);
+  ml::HyperParams first = search.Propose();
+  ASSERT_FALSE(first.numeric().empty() && first.strings().empty());
+  search.Tell(first, std::nan(""));
+  EXPECT_FALSE(search.has_best());
+  // Even with only NaN scores told, the incumbent is the last-told
+  // config, not an empty one.
+  EXPECT_FALSE(search.best_config().numeric().empty() &&
+               search.best_config().strings().empty());
+  // Proposals from NaN-poisoned state still work.
+  ml::HyperParams second = search.Propose();
+  search.Tell(second, 0.4);
+  EXPECT_TRUE(search.has_best());
+  EXPECT_DOUBLE_EQ(search.best_score(), 0.4);
+  // A later NaN cannot dethrone the finite best.
+  search.Tell(search.Propose(), std::nan(""));
+  EXPECT_DOUBLE_EQ(search.best_score(), 0.4);
+  search.Tell(search.Propose(),
+              std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(search.best_score(), 0.4);
+}
+
+TEST(NanGuardTest, RandomSearchNeverReturnsEmptyIncumbent) {
+  hpo::RandomSearch search(hpo::SpaceForLearner("decision_tree"), 1);
+  ml::HyperParams first = search.Propose();
+  search.Tell(first, std::nan(""));
+  EXPECT_FALSE(search.has_best());
+  EXPECT_FALSE(search.best_config().numeric().empty() &&
+               search.best_config().strings().empty());
+  ml::HyperParams second = search.Propose();
+  search.Tell(second, 0.25);
+  EXPECT_DOUBLE_EQ(search.best_score(), 0.25);
+  search.Tell(search.Propose(), std::nan(""));
+  EXPECT_DOUBLE_EQ(search.best_score(), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// TrialGuard
+
+TEST(TrialGuardTest, QuarantinesInjectedNanScores) {
+  Table table = MakeTable(3);
+  auto evaluator = MakeEvaluator(table);
+  ASSERT_TRUE(evaluator.ok());
+  util::FaultConfig config;
+  config.nan_score_rate = 1.0;
+  util::ScopedFaultInjection scope(config);
+  hpo::TrialGuardOptions options;
+  options.circuit_breaker_threshold = 0;  // isolate the quarantine path
+  hpo::TrialGuard guard(&*evaluator, options);
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  for (int i = 0; i < 5; ++i) {
+    hpo::GuardedTrial trial = guard.Evaluate(spec, 100 + i, "g");
+    EXPECT_FALSE(trial.ok());
+    EXPECT_EQ(trial.failure, hpo::TrialFailure::kNanScore);
+  }
+  EXPECT_EQ(guard.report().quarantined_scores, 5);
+  EXPECT_EQ(guard.report().failures_by_code[StatusCode::kOutOfRange], 5);
+  // The quarantined scores were recorded as failures, not NaN, so the
+  // evaluator history stays finite.
+  for (const hpo::TrialRecord& record : evaluator->history()) {
+    EXPECT_TRUE(std::isfinite(record.score));
+  }
+}
+
+TEST(TrialGuardTest, RetriesTransientFailures) {
+  Table table = MakeTable(4);
+  auto evaluator = MakeEvaluator(table);
+  ASSERT_TRUE(evaluator.ok());
+  util::FaultConfig config;
+  config.seed = 11;
+  config.resource_exhausted_rate = 0.6;
+  util::ScopedFaultInjection scope(config);
+  hpo::TrialGuardOptions options;
+  options.max_retries = 4;
+  options.circuit_breaker_threshold = 0;
+  hpo::TrialGuard guard(&*evaluator, options);
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    hpo::GuardedTrial trial = guard.Evaluate(spec, 200 + i, "g");
+    if (trial.ok()) ++successes;
+  }
+  // A 60% transient rate with 4 retries still lands most trials.
+  EXPECT_GE(successes, 5);
+  EXPECT_GT(guard.report().total_retries, 0);
+  EXPECT_GT(guard.report().simulated_backoff_seconds, 0.0);
+}
+
+TEST(TrialGuardTest, CircuitBreakerOpensAndRedistributes) {
+  Table table = MakeTable(5);
+  auto evaluator = MakeEvaluator(table);
+  ASSERT_TRUE(evaluator.ok());
+  util::FaultConfig config;
+  config.fail_learners = {"decision_tree"};
+  util::ScopedFaultInjection scope(config);
+  hpo::TrialGuardOptions options;
+  options.max_retries = 0;
+  options.circuit_breaker_threshold = 3;
+  hpo::TrialGuard guard(&*evaluator, options);
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  for (int i = 0; i < 3; ++i) {
+    hpo::GuardedTrial trial = guard.Evaluate(spec, 300 + i, "g");
+    EXPECT_EQ(trial.failure, hpo::TrialFailure::kError);
+    EXPECT_EQ(trial.code, StatusCode::kInternal);
+  }
+  EXPECT_TRUE(guard.CircuitOpen("g"));
+  // Further trials are rejected without touching the evaluator.
+  hpo::GuardedTrial rejected = guard.Evaluate(spec, 999, "g");
+  EXPECT_EQ(rejected.failure, hpo::TrialFailure::kCircuitOpen);
+  guard.NoteRedistribution("g", 5);
+
+  const hpo::SkeletonReport* report = guard.report().Find("g");
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->abandoned);
+  EXPECT_EQ(report->trials, 3);  // the rejected trial does not count
+  EXPECT_EQ(report->failures, 3);
+  EXPECT_EQ(report->redistributed_trials, 5);
+  EXPECT_EQ(guard.report().circuit_breaker_trips, 1);
+  // An unrelated group is unaffected.
+  EXPECT_FALSE(guard.CircuitOpen("other"));
+}
+
+TEST(TrialGuardTest, DeadlineTimesOutSlowTrials) {
+  Table table = MakeTable(6);
+  auto evaluator = MakeEvaluator(table);
+  ASSERT_TRUE(evaluator.ok());
+  util::FaultConfig config;
+  config.slow_trial_rate = 1.0;
+  config.slow_trial_seconds = 10.0;
+  util::ScopedFaultInjection scope(config);
+  hpo::TrialGuardOptions options;
+  options.trial_deadline_seconds = 1.0;
+  hpo::TrialGuard guard(&*evaluator, options);
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  hpo::GuardedTrial trial = guard.Evaluate(spec, 1, "g");
+  EXPECT_EQ(trial.failure, hpo::TrialFailure::kTimeout);
+  EXPECT_EQ(guard.report().timeouts, 1);
+}
+
+TEST(TrialGuardTest, ReportJsonRoundsUpTheTaxonomy) {
+  hpo::RunReport report;
+  hpo::SkeletonReport* group = report.FindOrAdd("skeleton_a");
+  group->trials = 4;
+  group->failures = 2;
+  group->abandoned = true;
+  report.failures_by_code[StatusCode::kInternal] = 2;
+  report.total_trials = 4;
+  report.total_failures = 2;
+  report.fallback_portfolio = true;
+  Json json = report.ToJson();
+  EXPECT_EQ(json.Get("total_trials").AsInt(), 4);
+  EXPECT_TRUE(json.Get("fallback_portfolio").AsBool());
+  EXPECT_EQ(json.Get("failures_by_code").Get("INTERNAL").AsInt(), 2);
+  ASSERT_EQ(json.Get("skeletons").size(), 1u);
+  EXPECT_TRUE(json.Get("skeletons").at(0).Get("abandoned").AsBool());
+  EXPECT_FALSE(report.Summary().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation in Fit
+
+TEST(DegradationTest, FallbackPortfolioFiltersByTask) {
+  auto classification =
+      core::FallbackPortfolio(TaskType::kBinaryClassification, 4);
+  ASSERT_EQ(classification.size(), 4u);
+  for (const auto& s : classification) {
+    EXPECT_TRUE(ml::LearnerSupports(s.spec.learner,
+                                    TaskType::kBinaryClassification));
+  }
+  auto regression = core::FallbackPortfolio(TaskType::kRegression, 100);
+  ASSERT_GE(regression.size(), 3u);
+  for (const auto& s : regression) {
+    EXPECT_TRUE(ml::LearnerSupports(s.spec.learner, TaskType::kRegression));
+  }
+}
+
+TEST(DegradationTest, UntrainedFitFallsBackToPortfolio) {
+  // Skeleton prediction cannot work before Train; Fit must degrade to
+  // the static portfolio instead of erroring.
+  core::Kgpip fresh;
+  Table table = MakeTable(9, 200);
+  auto split = SplitTable(table, 0.25, 2);
+  auto result = fresh.Fit(split.train, TaskType::kBinaryClassification,
+                          hpo::Budget(12, 1e9), 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->report.fallback_portfolio);
+  EXPECT_FALSE(result->best_spec.learner.empty());
+  EXPECT_GT(result->report.total_trials, 0);
+  auto score = result->fitted.ScoreTable(split.test);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact checksum (satellite fix) — header-level failures need no
+// trained model.
+
+TEST(ArtifactTest, TruncatedArtifactReportsByteOffsets) {
+  const std::string path = "/tmp/kgpip_fault_truncated.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "KGPIP1 0123456789abcdef 400\n{\"store\"";
+  }
+  core::Kgpip kgpip;
+  Status status = kgpip.LoadFile(path);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Contains(status.message(), "truncated"));
+  EXPECT_TRUE(Contains(status.message(), "400"));
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, ChecksumMismatchReportsByteRange) {
+  const std::string path = "/tmp/kgpip_fault_checksum.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "KGPIP1 0000000000000000 2\n{}";
+  }
+  core::Kgpip kgpip;
+  Status status = kgpip.LoadFile(path);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Contains(status.message(), "checksum mismatch"));
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, LegacyPayloadWithBadJsonIsAParseError) {
+  const std::string path = "/tmp/kgpip_fault_legacy.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this was never json";
+  }
+  core::Kgpip kgpip;
+  Status status = kgpip.LoadFile(path);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Contains(status.message(), "JSON"));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a trained KGpip under injected faults.
+
+class FaultKgpipFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkRegistry registry;
+    auto specs = registry.TrainingSpecs();
+    std::vector<DatasetSpec> chosen;
+    for (const auto& spec : specs) {
+      if (spec.task == TaskType::kRegression) continue;
+      chosen.push_back(spec);
+      if (chosen.size() >= 8) break;
+    }
+    core::KgpipConfig config;
+    config.top_k = 3;
+    config.generator_epochs = 6;
+    kgpip_ = new core::Kgpip(config);
+    codegraph::CorpusOptions corpus;
+    corpus.pipelines_per_dataset = 6;
+    corpus.noise_scripts_per_dataset = 1;
+    auto status = kgpip_->Train(chosen, corpus, 11);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete kgpip_;
+    kgpip_ = nullptr;
+  }
+
+  static core::Kgpip* kgpip_;
+};
+
+core::Kgpip* FaultKgpipFixture::kgpip_ = nullptr;
+
+TEST_F(FaultKgpipFixture, SaveLoadRoundTripsWithChecksumHeader) {
+  const std::string path = "/tmp/kgpip_fault_roundtrip.bin";
+  ASSERT_TRUE(kgpip_->SaveFile(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string magic(7, '\0');
+    in.read(magic.data(), 7);
+    EXPECT_EQ(magic, "KGPIP1 ");
+  }
+  core::Kgpip reloaded(kgpip_->config());
+  ASSERT_TRUE(reloaded.LoadFile(path).ok());
+  EXPECT_TRUE(reloaded.trained());
+  EXPECT_EQ(reloaded.store().NumPipelines(),
+            kgpip_->store().NumPipelines());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultKgpipFixture, InjectedArtifactCorruptionIsDetectedOnLoad) {
+  const std::string path = "/tmp/kgpip_fault_corrupt.bin";
+  {
+    util::FaultConfig config;
+    config.corrupt_byte_stride = 64;
+    util::ScopedFaultInjection scope(config);
+    ASSERT_TRUE(kgpip_->SaveFile(path).ok());
+    EXPECT_GT(scope.injector().counters().corrupted_bytes, 0);
+  }
+  core::Kgpip broken(kgpip_->config());
+  Status status = broken.LoadFile(path);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Contains(status.message(), "checksum mismatch"))
+      << status.ToString();
+  EXPECT_FALSE(broken.trained());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultKgpipFixture, FitSurvivesInjectedFaultsDeterministically) {
+  Table table = MakeTable(21, 260);
+  auto split = SplitTable(table, 0.25, 4);
+  const uint64_t fit_seed = 17;
+  // Fit re-predicts with the same seed, so this preview tells us which
+  // skeleton to sabotage.
+  auto predicted = kgpip_->PredictSkeletons(
+      split.train, TaskType::kBinaryClassification, fit_seed);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  const std::string victim = (*predicted)[0].spec.learner;
+
+  auto run = [&]() {
+    util::FaultConfig config;
+    config.seed = 99;
+    config.evaluator_error_rate = 0.3;  // 30% trial failure rate
+    config.fail_learners = {victim};    // one always-failing skeleton
+    util::ScopedFaultInjection scope(config);
+    return kgpip_->Fit(split.train, TaskType::kBinaryClassification,
+                       hpo::Budget(30, 1e9), fit_seed);
+  };
+
+  auto first = run();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->best_spec.learner.empty());
+  EXPECT_NE(first->best_spec.learner, victim);
+  EXPECT_GT(first->report.total_failures, 0);
+
+  // The always-failing skeleton tripped its circuit breaker and released
+  // the rest of its slice for redistribution.
+  bool found_abandoned = false;
+  for (const hpo::SkeletonReport& s : first->report.skeletons) {
+    if (s.abandoned && Contains(s.key, victim)) {
+      found_abandoned = true;
+      EXPECT_GT(s.redistributed_trials, 0) << s.key;
+    }
+  }
+  EXPECT_TRUE(found_abandoned)
+      << "no abandoned skeleton for '" << victim << "' in "
+      << first->report.ToJson().Dump();
+
+  // Determinism: an identical seed and fault config reproduces the run
+  // byte-for-byte.
+  auto second = run();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->best_spec.ToString(), second->best_spec.ToString());
+  EXPECT_EQ(first->trials, second->trials);
+  EXPECT_EQ(first->report.ToJson().Dump(),
+            second->report.ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace kgpip
