@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_embedding_tsne.dir/bench_fig10_embedding_tsne.cc.o"
+  "CMakeFiles/bench_fig10_embedding_tsne.dir/bench_fig10_embedding_tsne.cc.o.d"
+  "bench_fig10_embedding_tsne"
+  "bench_fig10_embedding_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_embedding_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

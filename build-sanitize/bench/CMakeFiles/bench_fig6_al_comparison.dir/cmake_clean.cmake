@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_al_comparison.dir/bench_fig6_al_comparison.cc.o"
+  "CMakeFiles/bench_fig6_al_comparison.dir/bench_fig6_al_comparison.cc.o.d"
+  "bench_fig6_al_comparison"
+  "bench_fig6_al_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_al_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_diversity.dir/bench_fig8_diversity.cc.o"
+  "CMakeFiles/bench_fig8_diversity.dir/bench_fig8_diversity.cc.o.d"
+  "bench_fig8_diversity"
+  "bench_fig8_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_main_comparison.cc" "bench/CMakeFiles/bench_table2_main_comparison.dir/bench_table2_main_comparison.cc.o" "gcc" "bench/CMakeFiles/bench_table2_main_comparison.dir/bench_table2_main_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/bench/CMakeFiles/kgpip_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/kgpip_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/automl/CMakeFiles/kgpip_automl.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hpo/CMakeFiles/kgpip_hpo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/gen/CMakeFiles/kgpip_gen.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/embed/CMakeFiles/kgpip_embed.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/graph4ml/CMakeFiles/kgpip_graph4ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/codegraph/CMakeFiles/kgpip_codegraph.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/kgpip_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

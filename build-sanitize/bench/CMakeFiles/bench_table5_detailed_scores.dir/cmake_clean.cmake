@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_detailed_scores.dir/bench_table5_detailed_scores.cc.o"
+  "CMakeFiles/bench_table5_detailed_scores.dir/bench_table5_detailed_scores.cc.o.d"
+  "bench_table5_detailed_scores"
+  "bench_table5_detailed_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_detailed_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

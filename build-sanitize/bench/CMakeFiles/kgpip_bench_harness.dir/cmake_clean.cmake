@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/kgpip_bench_harness.dir/harness.cc.o.d"
+  "libkgpip_bench_harness.a"
+  "libkgpip_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_systems.dir/compare_systems.cpp.o"
+  "CMakeFiles/example_compare_systems.dir/compare_systems.cpp.o.d"
+  "example_compare_systems"
+  "example_compare_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mine_corpus.dir/mine_corpus.cpp.o"
+  "CMakeFiles/example_mine_corpus.dir/mine_corpus.cpp.o.d"
+  "example_mine_corpus"
+  "example_mine_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mine_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_save_load_artifacts.dir/save_load_artifacts.cpp.o"
+  "CMakeFiles/example_save_load_artifacts.dir/save_load_artifacts.cpp.o.d"
+  "example_save_load_artifacts"
+  "example_save_load_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_save_load_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

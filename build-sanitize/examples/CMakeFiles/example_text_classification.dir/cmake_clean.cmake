@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_text_classification.dir/text_classification.cpp.o"
+  "CMakeFiles/example_text_classification.dir/text_classification.cpp.o.d"
+  "example_text_classification"
+  "example_text_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_text_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automl/al_system.cc" "src/automl/CMakeFiles/kgpip_automl.dir/al_system.cc.o" "gcc" "src/automl/CMakeFiles/kgpip_automl.dir/al_system.cc.o.d"
+  "/root/repo/src/automl/autosklearn_system.cc" "src/automl/CMakeFiles/kgpip_automl.dir/autosklearn_system.cc.o" "gcc" "src/automl/CMakeFiles/kgpip_automl.dir/autosklearn_system.cc.o.d"
+  "/root/repo/src/automl/flaml_system.cc" "src/automl/CMakeFiles/kgpip_automl.dir/flaml_system.cc.o" "gcc" "src/automl/CMakeFiles/kgpip_automl.dir/flaml_system.cc.o.d"
+  "/root/repo/src/automl/meta_features.cc" "src/automl/CMakeFiles/kgpip_automl.dir/meta_features.cc.o" "gcc" "src/automl/CMakeFiles/kgpip_automl.dir/meta_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/hpo/CMakeFiles/kgpip_hpo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

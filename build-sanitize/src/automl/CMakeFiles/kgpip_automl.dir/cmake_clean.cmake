@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_automl.dir/al_system.cc.o"
+  "CMakeFiles/kgpip_automl.dir/al_system.cc.o.d"
+  "CMakeFiles/kgpip_automl.dir/autosklearn_system.cc.o"
+  "CMakeFiles/kgpip_automl.dir/autosklearn_system.cc.o.d"
+  "CMakeFiles/kgpip_automl.dir/flaml_system.cc.o"
+  "CMakeFiles/kgpip_automl.dir/flaml_system.cc.o.d"
+  "CMakeFiles/kgpip_automl.dir/meta_features.cc.o"
+  "CMakeFiles/kgpip_automl.dir/meta_features.cc.o.d"
+  "libkgpip_automl.a"
+  "libkgpip_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

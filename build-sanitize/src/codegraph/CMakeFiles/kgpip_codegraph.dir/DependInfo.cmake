@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegraph/analyzer.cc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/analyzer.cc.o" "gcc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/analyzer.cc.o.d"
+  "/root/repo/src/codegraph/code_graph.cc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/code_graph.cc.o" "gcc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/code_graph.cc.o.d"
+  "/root/repo/src/codegraph/corpus.cc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/corpus.cc.o" "gcc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/corpus.cc.o.d"
+  "/root/repo/src/codegraph/ml_api.cc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/ml_api.cc.o" "gcc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/ml_api.cc.o.d"
+  "/root/repo/src/codegraph/python_ast.cc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/python_ast.cc.o" "gcc" "src/codegraph/CMakeFiles/kgpip_codegraph.dir/python_ast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

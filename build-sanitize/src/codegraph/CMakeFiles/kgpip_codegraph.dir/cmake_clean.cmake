@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_codegraph.dir/analyzer.cc.o"
+  "CMakeFiles/kgpip_codegraph.dir/analyzer.cc.o.d"
+  "CMakeFiles/kgpip_codegraph.dir/code_graph.cc.o"
+  "CMakeFiles/kgpip_codegraph.dir/code_graph.cc.o.d"
+  "CMakeFiles/kgpip_codegraph.dir/corpus.cc.o"
+  "CMakeFiles/kgpip_codegraph.dir/corpus.cc.o.d"
+  "CMakeFiles/kgpip_codegraph.dir/ml_api.cc.o"
+  "CMakeFiles/kgpip_codegraph.dir/ml_api.cc.o.d"
+  "CMakeFiles/kgpip_codegraph.dir/python_ast.cc.o"
+  "CMakeFiles/kgpip_codegraph.dir/python_ast.cc.o.d"
+  "libkgpip_codegraph.a"
+  "libkgpip_codegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_codegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgpip_codegraph.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for kgpip_codegraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_core.dir/kgpip.cc.o"
+  "CMakeFiles/kgpip_core.dir/kgpip.cc.o.d"
+  "libkgpip_core.a"
+  "libkgpip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_data.dir/benchmark_registry.cc.o"
+  "CMakeFiles/kgpip_data.dir/benchmark_registry.cc.o.d"
+  "CMakeFiles/kgpip_data.dir/column.cc.o"
+  "CMakeFiles/kgpip_data.dir/column.cc.o.d"
+  "CMakeFiles/kgpip_data.dir/csv.cc.o"
+  "CMakeFiles/kgpip_data.dir/csv.cc.o.d"
+  "CMakeFiles/kgpip_data.dir/synthetic.cc.o"
+  "CMakeFiles/kgpip_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/kgpip_data.dir/table.cc.o"
+  "CMakeFiles/kgpip_data.dir/table.cc.o.d"
+  "CMakeFiles/kgpip_data.dir/type_inference.cc.o"
+  "CMakeFiles/kgpip_data.dir/type_inference.cc.o.d"
+  "libkgpip_data.a"
+  "libkgpip_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

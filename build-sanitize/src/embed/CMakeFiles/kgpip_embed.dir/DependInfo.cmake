@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedder.cc" "src/embed/CMakeFiles/kgpip_embed.dir/embedder.cc.o" "gcc" "src/embed/CMakeFiles/kgpip_embed.dir/embedder.cc.o.d"
+  "/root/repo/src/embed/sim_index.cc" "src/embed/CMakeFiles/kgpip_embed.dir/sim_index.cc.o" "gcc" "src/embed/CMakeFiles/kgpip_embed.dir/sim_index.cc.o.d"
+  "/root/repo/src/embed/tsne.cc" "src/embed/CMakeFiles/kgpip_embed.dir/tsne.cc.o" "gcc" "src/embed/CMakeFiles/kgpip_embed.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

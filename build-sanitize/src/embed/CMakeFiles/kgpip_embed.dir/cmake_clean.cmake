@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_embed.dir/embedder.cc.o"
+  "CMakeFiles/kgpip_embed.dir/embedder.cc.o.d"
+  "CMakeFiles/kgpip_embed.dir/sim_index.cc.o"
+  "CMakeFiles/kgpip_embed.dir/sim_index.cc.o.d"
+  "CMakeFiles/kgpip_embed.dir/tsne.cc.o"
+  "CMakeFiles/kgpip_embed.dir/tsne.cc.o.d"
+  "libkgpip_embed.a"
+  "libkgpip_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

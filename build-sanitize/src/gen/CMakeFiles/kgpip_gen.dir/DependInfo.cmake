@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/graph_generator.cc" "src/gen/CMakeFiles/kgpip_gen.dir/graph_generator.cc.o" "gcc" "src/gen/CMakeFiles/kgpip_gen.dir/graph_generator.cc.o.d"
+  "/root/repo/src/gen/skeleton.cc" "src/gen/CMakeFiles/kgpip_gen.dir/skeleton.cc.o" "gcc" "src/gen/CMakeFiles/kgpip_gen.dir/skeleton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/kgpip_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/graph4ml/CMakeFiles/kgpip_graph4ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/codegraph/CMakeFiles/kgpip_codegraph.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

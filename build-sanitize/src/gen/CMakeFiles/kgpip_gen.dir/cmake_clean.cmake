@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_gen.dir/graph_generator.cc.o"
+  "CMakeFiles/kgpip_gen.dir/graph_generator.cc.o.d"
+  "CMakeFiles/kgpip_gen.dir/skeleton.cc.o"
+  "CMakeFiles/kgpip_gen.dir/skeleton.cc.o.d"
+  "libkgpip_gen.a"
+  "libkgpip_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_graph4ml.dir/filter.cc.o"
+  "CMakeFiles/kgpip_graph4ml.dir/filter.cc.o.d"
+  "CMakeFiles/kgpip_graph4ml.dir/graph4ml.cc.o"
+  "CMakeFiles/kgpip_graph4ml.dir/graph4ml.cc.o.d"
+  "CMakeFiles/kgpip_graph4ml.dir/vocab.cc.o"
+  "CMakeFiles/kgpip_graph4ml.dir/vocab.cc.o.d"
+  "libkgpip_graph4ml.a"
+  "libkgpip_graph4ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_graph4ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kgpip_graph4ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/evaluator.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/evaluator.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/evaluator.cc.o.d"
+  "/root/repo/src/hpo/optimizer.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/optimizer.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/optimizer.cc.o.d"
+  "/root/repo/src/hpo/search_space.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/search_space.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/search_space.cc.o.d"
+  "/root/repo/src/hpo/trial_guard.cc" "src/hpo/CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o" "gcc" "src/hpo/CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

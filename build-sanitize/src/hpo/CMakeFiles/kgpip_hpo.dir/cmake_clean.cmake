@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_hpo.dir/evaluator.cc.o"
+  "CMakeFiles/kgpip_hpo.dir/evaluator.cc.o.d"
+  "CMakeFiles/kgpip_hpo.dir/optimizer.cc.o"
+  "CMakeFiles/kgpip_hpo.dir/optimizer.cc.o.d"
+  "CMakeFiles/kgpip_hpo.dir/search_space.cc.o"
+  "CMakeFiles/kgpip_hpo.dir/search_space.cc.o.d"
+  "CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o"
+  "CMakeFiles/kgpip_hpo.dir/trial_guard.cc.o.d"
+  "libkgpip_hpo.a"
+  "libkgpip_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

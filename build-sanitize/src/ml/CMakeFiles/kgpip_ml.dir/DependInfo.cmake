@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/kgpip_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/featurizer.cc" "src/ml/CMakeFiles/kgpip_ml.dir/featurizer.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/featurizer.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/kgpip_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/kgpip_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/kgpip_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/learner_factory.cc" "src/ml/CMakeFiles/kgpip_ml.dir/learner_factory.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/learner_factory.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/kgpip_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/kgpip_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/pipeline.cc" "src/ml/CMakeFiles/kgpip_ml.dir/pipeline.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/pipeline.cc.o.d"
+  "/root/repo/src/ml/preprocess.cc" "src/ml/CMakeFiles/kgpip_ml.dir/preprocess.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/preprocess.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/kgpip_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/kgpip_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

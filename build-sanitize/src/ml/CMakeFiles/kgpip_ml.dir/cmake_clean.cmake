@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/kgpip_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/featurizer.cc.o"
+  "CMakeFiles/kgpip_ml.dir/featurizer.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/forest.cc.o"
+  "CMakeFiles/kgpip_ml.dir/forest.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/gbdt.cc.o"
+  "CMakeFiles/kgpip_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/knn.cc.o"
+  "CMakeFiles/kgpip_ml.dir/knn.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/learner_factory.cc.o"
+  "CMakeFiles/kgpip_ml.dir/learner_factory.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/linear.cc.o"
+  "CMakeFiles/kgpip_ml.dir/linear.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/metrics.cc.o"
+  "CMakeFiles/kgpip_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/pipeline.cc.o"
+  "CMakeFiles/kgpip_ml.dir/pipeline.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/preprocess.cc.o"
+  "CMakeFiles/kgpip_ml.dir/preprocess.cc.o.d"
+  "CMakeFiles/kgpip_ml.dir/tree.cc.o"
+  "CMakeFiles/kgpip_ml.dir/tree.cc.o.d"
+  "libkgpip_ml.a"
+  "libkgpip_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cc" "src/nn/CMakeFiles/kgpip_nn.dir/autograd.cc.o" "gcc" "src/nn/CMakeFiles/kgpip_nn.dir/autograd.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/kgpip_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/kgpip_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/kgpip_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/kgpip_nn.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

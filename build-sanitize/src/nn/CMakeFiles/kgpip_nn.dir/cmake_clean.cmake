@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_nn.dir/autograd.cc.o"
+  "CMakeFiles/kgpip_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/kgpip_nn.dir/layers.cc.o"
+  "CMakeFiles/kgpip_nn.dir/layers.cc.o.d"
+  "CMakeFiles/kgpip_nn.dir/matrix.cc.o"
+  "CMakeFiles/kgpip_nn.dir/matrix.cc.o.d"
+  "libkgpip_nn.a"
+  "libkgpip_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_util.dir/fault.cc.o"
+  "CMakeFiles/kgpip_util.dir/fault.cc.o.d"
+  "CMakeFiles/kgpip_util.dir/json.cc.o"
+  "CMakeFiles/kgpip_util.dir/json.cc.o.d"
+  "CMakeFiles/kgpip_util.dir/logging.cc.o"
+  "CMakeFiles/kgpip_util.dir/logging.cc.o.d"
+  "CMakeFiles/kgpip_util.dir/stats.cc.o"
+  "CMakeFiles/kgpip_util.dir/stats.cc.o.d"
+  "CMakeFiles/kgpip_util.dir/status.cc.o"
+  "CMakeFiles/kgpip_util.dir/status.cc.o.d"
+  "CMakeFiles/kgpip_util.dir/string_util.cc.o"
+  "CMakeFiles/kgpip_util.dir/string_util.cc.o.d"
+  "libkgpip_util.a"
+  "libkgpip_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

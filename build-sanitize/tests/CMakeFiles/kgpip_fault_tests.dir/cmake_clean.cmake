@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_fault_tests.dir/fault_test.cc.o"
+  "CMakeFiles/kgpip_fault_tests.dir/fault_test.cc.o.d"
+  "kgpip_fault_tests"
+  "kgpip_fault_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automl_test.cc" "tests/CMakeFiles/kgpip_tests.dir/automl_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/automl_test.cc.o.d"
+  "/root/repo/tests/codegraph_test.cc" "tests/CMakeFiles/kgpip_tests.dir/codegraph_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/codegraph_test.cc.o.d"
+  "/root/repo/tests/cross_validation_test.cc" "tests/CMakeFiles/kgpip_tests.dir/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/cross_validation_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/kgpip_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/edge_case_test.cc" "tests/CMakeFiles/kgpip_tests.dir/edge_case_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/edge_case_test.cc.o.d"
+  "/root/repo/tests/embed_test.cc" "tests/CMakeFiles/kgpip_tests.dir/embed_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/embed_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/kgpip_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/kgpip_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/kgpip_test.cc" "tests/CMakeFiles/kgpip_tests.dir/kgpip_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/kgpip_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/kgpip_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/kgpip_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/kgpip_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/kgpip_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/kgpip_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/bench/CMakeFiles/kgpip_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/kgpip_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/automl/CMakeFiles/kgpip_automl.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/hpo/CMakeFiles/kgpip_hpo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/gen/CMakeFiles/kgpip_gen.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/embed/CMakeFiles/kgpip_embed.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/kgpip_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/graph4ml/CMakeFiles/kgpip_graph4ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/codegraph/CMakeFiles/kgpip_codegraph.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ml/CMakeFiles/kgpip_ml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/kgpip_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/kgpip_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgpip_tests.dir/automl_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/automl_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/codegraph_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/codegraph_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/cross_validation_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/cross_validation_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/data_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/data_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/edge_case_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/edge_case_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/embed_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/embed_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/gen_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/gen_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/harness_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/harness_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/kgpip_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/kgpip_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/ml_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/ml_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/nn_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/property_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/kgpip_tests.dir/util_test.cc.o"
+  "CMakeFiles/kgpip_tests.dir/util_test.cc.o.d"
+  "kgpip_tests"
+  "kgpip_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgpip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
