@@ -1,8 +1,19 @@
 #!/bin/bash
-# Runs every bench binary, teeing combined output.
+# Runs every bench binary, teeing combined output. Before the benches,
+# the analysis test suite runs under ASan/UBSan (the sanitize preset) so
+# pointer-heavy pass-manager/CFG code gets exercised with checking on.
 set -u
 out=/root/repo/bench_output.txt
 : > "$out"
+
+echo "===== sanitize: kgpip_analysis_tests =====" | tee -a "$out"
+cmake -B build-sanitize -S . -DKGPIP_SANITIZE=ON >/dev/null 2>&1 \
+  && cmake --build build-sanitize -j "$(nproc)" \
+       --target kgpip_analysis_tests >/dev/null 2>>/tmp/bench_stderr.log \
+  && ./build-sanitize/tests/kgpip_analysis_tests 2>>/tmp/bench_stderr.log \
+       | tail -3 | tee -a "$out" \
+  || echo "sanitize run failed (see /tmp/bench_stderr.log)" | tee -a "$out"
+echo "" | tee -a "$out"
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "===== $b =====" | tee -a "$out"

@@ -1,0 +1,249 @@
+#include "codegraph/analysis/dataflow.h"
+
+#include <algorithm>
+
+namespace kgpip::codegraph::analysis {
+
+namespace {
+
+void CollectExprUses(const Expr& expr, std::vector<std::string>* out) {
+  switch (expr.kind) {
+    case ExprKind::kName:
+      out->push_back(expr.text);
+      return;
+    case ExprKind::kConstant:
+      return;
+    case ExprKind::kAttribute:
+      CollectExprUses(*expr.value, out);
+      return;
+    case ExprKind::kSubscript:
+    case ExprKind::kBinOp:
+      CollectExprUses(*expr.value, out);
+      if (expr.index != nullptr) CollectExprUses(*expr.index, out);
+      return;
+    case ExprKind::kCall:
+      CollectExprUses(*expr.value, out);
+      for (const ExprPtr& arg : expr.args) CollectExprUses(*arg, out);
+      for (const KeywordArg& kw : expr.keywords) {
+        CollectExprUses(*kw.value, out);
+      }
+      return;
+    case ExprKind::kList:
+      for (const ExprPtr& item : expr.args) CollectExprUses(*item, out);
+      return;
+  }
+}
+
+void Dedupe(std::vector<std::string>* names) {
+  std::sort(names->begin(), names->end());
+  names->erase(std::unique(names->begin(), names->end()), names->end());
+}
+
+/// Builds the CFG: assigns pre-order ids, then wires edges block by
+/// block. `Wire` returns the dangling node ids whose successor is
+/// whatever follows the block.
+class CfgBuilder {
+ public:
+  Cfg Build(const Module& module) {
+    Number(module.statements);
+    cfg_.exit_id = static_cast<int>(cfg_.stmts.size());
+    cfg_.succ.assign(cfg_.stmts.size() + 1, {});
+    cfg_.pred.assign(cfg_.stmts.size() + 1, {});
+    std::vector<int> out = Wire(module.statements, {});
+    for (int id : out) AddEdge(id, cfg_.exit_id);
+    return std::move(cfg_);
+  }
+
+ private:
+  void Number(const std::vector<StmtPtr>& block) {
+    for (const StmtPtr& stmt : block) {
+      cfg_.ids[stmt.get()] = static_cast<int>(cfg_.stmts.size());
+      cfg_.stmts.push_back(stmt.get());
+      if (stmt->kind == StmtKind::kIf || stmt->kind == StmtKind::kFor) {
+        Number(stmt->body);
+        Number(stmt->orelse);
+      }
+    }
+  }
+
+  void AddEdge(int src, int dst) {
+    cfg_.succ[static_cast<size_t>(src)].push_back(dst);
+    cfg_.pred[static_cast<size_t>(dst)].push_back(src);
+  }
+
+  std::vector<int> Wire(const std::vector<StmtPtr>& block,
+                        std::vector<int> incoming) {
+    for (const StmtPtr& stmt : block) {
+      const int id = cfg_.ids.at(stmt.get());
+      for (int src : incoming) AddEdge(src, id);
+      switch (stmt->kind) {
+        case StmtKind::kIf: {
+          std::vector<int> out = Wire(stmt->body, {id});
+          if (stmt->orelse.empty()) {
+            // Condition-false path skips the body.
+            out.push_back(id);
+          } else {
+            std::vector<int> other = Wire(stmt->orelse, {id});
+            out.insert(out.end(), other.begin(), other.end());
+          }
+          incoming = std::move(out);
+          break;
+        }
+        case StmtKind::kFor: {
+          std::vector<int> out = Wire(stmt->body, {id});
+          // Back edge: end of body re-enters the header...
+          for (int src : out) AddEdge(src, id);
+          // ...and the loop exits from the header (including the
+          // zero-iteration case).
+          incoming = {id};
+          break;
+        }
+        default:
+          incoming = {id};
+          break;
+      }
+    }
+    return incoming;
+  }
+
+  Cfg cfg_;
+};
+
+}  // namespace
+
+std::vector<std::string> Cfg::DefsOf(const Stmt& stmt) {
+  std::vector<std::string> defs;
+  switch (stmt.kind) {
+    case StmtKind::kAssign:
+      for (const ExprPtr& target : stmt.targets) {
+        if (target->kind == ExprKind::kName) defs.push_back(target->text);
+      }
+      break;
+    case StmtKind::kFor:
+      defs.push_back(stmt.loop_var);
+      break;
+    default:
+      break;
+  }
+  Dedupe(&defs);
+  return defs;
+}
+
+std::vector<std::string> Cfg::UsesOf(const Stmt& stmt) {
+  std::vector<std::string> uses;
+  if (stmt.value != nullptr) CollectExprUses(*stmt.value, &uses);
+  if (stmt.kind == StmtKind::kAssign) {
+    // `df.col = x` / `df[i] = x` reads `df`.
+    for (const ExprPtr& target : stmt.targets) {
+      if (target->kind != ExprKind::kName) CollectExprUses(*target, &uses);
+    }
+  }
+  Dedupe(&uses);
+  return uses;
+}
+
+Cfg CfgPass::Run(PassManager& pm) const {
+  return CfgBuilder().Build(pm.module());
+}
+
+const std::set<int>& ReachingDefsResult::DefsReaching(
+    int stmt_id, const std::string& var) const {
+  static const std::set<int> kEmpty;
+  if (stmt_id < 0 || stmt_id >= static_cast<int>(in.size())) return kEmpty;
+  auto it = in[static_cast<size_t>(stmt_id)].find(var);
+  return it == in[static_cast<size_t>(stmt_id)].end() ? kEmpty : it->second;
+}
+
+const std::set<int>& ReachingDefsResult::UsesOfDef(
+    int def_stmt, const std::string& var) const {
+  static const std::set<int> kEmpty;
+  auto it = uses.find({def_stmt, var});
+  return it == uses.end() ? kEmpty : it->second;
+}
+
+ReachingDefsResult ReachingDefsPass::Run(PassManager& pm) const {
+  const Cfg& cfg = pm.Get<CfgPass>();
+  const size_t n = cfg.stmts.size();
+  ReachingDefsResult result;
+  result.in.assign(n, {});
+  std::vector<std::map<std::string, std::set<int>>> out(n);
+
+  // Forward may-analysis to a fixpoint. The statement count per script is
+  // small (tens), so round-robin iteration is plenty.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t s = 0; s < n; ++s) {
+      std::map<std::string, std::set<int>> in_s;
+      for (int p : cfg.pred[s]) {
+        if (p == cfg.exit_id) continue;
+        for (const auto& [var, defs] : out[static_cast<size_t>(p)]) {
+          in_s[var].insert(defs.begin(), defs.end());
+        }
+      }
+      std::map<std::string, std::set<int>> out_s = in_s;
+      for (const std::string& var : Cfg::DefsOf(*cfg.stmts[s])) {
+        out_s[var] = {static_cast<int>(s)};  // kills all other defs
+      }
+      if (in_s != result.in[s] || out_s != out[s]) {
+        result.in[s] = std::move(in_s);
+        out[s] = std::move(out_s);
+        changed = true;
+      }
+    }
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    for (const std::string& var : Cfg::UsesOf(*cfg.stmts[s])) {
+      for (int def : result.DefsReaching(static_cast<int>(s), var)) {
+        result.uses[{def, var}].insert(static_cast<int>(s));
+      }
+    }
+  }
+  return result;
+}
+
+LivenessResult LivenessPass::Run(PassManager& pm) const {
+  const Cfg& cfg = pm.Get<CfgPass>();
+  const size_t n = cfg.stmts.size();
+  LivenessResult result;
+  result.live_in.assign(n, {});
+  result.live_out.assign(n, {});
+
+  // Backward may-analysis to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = n; i-- > 0;) {
+      std::set<std::string> live_out;
+      for (int succ : cfg.succ[i]) {
+        if (succ == cfg.exit_id) continue;
+        const auto& in = result.live_in[static_cast<size_t>(succ)];
+        live_out.insert(in.begin(), in.end());
+      }
+      std::set<std::string> live_in = live_out;
+      for (const std::string& var : Cfg::DefsOf(*cfg.stmts[i])) {
+        live_in.erase(var);
+      }
+      for (const std::string& var : Cfg::UsesOf(*cfg.stmts[i])) {
+        live_in.insert(var);
+      }
+      if (live_in != result.live_in[i] || live_out != result.live_out[i]) {
+        result.live_in[i] = std::move(live_in);
+        result.live_out[i] = std::move(live_out);
+        changed = true;
+      }
+    }
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    for (const std::string& var : Cfg::DefsOf(*cfg.stmts[s])) {
+      if (result.live_out[s].count(var) == 0) {
+        result.dead_stores.emplace_back(static_cast<int>(s), var);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kgpip::codegraph::analysis

@@ -1,0 +1,93 @@
+#ifndef KGPIP_CODEGRAPH_ANALYSIS_DATAFLOW_H_
+#define KGPIP_CODEGRAPH_ANALYSIS_DATAFLOW_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codegraph/analysis/pass_manager.h"
+
+namespace kgpip::codegraph::analysis {
+
+/// Statement-level control-flow graph over the Python-subset AST. Every
+/// statement (including ones nested in `if`/`for` bodies) is one CFG
+/// node, identified by its index in `stmts`; `exit_id` is a synthetic
+/// exit node. Branches fork at `if` (body vs. orelse), and `for` carries
+/// both a loop back edge and a zero-iteration skip edge.
+struct Cfg {
+  std::vector<const Stmt*> stmts;       // pre-order over the module
+  std::vector<std::vector<int>> succ;   // size stmts.size() + 1 (exit)
+  std::vector<std::vector<int>> pred;
+  std::map<const Stmt*, int> ids;
+  int exit_id = 0;
+
+  int IdOf(const Stmt* stmt) const {
+    auto it = ids.find(stmt);
+    return it == ids.end() ? -1 : it->second;
+  }
+
+  /// Variables written by the statement (assignment targets, loop vars).
+  static std::vector<std::string> DefsOf(const Stmt& stmt);
+  /// Variables read by the statement (every Name in evaluated position,
+  /// including the bases of attribute/subscript assignment targets).
+  static std::vector<std::string> UsesOf(const Stmt& stmt);
+};
+
+class CfgPass : public AnalysisPass {
+ public:
+  using Result = Cfg;
+  const char* name() const override { return "cfg"; }
+  Cfg Run(PassManager& pm) const;
+};
+
+/// Reaching definitions: which assignments can reach each program point.
+/// A definition is identified by (statement id, variable).
+struct ReachingDefsResult {
+  /// in[s][v] = statement ids whose definition of `v` reaches entry of s.
+  std::vector<std::map<std::string, std::set<int>>> in;
+
+  /// Def-use chains: uses[(def_stmt, var)] = statements reading that def.
+  std::map<std::pair<int, std::string>, std::set<int>> uses;
+
+  /// The defs of `var` reaching the entry of `stmt_id` (empty set if
+  /// none — an unbound or import-only name).
+  const std::set<int>& DefsReaching(int stmt_id, const std::string& var) const;
+  /// The statements that read the definition made at (def_stmt, var).
+  const std::set<int>& UsesOfDef(int def_stmt, const std::string& var) const;
+};
+
+class ReachingDefsPass : public AnalysisPass {
+ public:
+  using Result = ReachingDefsResult;
+  const char* name() const override { return "reaching-defs"; }
+  ReachingDefsResult Run(PassManager& pm) const;
+};
+
+/// Liveness: which variables are still read after each program point.
+struct LivenessResult {
+  std::vector<std::set<std::string>> live_in;   // per statement id
+  std::vector<std::set<std::string>> live_out;
+
+  /// Definitions never read afterwards: (statement id, variable). The
+  /// final `model.fit(...)`-style statements keep everything before them
+  /// live, so in mined notebooks these are genuinely dead stores.
+  std::vector<std::pair<int, std::string>> dead_stores;
+
+  bool LiveOut(int stmt_id, const std::string& var) const {
+    return stmt_id >= 0 &&
+           stmt_id < static_cast<int>(live_out.size()) &&
+           live_out[static_cast<size_t>(stmt_id)].count(var) > 0;
+  }
+};
+
+class LivenessPass : public AnalysisPass {
+ public:
+  using Result = LivenessResult;
+  const char* name() const override { return "liveness"; }
+  LivenessResult Run(PassManager& pm) const;
+};
+
+}  // namespace kgpip::codegraph::analysis
+
+#endif  // KGPIP_CODEGRAPH_ANALYSIS_DATAFLOW_H_

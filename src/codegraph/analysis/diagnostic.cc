@@ -1,0 +1,73 @@
+#include "codegraph/analysis/diagnostic.h"
+
+#include "util/string_util.h"
+
+namespace kgpip::codegraph::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string SourceSpan::ToString() const {
+  if (line <= 0) return "";
+  if (column <= 0) return "line " + std::to_string(line);
+  return "line " + std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += "[" + code + "]";
+  if (!subject.empty()) out += " " + subject;
+  std::string where = span.ToString();
+  if (!where.empty()) out += " " + where;
+  out += ": " + message;
+  return out;
+}
+
+Status Diagnostic::ToStatus(StatusCode status_code) const {
+  return Status(status_code, ToString());
+}
+
+Diagnostic MakeError(std::string code, std::string message,
+                     SourceSpan span) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.span = span;
+  return d;
+}
+
+Diagnostic MakeWarning(std::string code, std::string message,
+                       SourceSpan span) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.span = span;
+  return d;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> lines;
+  lines.reserve(diags.size());
+  for (const Diagnostic& d : diags) lines.push_back(d.ToString());
+  return Join(lines, "\n");
+}
+
+}  // namespace kgpip::codegraph::analysis

@@ -1,0 +1,63 @@
+#ifndef KGPIP_CODEGRAPH_ANALYSIS_DIAGNOSTIC_H_
+#define KGPIP_CODEGRAPH_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgpip::codegraph::analysis {
+
+/// Diagnostic severities, ordered. Only kError diagnostics make a result
+/// unusable; notes and warnings are advisory.
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity severity);
+
+/// A half-open source region. Line/column are 1-based; 0 means unknown.
+/// Graph-level diagnostics (verifier, linter) usually carry no span.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  std::string ToString() const;  // "line 3:14", "line 3", or ""
+};
+
+/// One structured diagnostic: the unit every front-end error in the
+/// lexer, parser, analyzer, verifier, linter, and skeleton mapper flows
+/// through. `code` is a stable dotted identifier ("parse.unexpected-token",
+/// "verify.dataflow-cycle", "lint.no-estimator") that tooling and tests
+/// match on instead of message substrings.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string message;
+  SourceSpan span;
+  /// What the diagnostic is about: a script name, a graph name, a
+  /// skeleton spec. Optional.
+  std::string subject;
+
+  /// "error[parse.unexpected-token] fig2.py line 3:14: unexpected ')'".
+  std::string ToString() const;
+
+  /// Folds the diagnostic into a Status of `code` (default kParseError,
+  /// the front-end convention) with the rendered text as message.
+  Status ToStatus(StatusCode status_code = StatusCode::kParseError) const;
+};
+
+/// Convenience constructors keeping call sites one line long.
+Diagnostic MakeError(std::string code, std::string message,
+                     SourceSpan span = {});
+Diagnostic MakeWarning(std::string code, std::string message,
+                       SourceSpan span = {});
+
+/// True if any diagnostic in `diags` is an error.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Renders a batch, one per line (used when a Status must carry several).
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace kgpip::codegraph::analysis
+
+#endif  // KGPIP_CODEGRAPH_ANALYSIS_DIAGNOSTIC_H_

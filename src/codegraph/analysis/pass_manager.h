@@ -1,0 +1,106 @@
+#ifndef KGPIP_CODEGRAPH_ANALYSIS_PASS_MANAGER_H_
+#define KGPIP_CODEGRAPH_ANALYSIS_PASS_MANAGER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "codegraph/code_graph.h"
+#include "codegraph/python_ast.h"
+#include "util/logging.h"
+
+namespace kgpip::codegraph::analysis {
+
+/// Base class of every analysis pass. A pass is a pure function from the
+/// analysis unit (the parsed Module and/or the emitted CodeGraph) to an
+/// immutable result; concrete passes additionally declare
+///
+///   using Result = <result struct>;
+///   Result Run(PassManager& pm) const;
+///
+/// Passes may depend on other passes by calling `pm.Get<OtherPass>()`
+/// inside Run; the manager caches every result per analysis unit, so a
+/// shared dependency (e.g. the CFG) is computed once no matter how many
+/// passes consume it.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+  virtual const char* name() const = 0;
+};
+
+/// Runs passes over one script's analysis unit and caches their results.
+/// The manager never mutates the module or the graph; results stay valid
+/// for its whole lifetime. Not thread-safe (one manager per script, like
+/// one LLVM FunctionAnalysisManager per function).
+class PassManager {
+ public:
+  /// Either pointer may be null when that view does not exist yet;
+  /// requesting a pass that needs the missing view is a programming error
+  /// (checked).
+  explicit PassManager(const Module* module, const CodeGraph* graph = nullptr)
+      : module_(module), graph_(graph) {}
+
+  const Module& module() const {
+    KGPIP_CHECK(module_ != nullptr) << "pass requires the parsed module";
+    return *module_;
+  }
+  const CodeGraph& graph() const {
+    KGPIP_CHECK(graph_ != nullptr) << "pass requires the code graph";
+    return *graph_;
+  }
+  bool has_module() const { return module_ != nullptr; }
+  bool has_graph() const { return graph_ != nullptr; }
+
+  /// Returns PassT's result, computing (and caching) it on first request.
+  template <typename PassT>
+  const typename PassT::Result& Get() {
+    const std::type_index key(typeid(PassT));
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      PassT pass;
+      KGPIP_CHECK(running_.insert(key).second)
+          << "cyclic pass dependency involving " << pass.name();
+      auto holder = std::make_shared<Holder<typename PassT::Result>>();
+      holder->value = pass.Run(*this);
+      // Recorded on completion, so a dependency pulled in mid-run lands
+      // in the trace before its dependent.
+      run_order_.push_back(pass.name());
+      running_.erase(key);
+      it = cache_.emplace(key, std::move(holder)).first;
+    }
+    return static_cast<const Holder<typename PassT::Result>*>(
+               it->second.get())
+        ->value;
+  }
+
+  /// True once PassT has been computed (for cache assertions in tests).
+  template <typename PassT>
+  bool Cached() const {
+    return cache_.count(std::type_index(typeid(PassT))) > 0;
+  }
+
+  /// Pass names in first-run order (dependencies before dependents).
+  const std::vector<std::string>& run_order() const { return run_order_; }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <typename T>
+  struct Holder : HolderBase {
+    T value;
+  };
+
+  const Module* module_;
+  const CodeGraph* graph_;
+  std::unordered_map<std::type_index, std::shared_ptr<HolderBase>> cache_;
+  std::set<std::type_index> running_;
+  std::vector<std::string> run_order_;
+};
+
+}  // namespace kgpip::codegraph::analysis
+
+#endif  // KGPIP_CODEGRAPH_ANALYSIS_PASS_MANAGER_H_

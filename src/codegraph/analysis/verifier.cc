@@ -1,0 +1,202 @@
+#include "codegraph/analysis/verifier.h"
+
+#include <deque>
+#include <set>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace kgpip::codegraph::analysis {
+
+namespace {
+
+#ifndef NDEBUG
+bool g_verifier_enabled = true;
+#else
+bool g_verifier_enabled = false;
+#endif
+
+Diagnostic GraphError(const CodeGraph& graph, std::string code,
+                      std::string message) {
+  Diagnostic d = MakeError(std::move(code), std::move(message));
+  d.subject = graph.script_name;
+  return d;
+}
+
+bool InRange(int id, const CodeGraph& graph) {
+  return id >= 0 && id < static_cast<int>(graph.nodes.size());
+}
+
+/// Kahn's algorithm over the data-flow subgraph; leftovers mean a cycle.
+void CheckDataFlowAcyclic(const CodeGraph& graph,
+                          std::vector<Diagnostic>* out) {
+  const size_t n = graph.nodes.size();
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 0);
+  for (const CodeEdge& edge : graph.edges) {
+    if (edge.kind != EdgeKind::kDataFlow) continue;
+    if (!InRange(edge.src, graph) || !InRange(edge.dst, graph)) continue;
+    succ[static_cast<size_t>(edge.src)].push_back(edge.dst);
+    ++indegree[static_cast<size_t>(edge.dst)];
+  }
+  std::deque<int> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  size_t processed = 0;
+  while (!ready.empty()) {
+    int cur = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (int next : succ[static_cast<size_t>(cur)]) {
+      if (--indegree[static_cast<size_t>(next)] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  if (processed < n) {
+    out->push_back(GraphError(
+        graph, "verify.dataflow-cycle",
+        "data-flow subgraph has a cycle involving " +
+            std::to_string(n - processed) + " node(s)"));
+  }
+}
+
+void CheckEdgeShapes(const CodeGraph& graph, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < graph.edges.size(); ++i) {
+    const CodeEdge& edge = graph.edges[i];
+    if (!InRange(edge.src, graph) || !InRange(edge.dst, graph)) {
+      out->push_back(GraphError(
+          graph, "verify.edge-out-of-range",
+          "edge #" + std::to_string(i) + " (" + std::to_string(edge.src) +
+              " -> " + std::to_string(edge.dst) + ") leaves the node range [0, " +
+              std::to_string(graph.nodes.size()) + ")"));
+      continue;
+    }
+    const CodeNode& src = graph.nodes[static_cast<size_t>(edge.src)];
+    const CodeNode& dst = graph.nodes[static_cast<size_t>(edge.dst)];
+    const char* expect = nullptr;
+    switch (edge.kind) {
+      case EdgeKind::kParameter:
+        if (src.kind != NodeKind::kCall || dst.kind != NodeKind::kParameter) {
+          expect = "call -> parameter";
+        }
+        break;
+      case EdgeKind::kLocation:
+        if (dst.kind != NodeKind::kLocation) expect = "* -> location";
+        break;
+      case EdgeKind::kDoc:
+        if (dst.kind != NodeKind::kDoc) expect = "* -> doc";
+        break;
+      case EdgeKind::kControlFlow:
+        if (src.kind != NodeKind::kCall || dst.kind != NodeKind::kCall) {
+          expect = "call -> call";
+        }
+        break;
+      case EdgeKind::kDataFlow:
+        break;
+    }
+    if (expect != nullptr) {
+      out->push_back(GraphError(
+          graph, "verify.edge-kind-mismatch",
+          "edge #" + std::to_string(i) + " (" +
+              std::string(EdgeKindName(edge.kind)) + ") must be " + expect +
+              ", got " + NodeKindName(src.kind) + " -> " +
+              NodeKindName(dst.kind)));
+    }
+  }
+}
+
+void CheckLabels(const CodeGraph& graph, std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const CodeNode& node = graph.nodes[i];
+    if (node.kind != NodeKind::kCall && node.kind != NodeKind::kVariable &&
+        node.kind != NodeKind::kImport) {
+      continue;
+    }
+    if (node.label.empty()) {
+      out->push_back(GraphError(
+          graph, "verify.empty-label",
+          std::string(NodeKindName(node.kind)) + " node #" +
+              std::to_string(i) + " has an empty label"));
+    }
+  }
+}
+
+/// Calls rooted in an imported module must be reachable from an import
+/// node via data flow. Calls on unresolved receivers ("print", "df.head"
+/// when df's type is unknown) are exempt — nothing roots them.
+void CheckImportReachability(const CodeGraph& graph,
+                             std::vector<Diagnostic>* out) {
+  std::vector<std::string> import_roots;
+  std::deque<int> frontier;
+  std::set<int> reachable;
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].kind != NodeKind::kImport) continue;
+    import_roots.push_back(graph.nodes[i].label);
+    if (reachable.insert(static_cast<int>(i)).second) {
+      frontier.push_back(static_cast<int>(i));
+    }
+  }
+  if (import_roots.empty()) return;
+
+  std::vector<std::vector<int>> succ(graph.nodes.size());
+  for (const CodeEdge& edge : graph.edges) {
+    if (edge.kind != EdgeKind::kDataFlow) continue;
+    if (!InRange(edge.src, graph) || !InRange(edge.dst, graph)) continue;
+    succ[static_cast<size_t>(edge.src)].push_back(edge.dst);
+  }
+  while (!frontier.empty()) {
+    int cur = frontier.front();
+    frontier.pop_front();
+    for (int next : succ[static_cast<size_t>(cur)]) {
+      if (reachable.insert(next).second) frontier.push_back(next);
+    }
+  }
+
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const CodeNode& node = graph.nodes[i];
+    if (node.kind != NodeKind::kCall) continue;
+    bool rooted = false;
+    for (const std::string& root : import_roots) {
+      if (node.label == root || StartsWith(node.label, root + ".")) {
+        rooted = true;
+        break;
+      }
+    }
+    if (rooted && reachable.count(static_cast<int>(i)) == 0) {
+      out->push_back(GraphError(
+          graph, "verify.unreachable-call",
+          "call node #" + std::to_string(i) + " '" + node.label +
+              "' is rooted in an import but not data-flow reachable from "
+              "any import node"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CodeGraphVerifier::Verify(const CodeGraph& graph) {
+  std::vector<Diagnostic> diags;
+  CheckEdgeShapes(graph, &diags);
+  CheckDataFlowAcyclic(graph, &diags);
+  CheckLabels(graph, &diags);
+  CheckImportReachability(graph, &diags);
+  return diags;
+}
+
+Status CodeGraphVerifier::Check(const CodeGraph& graph) {
+  std::vector<Diagnostic> diags = Verify(graph);
+  if (HasErrors(diags)) {
+    return Status(StatusCode::kInternal,
+                  "code graph verification failed:\n" +
+                      RenderDiagnostics(diags));
+  }
+  return Status::Ok();
+}
+
+bool CodeGraphVerifier::enabled() { return g_verifier_enabled; }
+
+void CodeGraphVerifier::set_enabled(bool on) { g_verifier_enabled = on; }
+
+}  // namespace kgpip::codegraph::analysis

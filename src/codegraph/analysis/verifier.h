@@ -1,0 +1,43 @@
+#ifndef KGPIP_CODEGRAPH_ANALYSIS_VERIFIER_H_
+#define KGPIP_CODEGRAPH_ANALYSIS_VERIFIER_H_
+
+#include <vector>
+
+#include "codegraph/analysis/diagnostic.h"
+#include "codegraph/code_graph.h"
+#include "util/status.h"
+
+namespace kgpip::codegraph::analysis {
+
+/// Structural invariant checker for emitted CodeGraphs, in the spirit of
+/// LLVM's module verifier. Invariants:
+///
+///   * every edge's endpoints are valid node indices;
+///   * the data-flow subgraph is a DAG (values cannot feed themselves);
+///   * typed edges land on the right node kinds (parameter edges go
+///     call -> parameter, location edges end at location nodes, ...);
+///   * call, variable, and import nodes carry non-empty labels;
+///   * every ML call node whose label is rooted in an imported module is
+///     reachable from an import node through data flow (the analyzer
+///     emits import -> call root edges to make this checkable).
+///
+/// The verifier is a gate for analyzer bugs, not for malformed *input*
+/// scripts — those fail in the parser. It runs after every AnalyzeScript
+/// and FilterCodeGraph when enabled; the default is on in debug builds
+/// (!NDEBUG) and off in release builds so benchmarks stay unskewed.
+/// Tests enable it explicitly.
+class CodeGraphVerifier {
+ public:
+  /// All violated invariants (empty = graph is well-formed).
+  static std::vector<Diagnostic> Verify(const CodeGraph& graph);
+
+  /// Folds Verify into a Status (kInternal on the first error).
+  static Status Check(const CodeGraph& graph);
+
+  static bool enabled();
+  static void set_enabled(bool on);
+};
+
+}  // namespace kgpip::codegraph::analysis
+
+#endif  // KGPIP_CODEGRAPH_ANALYSIS_VERIFIER_H_

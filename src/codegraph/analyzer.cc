@@ -1,309 +1,255 @@
 #include "codegraph/analyzer.h"
 
-#include <cctype>
 #include <map>
+#include <set>
+#include <vector>
 
+#include "codegraph/analysis/call_graph.h"
+#include "codegraph/analysis/pass_manager.h"
+#include "codegraph/analysis/type_flow.h"
+#include "codegraph/analysis/verifier.h"
+#include "codegraph/ml_api.h"
 #include "util/string_util.h"
 
 namespace kgpip::codegraph {
 
 namespace {
 
-/// Per-script analysis state.
+using analysis::TypeEnv;
+
+/// Per-script graph emission. Types come from the flow-sensitive
+/// TypeFlowPass (each statement sees the environment that actually
+/// reaches it); this walk only tracks which graph nodes produce each
+/// variable's value, forking and merging that node environment at
+/// branches so a use after `if/else` draws data flow from both arms.
 class Analysis {
  public:
-  Analysis(const std::string& script_name, const AnalyzerOptions& options)
-      : options_(options) {
+  Analysis(const std::string& script_name, const AnalyzerOptions& options,
+           const Module& module)
+      : options_(options), pm_(&module) {
     graph_.script_name = script_name;
   }
 
-  Status Run(const Module& module) {
-    for (const StmtPtr& stmt : module.statements) {
-      KGPIP_RETURN_IF_ERROR(VisitStmt(*stmt));
-    }
-    return Status::Ok();
+  Status Run() {
+    types_ = &pm_.Get<analysis::TypeFlowPass>();
+    return VisitBlock(pm_.module().statements);
   }
 
   CodeGraph Take() { return std::move(graph_); }
 
  private:
+  /// var -> graph nodes that may produce its current value.
+  using NodeEnv = std::map<std::string, std::set<int>>;
+
+  static NodeEnv MergeEnvs(const NodeEnv& a, const NodeEnv& b) {
+    NodeEnv out = a;
+    for (const auto& [var, nodes] : b) {
+      out[var].insert(nodes.begin(), nodes.end());
+    }
+    return out;
+  }
+
+  Status VisitBlock(const std::vector<StmtPtr>& block) {
+    for (const StmtPtr& stmt : block) {
+      KGPIP_RETURN_IF_ERROR(VisitStmt(*stmt));
+    }
+    return Status::Ok();
+  }
+
   Status VisitStmt(const Stmt& stmt) {
+    current_stmt_ = &stmt;
     switch (stmt.kind) {
       case StmtKind::kImport: {
         std::string alias = stmt.alias.empty() ? stmt.module : stmt.alias;
-        imports_[alias] = stmt.module;
         int node = graph_.AddNode(NodeKind::kImport, stmt.module, stmt.line);
+        import_nodes_[alias] = node;
         MaybeLocation(node, stmt.line);
         return Status::Ok();
       }
       case StmtKind::kImportFrom: {
         std::string alias =
             stmt.alias.empty() ? stmt.imported_name : stmt.alias;
-        imports_[alias] = stmt.module + "." + stmt.imported_name;
         int node = graph_.AddNode(NodeKind::kImport,
                                   stmt.module + "." + stmt.imported_name,
                                   stmt.line);
+        import_nodes_[alias] = node;
         MaybeLocation(node, stmt.line);
         return Status::Ok();
       }
       case StmtKind::kAssign: {
-        int value_node = -1;
-        std::string value_type;
-        VisitExpr(*stmt.value, &value_node, &value_type);
-        for (size_t i = 0; i < stmt.targets.size(); ++i) {
-          const Expr& target = *stmt.targets[i];
-          if (target.kind == ExprKind::kName) {
-            // The environment points at the producing node so downstream
-            // uses flow from it; the variable node itself is metadata.
-            int var_node = graph_.AddNode(NodeKind::kVariable, target.text,
+        std::vector<int> value_nodes = VisitExpr(*stmt.value);
+        for (const ExprPtr& target : stmt.targets) {
+          if (target->kind == ExprKind::kName) {
+            // The environment points at the producing nodes so downstream
+            // uses flow from them; the variable node itself is metadata.
+            int var_node = graph_.AddNode(NodeKind::kVariable, target->text,
                                           stmt.line);
-            if (value_node >= 0) {
-              graph_.AddEdge(value_node, var_node, EdgeKind::kDataFlow);
-              env_[target.text] = value_node;
+            for (int value : value_nodes) {
+              graph_.AddEdge(value, var_node, EdgeKind::kDataFlow);
             }
-            std::string element_type = TupleElementType(
-                value_type, stmt.targets.size() > 1 ? i : 0,
-                stmt.targets.size() > 1);
-            if (!element_type.empty()) {
-              var_types_[target.text] = element_type;
+            if (!value_nodes.empty()) {
+              env_[target->text] =
+                  std::set<int>(value_nodes.begin(), value_nodes.end());
             }
           } else {
             // Attribute / subscript target: flow into the base object.
-            int base_node = -1;
-            std::string base_type;
-            VisitExpr(target, &base_node, &base_type);
-            if (value_node >= 0 && base_node >= 0) {
-              graph_.AddEdge(value_node, base_node, EdgeKind::kDataFlow);
+            std::vector<int> base_nodes = VisitExpr(*target);
+            for (int value : value_nodes) {
+              for (int base : base_nodes) {
+                graph_.AddEdge(value, base, EdgeKind::kDataFlow);
+              }
             }
           }
         }
         return Status::Ok();
       }
-      case StmtKind::kExpr: {
-        int node = -1;
-        std::string type;
-        VisitExpr(*stmt.value, &node, &type);
+      case StmtKind::kExpr:
+        VisitExpr(*stmt.value);
         return Status::Ok();
-      }
       case StmtKind::kFor: {
-        int iter_node = -1;
-        std::string iter_type;
-        VisitExpr(*stmt.value, &iter_node, &iter_type);
-        if (iter_node >= 0) env_[stmt.loop_var] = iter_node;
-        for (const StmtPtr& inner : stmt.body) {
-          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
+        std::vector<int> iter_nodes = VisitExpr(*stmt.value);
+        if (!iter_nodes.empty()) {
+          env_[stmt.loop_var] =
+              std::set<int>(iter_nodes.begin(), iter_nodes.end());
         }
-        return Status::Ok();
+        // The body is emitted once; re-emitting per iteration would both
+        // duplicate nodes and thread a value into its own producer,
+        // breaking the data-flow DAG invariant. (The type fixpoint still
+        // runs in TypeFlowPass, which has no such constraint.)
+        return VisitBlock(stmt.body);
       }
       case StmtKind::kIf: {
-        int cond_node = -1;
-        std::string cond_type;
-        VisitExpr(*stmt.value, &cond_node, &cond_type);
-        for (const StmtPtr& inner : stmt.body) {
-          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
-        }
-        for (const StmtPtr& inner : stmt.orelse) {
-          KGPIP_RETURN_IF_ERROR(VisitStmt(*inner));
-        }
+        VisitExpr(*stmt.value);
+        NodeEnv entry = env_;
+        KGPIP_RETURN_IF_ERROR(VisitBlock(stmt.body));
+        NodeEnv then_env = std::move(env_);
+        env_ = entry;
+        KGPIP_RETURN_IF_ERROR(VisitBlock(stmt.orelse));
+        // Join: a later use may draw its value from either arm (or from
+        // before the branch when an arm leaves the variable untouched).
+        env_ = MergeEnvs(then_env, env_);
         return Status::Ok();
       }
     }
     return Status::Ok();
   }
 
-  /// Emits graph structure for an expression; returns the node producing
-  /// its value (-1 if none) and the inferred qualified type ("" unknown).
-  void VisitExpr(const Expr& expr, int* out_node, std::string* out_type) {
-    *out_node = -1;
-    out_type->clear();
+  /// Emits graph structure for an expression; returns the nodes that may
+  /// produce its value (empty if none).
+  std::vector<int> VisitExpr(const Expr& expr) {
     switch (expr.kind) {
       case ExprKind::kName: {
         auto it = env_.find(expr.text);
-        if (it != env_.end()) *out_node = it->second;
-        auto ty = var_types_.find(expr.text);
-        if (ty != var_types_.end()) *out_type = ty->second;
-        return;
+        if (it == env_.end()) return {};
+        return std::vector<int>(it->second.begin(), it->second.end());
       }
-      case ExprKind::kConstant: {
-        *out_node = graph_.AddNode(NodeKind::kLiteral, expr.text, expr.line);
-        return;
-      }
+      case ExprKind::kConstant:
+        return {graph_.AddNode(NodeKind::kLiteral, expr.text, expr.line)};
       case ExprKind::kList: {
         int list_node =
             graph_.AddNode(NodeKind::kLiteral, "[list]", expr.line);
         for (const ExprPtr& item : expr.args) {
-          int item_node = -1;
-          std::string item_type;
-          VisitExpr(*item, &item_node, &item_type);
-          if (item_node >= 0) {
+          for (int item_node : VisitExpr(*item)) {
             graph_.AddEdge(item_node, list_node, EdgeKind::kDataFlow);
           }
         }
-        *out_node = list_node;
-        return;
+        return {list_node};
       }
       case ExprKind::kSubscript: {
-        int base_node = -1;
-        std::string base_type;
-        VisitExpr(*expr.value, &base_node, &base_type);
-        int index_node = -1;
-        std::string index_type;
-        VisitExpr(*expr.index, &index_node, &index_type);
+        std::vector<int> base_nodes = VisitExpr(*expr.value);
+        VisitExpr(*expr.index);
         // Value flows through the subscript.
-        *out_node = base_node;
-        *out_type = base_type;
-        return;
+        return base_nodes;
       }
       case ExprKind::kBinOp: {
-        int lhs = -1, rhs = -1;
-        std::string lt, rt;
-        VisitExpr(*expr.value, &lhs, &lt);
-        VisitExpr(*expr.index, &rhs, &rt);
-        *out_node = lhs >= 0 ? lhs : rhs;
-        *out_type = lt.empty() ? rt : lt;
-        return;
+        std::vector<int> nodes = VisitExpr(*expr.value);
+        std::vector<int> rhs = VisitExpr(*expr.index);
+        nodes.insert(nodes.end(), rhs.begin(), rhs.end());
+        return nodes;
       }
-      case ExprKind::kAttribute: {
+      case ExprKind::kAttribute:
         // Bare attribute read (not a call): flows from the base object.
-        int base_node = -1;
-        std::string base_type;
-        VisitExpr(*expr.value, &base_node, &base_type);
-        *out_node = base_node;
-        return;
-      }
-      case ExprKind::kCall: {
-        VisitCall(expr, out_node, out_type);
-        return;
-      }
+        return VisitExpr(*expr.value);
+      case ExprKind::kCall:
+        return VisitCall(expr);
     }
+    return {};
   }
 
-  void VisitCall(const Expr& call, int* out_node, std::string* out_type) {
-    // Resolve the callee's qualified name plus the receiver's value node.
-    std::string qualified;
-    int receiver_node = -1;
-    ResolveCallee(*call.value, &qualified, &receiver_node);
-    int call_node = graph_.AddNode(NodeKind::kCall, qualified, call.line);
-    if (receiver_node >= 0) {
-      graph_.AddEdge(receiver_node, call_node, EdgeKind::kDataFlow);
+  std::vector<int> VisitCall(const Expr& call) {
+    const TypeEnv& type_env = types_->EnvAt(current_stmt_);
+    std::string via_alias;
+    std::vector<std::string> candidates = analysis::ResolveCalleeNames(
+        *call.value, type_env, types_->imports, &via_alias);
+    std::vector<int> receivers = ReceiverNodes(*call.value);
+
+    // One call node per candidate qualified name. The primary (first)
+    // candidate carries arguments, control flow and auxiliary nodes; the
+    // others exist so downstream consumers (filter, verifier) see every
+    // type the receiver may have at this point.
+    int primary = -1;
+    auto import_it = import_nodes_.find(via_alias);
+    for (const std::string& qualified : candidates) {
+      int call_node = graph_.AddNode(NodeKind::kCall, qualified, call.line);
+      if (primary < 0) primary = call_node;
+      for (int receiver : receivers) {
+        graph_.AddEdge(receiver, call_node, EdgeKind::kDataFlow);
+      }
+      // Root the call in its import so "every import-rooted ML call is
+      // reachable from an import node" is a checkable invariant.
+      if (!via_alias.empty() && import_it != import_nodes_.end()) {
+        graph_.AddEdge(import_it->second, call_node, EdgeKind::kDataFlow);
+      }
     }
+
     // Control flow from the previous call in program order.
     if (last_call_node_ >= 0) {
-      graph_.AddEdge(last_call_node_, call_node, EdgeKind::kControlFlow);
+      graph_.AddEdge(last_call_node_, primary, EdgeKind::kControlFlow);
     }
-    last_call_node_ = call_node;
+    last_call_node_ = primary;
 
     int arg_index = 0;
     auto handle_arg = [&](const Expr& arg, const std::string& kw) {
-      int arg_node = -1;
-      std::string arg_type;
-      VisitExpr(arg, &arg_node, &arg_type);
+      std::vector<int> arg_nodes = VisitExpr(arg);
       if (options_.emit_parameter_nodes) {
         std::string label = kw.empty()
                                 ? "arg" + std::to_string(arg_index)
                                 : kw;
         int param = graph_.AddNode(NodeKind::kParameter, label, call.line);
-        graph_.AddEdge(call_node, param, EdgeKind::kParameter);
-        if (arg_node >= 0) {
+        graph_.AddEdge(primary, param, EdgeKind::kParameter);
+        for (int arg_node : arg_nodes) {
           graph_.AddEdge(arg_node, param, EdgeKind::kDataFlow);
         }
       }
-      if (arg_node >= 0) {
-        graph_.AddEdge(arg_node, call_node, EdgeKind::kDataFlow);
+      for (int arg_node : arg_nodes) {
+        graph_.AddEdge(arg_node, primary, EdgeKind::kDataFlow);
       }
       ++arg_index;
     };
     for (const ExprPtr& arg : call.args) handle_arg(*arg, "");
     for (const KeywordArg& kw : call.keywords) handle_arg(*kw.value, kw.name);
 
-    MaybeLocation(call_node, call.line);
+    MaybeLocation(primary, call.line);
     if (options_.emit_doc_nodes && call.line % 4 == 0) {
       int doc = graph_.AddNode(NodeKind::kDoc, "doc", call.line);
-      graph_.AddEdge(call_node, doc, EdgeKind::kDoc);
+      graph_.AddEdge(primary, doc, EdgeKind::kDoc);
     }
-
-    *out_node = call_node;
-    *out_type = ReturnTypeOf(qualified);
+    return {primary};
   }
 
-  /// Resolves `func` (Name or Attribute chain) to a qualified name using
-  /// imports and tracked receiver types.
-  void ResolveCallee(const Expr& func, std::string* qualified,
-                     int* receiver_node) {
-    *receiver_node = -1;
-    if (func.kind == ExprKind::kName) {
-      auto it = imports_.find(func.text);
-      *qualified = it != imports_.end() ? it->second : func.text;
-      return;
+  /// The nodes producing the receiver of an attribute-chain callee
+  /// (empty for plain-name callees). A call/subscript base is emitted
+  /// here, exactly once.
+  std::vector<int> ReceiverNodes(const Expr& func) {
+    if (func.kind != ExprKind::kAttribute) return {};
+    const Expr* base = &func;
+    while (base->kind == ExprKind::kAttribute) base = base->value.get();
+    if (base->kind == ExprKind::kName) {
+      auto it = env_.find(base->text);
+      if (it == env_.end()) return {};
+      return std::vector<int>(it->second.begin(), it->second.end());
     }
-    if (func.kind == ExprKind::kAttribute) {
-      // Walk to the base of the chain.
-      std::vector<const Expr*> chain;
-      const Expr* cur = &func;
-      while (cur->kind == ExprKind::kAttribute) {
-        chain.push_back(cur);
-        cur = cur->value.get();
-      }
-      std::string base;
-      if (cur->kind == ExprKind::kName) {
-        const std::string& name = cur->text;
-        auto imp = imports_.find(name);
-        auto ty = var_types_.find(name);
-        auto env = env_.find(name);
-        if (env != env_.end()) *receiver_node = env->second;
-        if (imp != imports_.end()) {
-          base = imp->second;
-        } else if (ty != var_types_.end()) {
-          base = ty->second;
-        } else {
-          base = name;
-        }
-      } else {
-        // Call / subscript base: resolve recursively for the value node.
-        int node = -1;
-        std::string type;
-        VisitExpr(*cur, &node, &type);
-        *receiver_node = node;
-        base = type.empty() ? "<unknown>" : type;
-      }
-      *qualified = base;
-      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        *qualified += "." + (*it)->text;
-      }
-      return;
-    }
-    *qualified = "<expr>";
-  }
-
-  /// Known return types for the APIs the corpus uses; everything else is
-  /// unknown. Constructor calls (Capitalized last component) return their
-  /// own class.
-  static std::string ReturnTypeOf(const std::string& qualified) {
-    if (qualified == "pandas.read_csv") return "pandas.DataFrame";
-    if (EndsWith(qualified, "train_test_split")) {
-      return "tuple[pandas.DataFrame]";
-    }
-    size_t dot = qualified.find_last_of('.');
-    std::string last =
-        dot == std::string::npos ? qualified : qualified.substr(dot + 1);
-    if (!last.empty() && std::isupper(static_cast<unsigned char>(last[0]))) {
-      return qualified;  // constructor
-    }
-    if (EndsWith(qualified, ".fit_transform") ||
-        EndsWith(qualified, ".transform")) {
-      return "numpy.ndarray";
-    }
-    return "";
-  }
-
-  /// For tuple unpacking `a, b = f(...)`: element type of slot `i`.
-  static std::string TupleElementType(const std::string& value_type,
-                                      size_t /*index*/, bool is_tuple) {
-    if (!is_tuple) return value_type;
-    if (StartsWith(value_type, "tuple[")) {
-      return value_type.substr(6, value_type.size() - 7);
-    }
-    return value_type;
+    return VisitExpr(*base);
   }
 
   void MaybeLocation(int node, int line) {
@@ -317,10 +263,12 @@ class Analysis {
   }
 
   AnalyzerOptions options_;
+  analysis::PassManager pm_;
   CodeGraph graph_;
-  std::map<std::string, std::string> imports_;   // alias -> module path
-  std::map<std::string, int> env_;               // var -> producing node
-  std::map<std::string, std::string> var_types_; // var -> qualified type
+  const analysis::TypeFlowResult* types_ = nullptr;
+  const Stmt* current_stmt_ = nullptr;
+  NodeEnv env_;
+  std::map<std::string, int> import_nodes_;  // alias -> import node
   int last_call_node_ = -1;
 };
 
@@ -330,22 +278,56 @@ Result<CodeGraph> AnalyzeScript(const std::string& script_name,
                                 const std::string& source,
                                 const AnalyzerOptions& options) {
   KGPIP_ASSIGN_OR_RETURN(Module module, ParsePython(source));
-  Analysis analysis(script_name, options);
-  KGPIP_RETURN_IF_ERROR(analysis.Run(module));
-  return analysis.Take();
+  Analysis analysis(script_name, options, module);
+  KGPIP_RETURN_IF_ERROR(analysis.Run());
+  CodeGraph graph = analysis.Take();
+  if (analysis::CodeGraphVerifier::enabled()) {
+    KGPIP_RETURN_IF_ERROR(analysis::CodeGraphVerifier::Check(graph));
+  }
+  return graph;
 }
 
 std::string FindReadCsvArgument(const CodeGraph& graph) {
-  // Locate the read_csv call node, then its literal data-flow source.
-  for (size_t i = 0; i < graph.nodes.size(); ++i) {
-    if (graph.nodes[i].kind != NodeKind::kCall) continue;
-    if (graph.nodes[i].label != "pandas.read_csv") continue;
-    for (const CodeEdge& edge : graph.edges) {
-      if (edge.dst != static_cast<int>(i)) continue;
-      if (edge.kind != EdgeKind::kDataFlow) continue;
-      const CodeNode& src = graph.nodes[static_cast<size_t>(edge.src)];
-      if (src.kind == NodeKind::kLiteral) return src.label;
+  analysis::PassManager pm(nullptr, &graph);
+  const analysis::CallGraphResult& calls =
+      pm.Get<analysis::CallGraphPass>();
+
+  // Candidate loaders (alias-resolved labels normally read
+  // "pandas.read_csv"; tolerate unresolved spellings) and ML sinks.
+  std::vector<int> candidates;
+  std::vector<int> sinks;
+  for (int id : calls.call_nodes) {
+    const std::string& label = graph.nodes[static_cast<size_t>(id)].label;
+    if (label == "read_csv" || EndsWith(label, ".read_csv")) {
+      candidates.push_back(id);
+      continue;
     }
+    bool is_estimator = false;
+    if (!CanonicalizeMlCall(label, &is_estimator).empty()) {
+      sinks.push_back(id);
+    }
+  }
+
+  // Prefer the load whose frame actually feeds the fitted pipeline; a
+  // notebook often reads an auxiliary file (test split, lookup table)
+  // first, and that one must not win.
+  int chosen = -1;
+  for (int candidate : candidates) {
+    for (int sink : sinks) {
+      if (calls.Reaches(candidate, sink)) {
+        chosen = candidate;
+        break;
+      }
+    }
+    if (chosen >= 0) break;
+  }
+  if (chosen < 0 && !candidates.empty()) chosen = candidates.front();
+  if (chosen < 0) return "";
+
+  for (const CodeEdge& edge : graph.edges) {
+    if (edge.dst != chosen || edge.kind != EdgeKind::kDataFlow) continue;
+    const CodeNode& src = graph.nodes[static_cast<size_t>(edge.src)];
+    if (src.kind == NodeKind::kLiteral) return src.label;
   }
   return "";
 }

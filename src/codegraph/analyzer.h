@@ -23,16 +23,24 @@ struct AnalyzerOptions {
 /// tracks the flow of objects through calls, and emits a code graph with
 /// data-flow, control-flow and auxiliary nodes/edges.
 ///
-/// Type tracking is flow-insensitive per variable (last assignment wins),
-/// which matches the notebooks this corpus contains and is the same
-/// practical accuracy class as GraphGen4Code's analysis.
+/// Receiver types are flow-SENSITIVE (analysis::TypeFlowPass): each
+/// statement sees the type environment reaching it, branch joins union
+/// the candidates, and a receiver with several possible classes emits
+/// one call node per candidate qualified name. Calls are additionally
+/// rooted in their import nodes via data-flow edges, and — when the
+/// analysis::CodeGraphVerifier is enabled (debug/test builds) — every
+/// emitted graph is checked against the structural invariants before
+/// being returned.
 Result<CodeGraph> AnalyzeScript(const std::string& script_name,
                                 const std::string& source,
                                 const AnalyzerOptions& options = {});
 
-/// Convenience: the dataset file argument of the first pandas.read_csv
-/// call in the graph ("" if none). Graph4ML uses this to link pipelines
-/// to dataset nodes when the file name is explicit.
+/// The dataset file argument of the pandas.read_csv call feeding the
+/// fitted pipeline ("" if none). Aliased imports are already resolved in
+/// call labels; when several read_csv calls exist, the one whose frame
+/// reaches an ML estimator/transformer call through data flow wins over
+/// earlier auxiliary loads. Graph4ML uses this to link pipelines to
+/// dataset nodes when the file name is explicit.
 std::string FindReadCsvArgument(const CodeGraph& graph);
 
 }  // namespace kgpip::codegraph

@@ -2,11 +2,15 @@
 
 #include <cctype>
 
+#include "codegraph/analysis/diagnostic.h"
 #include "util/string_util.h"
 
 namespace kgpip::codegraph {
 
 namespace {
+
+using analysis::MakeError;
+using analysis::SourceSpan;
 
 enum class TokKind {
   kName,
@@ -23,6 +27,9 @@ struct Token {
   TokKind kind;
   std::string text;
   int line;
+  int col;  // 1-based column of the token's first character
+
+  SourceSpan span() const { return {line, col}; }
 };
 
 /// Indentation-aware tokenizer for the supported subset.
@@ -38,6 +45,10 @@ class Lexer {
     const size_t n = source_.size();
     while (pos < n) {
       ++line;
+      const size_t line_begin = pos;
+      auto col = [&](size_t at) {
+        return static_cast<int>(at - line_begin) + 1;
+      };
       // Measure indentation.
       int indent = 0;
       while (pos < n && (source_[pos] == ' ' || source_[pos] == '\t')) {
@@ -52,15 +63,17 @@ class Lexer {
       }
       if (indent > indents.back()) {
         indents.push_back(indent);
-        tokens.push_back({TokKind::kIndent, "", line});
+        tokens.push_back({TokKind::kIndent, "", line, 1});
       }
       while (indent < indents.back()) {
         indents.pop_back();
-        tokens.push_back({TokKind::kDedent, "", line});
+        tokens.push_back({TokKind::kDedent, "", line, 1});
       }
       if (indent != indents.back()) {
-        return Status::ParseError("inconsistent indentation at line " +
-                                  std::to_string(line));
+        return MakeError("lex.inconsistent-indent",
+                         "inconsistent indentation",
+                         {line, col(pos)})
+            .ToStatus();
       }
       // Tokenize the logical line (no continuations inside brackets across
       // newlines for simplicity; generator emits single-line statements).
@@ -81,8 +94,9 @@ class Lexer {
                   source_[pos] == '_')) {
             ++pos;
           }
-          tokens.push_back(
-              {TokKind::kName, source_.substr(start, pos - start), line});
+          tokens.push_back({TokKind::kName,
+                            source_.substr(start, pos - start), line,
+                            col(start)});
           continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -97,12 +111,14 @@ class Lexer {
                    (source_[pos - 1] == 'e' || source_[pos - 1] == 'E')))) {
             ++pos;
           }
-          tokens.push_back(
-              {TokKind::kNumber, source_.substr(start, pos - start), line});
+          tokens.push_back({TokKind::kNumber,
+                            source_.substr(start, pos - start), line,
+                            col(start)});
           continue;
         }
         if (c == '\'' || c == '"') {
           char quote = c;
+          const size_t start = pos;
           ++pos;
           std::string text;
           bool closed = false;
@@ -120,10 +136,12 @@ class Lexer {
             text += source_[pos++];
           }
           if (!closed) {
-            return Status::ParseError("unterminated string at line " +
-                                      std::to_string(line));
+            return MakeError("lex.unterminated-string",
+                             "unterminated string literal",
+                             {line, col(start)})
+                .ToStatus();
           }
-          tokens.push_back({TokKind::kString, text, line});
+          tokens.push_back({TokKind::kString, text, line, col(start)});
           continue;
         }
         // Multi-char operators first.
@@ -133,7 +151,7 @@ class Lexer {
         for (const char* op : kTwoCharOps) {
           if (pos + 1 < n && source_[pos] == op[0] &&
               source_[pos + 1] == op[1]) {
-            tokens.push_back({TokKind::kOp, op, line});
+            tokens.push_back({TokKind::kOp, op, line, col(pos)});
             pos += 2;
             matched = true;
             break;
@@ -142,22 +160,23 @@ class Lexer {
         if (matched) continue;
         static const std::string kSingleOps = "()[]{},.:=+-*/%<>";
         if (kSingleOps.find(c) != std::string::npos) {
-          tokens.push_back({TokKind::kOp, std::string(1, c), line});
+          tokens.push_back({TokKind::kOp, std::string(1, c), line, col(pos)});
           ++pos;
           continue;
         }
-        return Status::ParseError("unexpected character '" +
-                                  std::string(1, c) + "' at line " +
-                                  std::to_string(line));
+        return MakeError("lex.unexpected-char",
+                         "unexpected character '" + std::string(1, c) + "'",
+                         {line, col(pos)})
+            .ToStatus();
       }
-      tokens.push_back({TokKind::kNewline, "", line});
+      tokens.push_back({TokKind::kNewline, "", line, col(pos)});
       if (pos < n) ++pos;  // consume '\n'
     }
     while (indents.size() > 1) {
       indents.pop_back();
-      tokens.push_back({TokKind::kDedent, "", line});
+      tokens.push_back({TokKind::kDedent, "", line, 1});
     }
-    tokens.push_back({TokKind::kEnd, "", line});
+    tokens.push_back({TokKind::kEnd, "", line, 1});
     return tokens;
   }
 
@@ -218,7 +237,9 @@ class Parser {
     stmt->line = Peek().line;
     Advance();  // from
     KGPIP_ASSIGN_OR_RETURN(stmt->module, ParseDottedName());
-    if (!CheckName("import")) return Err("expected 'import'");
+    if (!CheckName("import")) {
+      return Err("parse.expected-keyword", "expected 'import'");
+    }
     Advance();
     KGPIP_ASSIGN_OR_RETURN(stmt->imported_name, ExpectName());
     if (CheckName("as")) {
@@ -235,7 +256,7 @@ class Parser {
     stmt->line = Peek().line;
     Advance();  // for
     KGPIP_ASSIGN_OR_RETURN(stmt->loop_var, ExpectName());
-    if (!CheckName("in")) return Err("expected 'in'");
+    if (!CheckName("in")) return Err("parse.expected-keyword", "expected 'in'");
     Advance();
     KGPIP_ASSIGN_OR_RETURN(stmt->value, ParseExpression());
     KGPIP_RETURN_IF_ERROR(ExpectOp(":"));
@@ -263,7 +284,9 @@ class Parser {
   }
 
   Result<std::vector<StmtPtr>> ParseBlock() {
-    if (!Check(TokKind::kIndent)) return Err("expected indented block");
+    if (!Check(TokKind::kIndent)) {
+      return Err("parse.expected-block", "expected indented block");
+    }
     Advance();
     std::vector<StmtPtr> body;
     while (!Check(TokKind::kDedent) && !AtEnd()) {
@@ -298,7 +321,9 @@ class Parser {
       KGPIP_RETURN_IF_ERROR(ExpectNewline());
       return stmt;
     }
-    if (targets.size() != 1) return Err("tuple expression without '='");
+    if (targets.size() != 1) {
+      return Err("parse.tuple-without-assign", "tuple expression without '='");
+    }
     stmt->kind = StmtKind::kExpr;
     stmt->value = std::move(targets[0]);
     KGPIP_RETURN_IF_ERROR(ExpectNewline());
@@ -445,7 +470,8 @@ class Parser {
       default:
         break;
     }
-    return Err("unexpected token '" + tok.text + "'");
+    return Err("parse.unexpected-token",
+               "unexpected token '" + tok.text + "'");
   }
 
   Result<std::string> ParseDottedName() {
@@ -459,7 +485,9 @@ class Parser {
   }
 
   Result<std::string> ExpectName() {
-    if (!Check(TokKind::kName)) return Err("expected identifier");
+    if (!Check(TokKind::kName)) {
+      return Err("parse.expected-identifier", "expected identifier");
+    }
     std::string text = Peek().text;
     Advance();
     return text;
@@ -467,8 +495,7 @@ class Parser {
 
   Status ExpectOp(const std::string& op) {
     if (!CheckOp(op)) {
-      return Status::ParseError("expected '" + op + "' at line " +
-                                std::to_string(Peek().line));
+      return Err("parse.expected-token", "expected '" + op + "'");
     }
     Advance();
     return Status::Ok();
@@ -479,8 +506,7 @@ class Parser {
       if (Check(TokKind::kNewline)) Advance();
       return Status::Ok();
     }
-    return Status::ParseError("expected end of line at line " +
-                              std::to_string(Peek().line));
+    return Err("parse.expected-newline", "expected end of line");
   }
 
   bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
@@ -499,9 +525,10 @@ class Parser {
     if (pos_ + 1 < tokens_.size()) ++pos_;
   }
 
-  Status Err(const std::string& what) const {
-    return Status::ParseError(what + " at line " +
-                              std::to_string(Peek().line));
+  /// Structured parse error anchored at the current token.
+  Status Err(std::string code, std::string what) const {
+    return MakeError(std::move(code), std::move(what), Peek().span())
+        .ToStatus();
   }
 
   std::vector<Token> tokens_;

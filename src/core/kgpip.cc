@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "data/synthetic.h"
+#include "gen/linter.h"
 #include "ml/learner.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -141,6 +142,7 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
   seed_graph.edges = {{0, 1}};
 
   Rng rng(seed * 0x9E3779B97F4A7C15ULL + 3);
+  gen::PipelineLinter linter(task);
   std::vector<gen::ScoredSkeleton> skeletons;
   std::set<std::string> seen;
   for (int attempt = 0;
@@ -149,6 +151,9 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
        ++attempt) {
     gen::GeneratedGraph generated = generator_->Generate(
         seed_graph, condition, &rng, config_.temperature);
+    // Graph-level lint first (vocabulary, acyclicity, estimator/task),
+    // then the skeleton mapping; both reject invalid generator output.
+    if (!linter.LintGraph(generated).ok()) continue;
     auto skeleton = gen::GraphToSkeleton(generated, task);
     if (!skeleton.ok()) continue;  // invalid graphs are discarded
     std::string key = skeleton->spec.ToString();
@@ -189,7 +194,6 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
 Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
                                         hpo::Budget budget,
                                         uint64_t seed) const {
-  automl::AutoMlResult result;
   bool used_fallback = false;
   std::string fallback_reason;
 
@@ -214,6 +218,47 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
     if (skeletons.empty()) {
       return Status::Internal("no fallback learner supports this task");
     }
+  }
+  return RunSearch(std::move(skeletons), train, task, budget, seed,
+                   used_fallback, fallback_reason);
+}
+
+Result<automl::AutoMlResult> Kgpip::FitWithSkeletons(
+    std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
+    TaskType task, hpo::Budget budget, uint64_t seed) const {
+  return RunSearch(std::move(skeletons), train, task, budget, seed,
+                   /*used_fallback=*/false, /*fallback_reason=*/"");
+}
+
+Result<automl::AutoMlResult> Kgpip::RunSearch(
+    std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
+    TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
+    const std::string& fallback_reason) const {
+  automl::AutoMlResult result;
+
+  // Static lint gate: drop invalid candidates BEFORE the (T - t) / K
+  // rule sees them, so a rejected skeleton consumes zero trial budget
+  // and the surviving ones split the whole pool.
+  gen::PipelineLinter linter(task);
+  int lint_rejected = 0;
+  std::map<std::string, int> lint_rejected_by_code;
+  {
+    std::vector<gen::ScoredSkeleton> accepted;
+    accepted.reserve(skeletons.size());
+    for (gen::ScoredSkeleton& s : skeletons) {
+      gen::LintReport lint = linter.LintSkeleton(s);
+      if (!lint.ok()) {
+        ++lint_rejected;
+        for (const std::string& code : lint.ErrorCodes()) {
+          ++lint_rejected_by_code[code];
+        }
+        KGPIP_LOG(Warning) << "lint rejected skeleton before HPO:\n"
+                           << lint.Render();
+        continue;
+      }
+      accepted.push_back(std::move(s));
+    }
+    skeletons = std::move(accepted);
   }
 
   KGPIP_ASSIGN_OR_RETURN(
@@ -283,6 +328,8 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
   }
   report.last_resort_pass = last_resort;
   report.returned_best_so_far = stopped_early;
+  report.lint_rejected = lint_rejected;
+  report.lint_rejected_by_code = std::move(lint_rejected_by_code);
   result.report = std::move(report);
 
   if (result.best_spec.learner.empty()) {

@@ -77,6 +77,15 @@ class Kgpip : public automl::AutoMlSystem {
   Result<automl::AutoMlResult> Fit(const Table& train, TaskType task,
                                    hpo::Budget budget,
                                    uint64_t seed) const override;
+
+  /// Runs the search phase of Fit over caller-supplied candidate
+  /// skeletons instead of predicted ones (works untrained). Candidates
+  /// still pass through the PipelineLinter gate, so an invalid skeleton
+  /// is skipped before the (T - t) / K rule allocates it any budget —
+  /// rejections are counted in the result's RunReport.
+  Result<automl::AutoMlResult> FitWithSkeletons(
+      std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
+      TaskType task, hpo::Budget budget, uint64_t seed) const;
   std::string name() const override {
     return config_.optimizer == "flaml" ? "KGpipFLAML" : "KGpipAutoSklearn";
   }
@@ -98,6 +107,13 @@ class Kgpip : public automl::AutoMlSystem {
   Status LoadFile(const std::string& path);
 
  private:
+  /// Shared tail of Fit / FitWithSkeletons: lint gate, per-skeleton HPO
+  /// under the (T - t) / K rule, last-resort pass, report assembly.
+  Result<automl::AutoMlResult> RunSearch(
+      std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
+      TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
+      const std::string& fallback_reason) const;
+
   KgpipConfig config_;
   bool trained_ = false;
   graph4ml::Graph4Ml store_;

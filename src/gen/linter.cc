@@ -1,0 +1,186 @@
+#include "gen/linter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph4ml/vocab.h"
+#include "ml/learner.h"
+#include "ml/preprocess.h"
+
+namespace kgpip::gen {
+
+namespace {
+
+using codegraph::analysis::Diagnostic;
+using codegraph::analysis::MakeError;
+using codegraph::analysis::MakeWarning;
+using codegraph::analysis::Severity;
+
+bool IsKnownLearner(const std::string& name) {
+  for (const ml::LearnerInfo& info : ml::LearnerRegistry()) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+/// Kahn's algorithm; true if every node can be scheduled (no cycle).
+bool IsAcyclic(const graph4ml::TypedGraph& graph) {
+  const int n = static_cast<int>(graph.num_nodes());
+  std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  for (const auto& [src, dst] : graph.edges) {
+    if (src < 0 || dst < 0 || src >= n || dst >= n) continue;
+    succ[static_cast<size_t>(src)].push_back(dst);
+    ++indegree[static_cast<size_t>(dst)];
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<size_t>(i)] == 0) ready.push_back(i);
+  }
+  int processed = 0;
+  while (!ready.empty()) {
+    int cur = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (int next : succ[static_cast<size_t>(cur)]) {
+      if (--indegree[static_cast<size_t>(next)] == 0) ready.push_back(next);
+    }
+  }
+  return processed == n;
+}
+
+}  // namespace
+
+std::vector<std::string> LintReport::ErrorCodes() const {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) codes.push_back(d.code);
+  }
+  return codes;
+}
+
+LintReport PipelineLinter::LintGraph(const GeneratedGraph& generated) const {
+  LintReport report;
+  const graph4ml::PipelineVocab& vocab = graph4ml::PipelineVocab::Get();
+  const graph4ml::TypedGraph& graph = generated.graph;
+  const int n = static_cast<int>(graph.num_nodes());
+
+  bool types_ok = true;
+  for (int i = 0; i < n; ++i) {
+    int type = graph.node_types[static_cast<size_t>(i)];
+    if (type < 0 || type >= vocab.size()) {
+      types_ok = false;
+      report.diagnostics.push_back(MakeError(
+          "lint.unknown-op",
+          "node #" + std::to_string(i) + " has type " + std::to_string(type) +
+              " outside the vocabulary [0, " + std::to_string(vocab.size()) +
+              ")"));
+    }
+  }
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    const auto& [src, dst] = graph.edges[e];
+    if (src < 0 || dst < 0 || src >= n || dst >= n) {
+      report.diagnostics.push_back(MakeError(
+          "lint.edge-out-of-range",
+          "edge #" + std::to_string(e) + " (" + std::to_string(src) +
+              " -> " + std::to_string(dst) + ") leaves the node range [0, " +
+              std::to_string(n) + ")"));
+    }
+  }
+  if (!IsAcyclic(graph)) {
+    report.diagnostics.push_back(MakeError(
+        "lint.cycle", "generated graph contains a data-flow cycle"));
+  }
+
+  if (!types_ok) return report;  // op-level checks need valid types
+
+  int last_estimator = -1;
+  std::string estimator;
+  for (int i = 0; i < n; ++i) {
+    int type = graph.node_types[static_cast<size_t>(i)];
+    if (vocab.IsEstimator(type)) {
+      last_estimator = i;
+      estimator = vocab.NameOf(type);
+    }
+  }
+  if (last_estimator < 0) {
+    report.diagnostics.push_back(MakeError(
+        "lint.no-estimator", "generated graph contains no estimator node"));
+    return report;
+  }
+  if (!ml::LearnerSupports(estimator, task_)) {
+    report.diagnostics.push_back(MakeError(
+        "lint.task-mismatch", "estimator '" + estimator +
+                                  "' does not support task " +
+                                  TaskTypeName(task_)));
+  }
+  std::set<int> seen_transformers;
+  for (int i = 0; i < n; ++i) {
+    int type = graph.node_types[static_cast<size_t>(i)];
+    if (!vocab.IsTransformer(type)) continue;
+    if (i > last_estimator) {
+      report.diagnostics.push_back(MakeWarning(
+          "lint.estimator-not-last",
+          "transformer '" + vocab.NameOf(type) +
+              "' sampled after the estimator; the skeleton mapper will "
+              "reorder it"));
+    }
+    if (!seen_transformers.insert(type).second) {
+      report.diagnostics.push_back(MakeWarning(
+          "lint.duplicate-transformer",
+          "transformer '" + vocab.NameOf(type) +
+              "' appears more than once; the skeleton mapper deduplicates"));
+    }
+  }
+  return report;
+}
+
+LintReport PipelineLinter::LintSpec(const ml::PipelineSpec& spec) const {
+  LintReport report;
+  if (spec.learner.empty()) {
+    report.diagnostics.push_back(
+        MakeError("lint.no-estimator", "pipeline spec has no estimator"));
+  } else if (!IsKnownLearner(spec.learner)) {
+    report.diagnostics.push_back(MakeError(
+        "lint.unknown-op",
+        "estimator '" + spec.learner + "' is not a registered learner"));
+  } else if (!ml::LearnerSupports(spec.learner, task_)) {
+    report.diagnostics.push_back(MakeError(
+        "lint.task-mismatch", "estimator '" + spec.learner +
+                                  "' does not support task " +
+                                  TaskTypeName(task_)));
+  }
+  std::set<std::string> seen;
+  for (const std::string& name : spec.preprocessors) {
+    if (!ml::IsKnownTransformer(name)) {
+      report.diagnostics.push_back(MakeError(
+          "lint.unknown-op",
+          "preprocessor '" + name + "' is not a registered transformer"));
+      continue;
+    }
+    if (!seen.insert(name).second) {
+      // Spec-level duplicates would fit the same transformer twice per
+      // trial; unlike graph-level repeats nothing downstream folds them.
+      report.diagnostics.push_back(MakeError(
+          "lint.duplicate-transformer",
+          "preprocessor '" + name + "' appears more than once in the spec"));
+    }
+  }
+  for (Diagnostic& d : report.diagnostics) d.subject = spec.ToString();
+  return report;
+}
+
+LintReport PipelineLinter::LintSkeleton(const ScoredSkeleton& skeleton) const {
+  LintReport report = LintSpec(skeleton.spec);
+  if (skeleton.log_prob > 0.0) {
+    Diagnostic d = MakeWarning(
+        "lint.positive-score",
+        "log-probability " + std::to_string(skeleton.log_prob) +
+            " is above zero");
+    d.subject = skeleton.spec.ToString();
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace kgpip::gen

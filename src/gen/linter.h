@@ -1,0 +1,67 @@
+#ifndef KGPIP_GEN_LINTER_H_
+#define KGPIP_GEN_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "codegraph/analysis/diagnostic.h"
+#include "data/table.h"
+#include "gen/graph_generator.h"
+#include "gen/skeleton.h"
+
+namespace kgpip::gen {
+
+/// The linter's verdict on one candidate. `ok()` means no error-severity
+/// findings; warnings (estimator-not-last ordering, duplicate graph
+/// nodes that the skeleton mapper would fold anyway) never block a
+/// candidate on their own.
+struct LintReport {
+  std::vector<codegraph::analysis::Diagnostic> diagnostics;
+
+  bool ok() const {
+    return !codegraph::analysis::HasErrors(diagnostics);
+  }
+  /// The codes of error-severity findings, in order (for counters).
+  std::vector<std::string> ErrorCodes() const;
+  std::string Render() const {
+    return codegraph::analysis::RenderDiagnostics(diagnostics);
+  }
+};
+
+/// Statically validates generator output before any training happens.
+/// Kgpip::Fit runs LintSpec over every candidate skeleton and skips the
+/// rejected ones BEFORE the (T - t) / K budget rule allocates them a
+/// slice, so an invalid candidate costs zero HPO trials. Error classes:
+///
+///   lint.unknown-op            node type / op outside the vocabulary
+///   lint.cycle                 generated graph edges form a cycle
+///   lint.no-estimator          no estimator anywhere in the candidate
+///   lint.task-mismatch         estimator cannot handle the fit task
+///   lint.duplicate-transformer the same transformer twice in one spec
+///   lint.edge-out-of-range     edge endpoints outside the node range
+///
+/// plus warning classes lint.estimator-not-last (a transformer sampled
+/// after the estimator; the mapper reorders it) and lint.positive-score
+/// (a log-probability above zero).
+class PipelineLinter {
+ public:
+  explicit PipelineLinter(TaskType task) : task_(task) {}
+
+  /// Lints raw generator output (graph-level checks: vocabulary, edge
+  /// range, acyclicity, estimator presence/ordering/task fit).
+  LintReport LintGraph(const GeneratedGraph& generated) const;
+
+  /// Lints a mapped pipeline spec (op-level checks: known learner and
+  /// transformers, task fit, duplicates).
+  LintReport LintSpec(const ml::PipelineSpec& spec) const;
+
+  /// LintSpec plus skeleton-level sanity (score range).
+  LintReport LintSkeleton(const ScoredSkeleton& skeleton) const;
+
+ private:
+  TaskType task_;
+};
+
+}  // namespace kgpip::gen
+
+#endif  // KGPIP_GEN_LINTER_H_

@@ -8,8 +8,24 @@
 
 namespace kgpip::gen {
 
+namespace {
+
+using codegraph::analysis::Diagnostic;
+using codegraph::analysis::MakeError;
+
+/// Records the finding for the caller (when asked) and folds it into the
+/// Status the public signature promises.
+Status Reject(Diagnostic finding, Diagnostic* out) {
+  Status status = finding.ToStatus(StatusCode::kInvalidArgument);
+  if (out != nullptr) *out = std::move(finding);
+  return status;
+}
+
+}  // namespace
+
 Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
-                                       TaskType task) {
+                                       TaskType task,
+                                       Diagnostic* diagnostic) {
   const graph4ml::PipelineVocab& vocab = graph4ml::PipelineVocab::Get();
   ScoredSkeleton out;
   out.log_prob = generated.log_prob;
@@ -21,7 +37,10 @@ Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
       continue;
     }
     if (type < 0 || type >= vocab.size()) {
-      return Status::InvalidArgument("node type out of vocabulary");
+      return Reject(MakeError("skeleton.unknown-op",
+                              "node type " + std::to_string(type) +
+                                  " out of vocabulary"),
+                    diagnostic);
     }
     const std::string& name = vocab.NameOf(type);
     if (vocab.IsEstimator(type)) {
@@ -39,13 +58,16 @@ Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
     }
   }
   if (estimator.empty()) {
-    return Status::InvalidArgument(
-        "generated graph contains no estimator node");
+    return Reject(MakeError("skeleton.no-estimator",
+                            "generated graph contains no estimator node"),
+                  diagnostic);
   }
   if (!ml::LearnerSupports(estimator, task)) {
-    return Status::InvalidArgument("estimator '" + estimator +
-                                   "' does not support task " +
-                                   TaskTypeName(task));
+    return Reject(MakeError("skeleton.task-mismatch",
+                            "estimator '" + estimator +
+                                "' does not support task " +
+                                TaskTypeName(task)),
+                  diagnostic);
   }
   out.spec.learner = estimator;
   return out;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "codegraph/analysis/diagnostic.h"
 #include "data/table.h"
 #include "gen/graph_generator.h"
 #include "ml/pipeline.h"
@@ -21,12 +22,17 @@ struct ScoredSkeleton {
 
 /// Maps a generated graph to a skeleton. Returns an error when the graph
 /// is invalid for the task: no estimator node, an estimator that does not
-/// support the task, or no nodes beyond the seed. Featurizer-level ops
-/// (imputer / one-hot / text vectorizers) are accepted but handled by the
-/// automatic featurizer, so they do not appear as FeatureMatrix
-/// transformers.
-Result<ScoredSkeleton> GraphToSkeleton(const GeneratedGraph& generated,
-                                       TaskType task);
+/// support the task, or a node type outside the vocabulary; repeated
+/// pre-processor ops are deduplicated (first occurrence wins). When
+/// `diagnostic` is non-null it receives the structured finding behind a
+/// returned error ("skeleton.unknown-op", "skeleton.no-estimator",
+/// "skeleton.task-mismatch") so callers can count rejection reasons
+/// without parsing messages. Featurizer-level ops (imputer / one-hot /
+/// text vectorizers) are accepted but handled by the automatic
+/// featurizer, so they do not appear as FeatureMatrix transformers.
+Result<ScoredSkeleton> GraphToSkeleton(
+    const GeneratedGraph& generated, TaskType task,
+    codegraph::analysis::Diagnostic* diagnostic = nullptr);
 
 }  // namespace kgpip::gen
 

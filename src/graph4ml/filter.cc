@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "codegraph/analysis/verifier.h"
 #include "codegraph/analyzer.h"
 #include "codegraph/ml_api.h"
+#include "graph4ml/verify.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgpip::graph4ml {
@@ -29,7 +32,7 @@ PipelineGraph FilterCodeGraph(const codegraph::CodeGraph& code_graph,
   std::vector<bool> op_is_estimator;
   for (const codegraph::CodeNode& node : code_graph.nodes) {
     if (node.kind != codegraph::NodeKind::kCall) continue;
-    if (node.label == "pandas.read_csv") {
+    if (node.label == "read_csv" || EndsWith(node.label, ".read_csv")) {
       saw_read_csv = true;
       continue;
     }
@@ -87,6 +90,18 @@ PipelineGraph FilterCodeGraph(const codegraph::CodeGraph& code_graph,
     if (out.valid()) {
       stats->filtered_nodes += out.graph.num_nodes();
       stats->filtered_edges += out.graph.num_edges();
+    }
+  }
+
+  // In debug/test builds, check the chain invariants we just promised.
+  // A violation here is a filter bug, so shout but stay total.
+  if (codegraph::analysis::CodeGraphVerifier::enabled()) {
+    std::vector<codegraph::analysis::Diagnostic> diags =
+        VerifyPipelineGraph(out);
+    if (codegraph::analysis::HasErrors(diags)) {
+      KGPIP_LOG(Error) << "pipeline graph verification failed for "
+                        << out.script_name << ":\n"
+                        << codegraph::analysis::RenderDiagnostics(diags);
     }
   }
   return out;

@@ -1,0 +1,87 @@
+#include "graph4ml/verify.h"
+
+#include <string>
+
+namespace kgpip::graph4ml {
+
+namespace {
+
+using codegraph::analysis::Diagnostic;
+using codegraph::analysis::MakeError;
+
+Diagnostic PipelineError(const PipelineGraph& pipeline, std::string code,
+                         std::string message) {
+  Diagnostic d = MakeError(std::move(code), std::move(message));
+  d.subject = pipeline.script_name;
+  return d;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyPipelineGraph(const PipelineGraph& pipeline) {
+  std::vector<Diagnostic> diags;
+  const TypedGraph& graph = pipeline.graph;
+  const PipelineVocab& vocab = PipelineVocab::Get();
+  const int n = static_cast<int>(graph.num_nodes());
+
+  for (int i = 0; i < n; ++i) {
+    int type = graph.node_types[static_cast<size_t>(i)];
+    if (type < 0 || type >= vocab.size()) {
+      diags.push_back(PipelineError(
+          pipeline, "verify.unknown-node-type",
+          "node #" + std::to_string(i) + " has type " + std::to_string(type) +
+              " outside the vocabulary [0, " + std::to_string(vocab.size()) +
+              ")"));
+    }
+  }
+
+  bool edges_ok = true;
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    const auto& [src, dst] = graph.edges[e];
+    if (src < 0 || dst < 0 || src >= n || dst >= n) {
+      edges_ok = false;
+      diags.push_back(PipelineError(
+          pipeline, "verify.edge-out-of-range",
+          "edge #" + std::to_string(e) + " (" + std::to_string(src) +
+              " -> " + std::to_string(dst) + ") leaves the node range [0, " +
+              std::to_string(n) + ")"));
+    } else if (src >= dst) {
+      // The filter emits a forward chain; any non-forward edge (including
+      // self-loops) breaks acyclicity.
+      edges_ok = false;
+      diags.push_back(PipelineError(
+          pipeline, "verify.cycle",
+          "edge #" + std::to_string(e) + " (" + std::to_string(src) +
+              " -> " + std::to_string(dst) + ") is not forward"));
+    }
+  }
+
+  if (n > 0 &&
+      graph.node_types[0] != PipelineVocab::kDatasetType) {
+    diags.push_back(PipelineError(
+        pipeline, "verify.missing-dataset-anchor",
+        "node #0 must be the dataset anchor, got type " +
+            std::to_string(graph.node_types[0])));
+  }
+  if (edges_ok && graph.num_edges() != static_cast<size_t>(n > 0 ? n - 1 : 0)) {
+    diags.push_back(PipelineError(
+        pipeline, "verify.not-a-chain",
+        "expected " + std::to_string(n > 0 ? n - 1 : 0) + " chain edges, got " +
+            std::to_string(graph.num_edges())));
+  }
+
+  if (pipeline.valid() && n > 0) {
+    int expected = vocab.TypeOf(pipeline.estimator);
+    int last = graph.node_types[static_cast<size_t>(n - 1)];
+    if (expected >= 0 && last != expected) {
+      diags.push_back(PipelineError(
+          pipeline, "verify.estimator-mismatch",
+          "last node type " + std::to_string(last) +
+              " does not match estimator '" + pipeline.estimator + "' (" +
+              std::to_string(expected) + ")"));
+    }
+  }
+  return diags;
+}
+
+}  // namespace kgpip::graph4ml

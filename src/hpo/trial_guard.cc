@@ -67,6 +67,12 @@ Json RunReport::ToJson() const {
   out.Set("quarantined_scores", quarantined_scores);
   out.Set("timeouts", timeouts);
   out.Set("circuit_breaker_trips", circuit_breaker_trips);
+  out.Set("lint_rejected", lint_rejected);
+  Json lint_codes = Json::Object();
+  for (const auto& [code, count] : lint_rejected_by_code) {
+    lint_codes.Set(code, count);
+  }
+  out.Set("lint_rejected_by_code", std::move(lint_codes));
   out.Set("simulated_backoff_seconds", simulated_backoff_seconds);
   out.Set("fallback_portfolio", fallback_portfolio);
   out.Set("last_resort_pass", last_resort_pass);
@@ -77,9 +83,10 @@ Json RunReport::ToJson() const {
 
 std::string RunReport::Summary() const {
   std::string out = StrFormat(
-      "trials=%d failures=%d retries=%d nan=%d timeouts=%d breaker=%d",
+      "trials=%d failures=%d retries=%d nan=%d timeouts=%d breaker=%d "
+      "lint_rejected=%d",
       total_trials, total_failures, total_retries, quarantined_scores,
-      timeouts, circuit_breaker_trips);
+      timeouts, circuit_breaker_trips, lint_rejected);
   if (fallback_portfolio) out += " fallback_portfolio";
   if (last_resort_pass) out += " last_resort";
   if (returned_best_so_far) out += " best_so_far";

@@ -72,6 +72,11 @@ struct RunReport {
   int quarantined_scores = 0;
   int timeouts = 0;
   int circuit_breaker_trips = 0;
+  /// Candidates the PipelineLinter rejected before any budget was
+  /// allocated to them (they never appear in `skeletons` and consume no
+  /// trials), with a per-lint-code breakdown.
+  int lint_rejected = 0;
+  std::map<std::string, int> lint_rejected_by_code;
   double simulated_backoff_seconds = 0.0;
   /// Degradation ladder flags (see DESIGN.md "Failure semantics").
   bool fallback_portfolio = false;   // skeleton prediction failed

@@ -1,0 +1,634 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codegraph/analysis/call_graph.h"
+#include "codegraph/analysis/dataflow.h"
+#include "codegraph/analysis/diagnostic.h"
+#include "codegraph/analysis/pass_manager.h"
+#include "codegraph/analysis/type_flow.h"
+#include "codegraph/analysis/verifier.h"
+#include "codegraph/analyzer.h"
+#include "codegraph/python_ast.h"
+#include "gen/linter.h"
+#include "graph4ml/verify.h"
+#include "graph4ml/vocab.h"
+
+namespace kgpip::codegraph::analysis {
+namespace {
+
+/// The verifier defaults to off under NDEBUG; this suite always wants it.
+struct EnableVerifier {
+  EnableVerifier() { CodeGraphVerifier::set_enabled(true); }
+} enable_verifier_;
+
+Module Parse(const std::string& source) {
+  auto module = ParsePython(source);
+  KGPIP_CHECK(module.ok()) << module.status().ToString();
+  return std::move(*module);
+}
+
+std::vector<std::string> CodesOf(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diags) codes.push_back(d.code);
+  return codes;
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+
+TEST(DiagnosticTest, RendersSeverityCodeSubjectAndSpan) {
+  Diagnostic d = MakeError("parse.unexpected-token", "unexpected ')'",
+                           SourceSpan{3, 14});
+  d.subject = "fig2.py";
+  EXPECT_EQ(d.ToString(),
+            "error[parse.unexpected-token] fig2.py line 3:14: "
+            "unexpected ')'");
+  EXPECT_EQ(SourceSpan{}.ToString(), "");
+  EXPECT_EQ((SourceSpan{7, 0}).ToString(), "line 7");
+}
+
+TEST(DiagnosticTest, FoldsIntoStatusWithRequestedCode) {
+  Diagnostic d = MakeError("lint.no-estimator", "no estimator");
+  Status status = d.ToStatus(StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("lint.no-estimator"), std::string::npos);
+  // Default folding keeps the front-end convention.
+  EXPECT_EQ(d.ToStatus().code(), StatusCode::kParseError);
+}
+
+TEST(DiagnosticTest, WarningsAreNotErrors) {
+  std::vector<Diagnostic> diags = {MakeWarning("lint.positive-score", "w")};
+  EXPECT_FALSE(HasErrors(diags));
+  diags.push_back(MakeError("lint.cycle", "e"));
+  EXPECT_TRUE(HasErrors(diags));
+  std::string rendered = RenderDiagnostics(diags);
+  EXPECT_NE(rendered.find("warning[lint.positive-score]"), std::string::npos);
+  EXPECT_NE(rendered.find("error[lint.cycle]"), std::string::npos);
+}
+
+TEST(DiagnosticTest, ParserEmitsStructuredCodes) {
+  auto bad = ParsePython("x = (1\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("parse."), std::string::npos);
+  auto unterminated = ParsePython("x = 'oops\n");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("lex.unterminated-string"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pass manager
+
+TEST(PassManagerTest, CachesResultsAndRecordsRunOrder) {
+  Module module = Parse("x = 1\ny = x\n");
+  PassManager pm(&module);
+  EXPECT_FALSE(pm.Cached<CfgPass>());
+  EXPECT_FALSE(pm.Cached<LivenessPass>());
+
+  // Liveness pulls in the CFG as a dependency; both get cached.
+  const LivenessResult& live = pm.Get<LivenessPass>();
+  EXPECT_TRUE(pm.Cached<CfgPass>());
+  EXPECT_TRUE(pm.Cached<LivenessPass>());
+
+  // Dependencies land in the trace before their dependents.
+  ASSERT_EQ(pm.run_order().size(), 2u);
+  EXPECT_EQ(pm.run_order()[0], "cfg");
+  EXPECT_EQ(pm.run_order()[1], "liveness");
+
+  // Repeat requests return the identical cached object; no re-run.
+  const LivenessResult& again = pm.Get<LivenessPass>();
+  EXPECT_EQ(&live, &again);
+  const Cfg& cfg = pm.Get<CfgPass>();
+  EXPECT_EQ(&cfg, &pm.Get<CfgPass>());
+  EXPECT_EQ(pm.run_order().size(), 2u);
+}
+
+TEST(PassManagerTest, SharedDependencyComputedOnce) {
+  Module module = Parse("x = 1\n");
+  PassManager pm(&module);
+  pm.Get<ReachingDefsPass>();
+  pm.Get<LivenessPass>();
+  // cfg appears exactly once in the trace even though both passes use it.
+  int cfg_runs = static_cast<int>(
+      std::count(pm.run_order().begin(), pm.run_order().end(), "cfg"));
+  EXPECT_EQ(cfg_runs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// CFG
+
+TEST(CfgTest, BranchForksAndJoins) {
+  Module module = Parse(
+      "x = 1\n"
+      "if x:\n"
+      "    y = 2\n"
+      "else:\n"
+      "    y = 3\n"
+      "print(y)\n");
+  PassManager pm(&module);
+  const Cfg& cfg = pm.Get<CfgPass>();
+  // Pre-order ids: 0 x=1, 1 if, 2 y=2, 3 y=3, 4 print(y).
+  ASSERT_EQ(cfg.stmts.size(), 5u);
+  auto has_succ = [&](int from, int to) {
+    const auto& s = cfg.succ[static_cast<size_t>(from)];
+    return std::find(s.begin(), s.end(), to) != s.end();
+  };
+  EXPECT_TRUE(has_succ(0, 1));
+  EXPECT_TRUE(has_succ(1, 2));  // then arm
+  EXPECT_TRUE(has_succ(1, 3));  // else arm
+  EXPECT_TRUE(has_succ(2, 4));  // join
+  EXPECT_TRUE(has_succ(3, 4));
+  EXPECT_TRUE(has_succ(4, cfg.exit_id));
+  EXPECT_EQ(cfg.IdOf(cfg.stmts[4]), 4);
+  EXPECT_EQ(cfg.IdOf(nullptr), -1);
+}
+
+TEST(CfgTest, LoopHasBackEdgeAndZeroIterationExit) {
+  Module module = Parse(
+      "xs = [1]\n"
+      "for x in xs:\n"
+      "    y = x\n"
+      "print(y)\n");
+  PassManager pm(&module);
+  const Cfg& cfg = pm.Get<CfgPass>();
+  // ids: 0 xs=[1], 1 for, 2 y=x, 3 print(y).
+  ASSERT_EQ(cfg.stmts.size(), 4u);
+  auto has_succ = [&](int from, int to) {
+    const auto& s = cfg.succ[static_cast<size_t>(from)];
+    return std::find(s.begin(), s.end(), to) != s.end();
+  };
+  EXPECT_TRUE(has_succ(1, 2));  // into the body
+  EXPECT_TRUE(has_succ(2, 1));  // back edge
+  EXPECT_TRUE(has_succ(1, 3));  // exit (covers the zero-iteration case)
+}
+
+TEST(CfgTest, DefsAndUsesOfStatements) {
+  Module module = Parse(
+      "a, b = f(c)\n"
+      "d[0] = a + b\n");
+  const Stmt& unpack = *module.statements[0];
+  const Stmt& store = *module.statements[1];
+  EXPECT_EQ(Cfg::DefsOf(unpack), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Cfg::UsesOf(unpack), (std::vector<std::string>{"c", "f"}));
+  // Subscript assignment reads both the stored value and the base.
+  EXPECT_TRUE(Cfg::DefsOf(store).empty());
+  EXPECT_EQ(Cfg::UsesOf(store), (std::vector<std::string>{"a", "b", "d"}));
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions / def-use chains
+
+TEST(ReachingDefsTest, RedefinitionKillsEarlierDef) {
+  Module module = Parse(
+      "x = 1\n"
+      "x = 2\n"
+      "print(x)\n");
+  PassManager pm(&module);
+  const ReachingDefsResult& defs = pm.Get<ReachingDefsPass>();
+  EXPECT_EQ(defs.DefsReaching(2, "x"), (std::set<int>{1}));
+  EXPECT_TRUE(defs.UsesOfDef(0, "x").empty());
+  EXPECT_EQ(defs.UsesOfDef(1, "x"), (std::set<int>{2}));
+}
+
+TEST(ReachingDefsTest, BothBranchDefsReachTheJoin) {
+  Module module = Parse(
+      "x = 1\n"
+      "if x:\n"
+      "    y = 2\n"
+      "else:\n"
+      "    y = 3\n"
+      "print(y)\n");
+  PassManager pm(&module);
+  const ReachingDefsResult& defs = pm.Get<ReachingDefsPass>();
+  // Pre-order ids: 0 x=1, 1 if, 2 y=2, 3 y=3, 4 print(y).
+  EXPECT_EQ(defs.DefsReaching(4, "y"), (std::set<int>{2, 3}));
+  EXPECT_EQ(defs.UsesOfDef(2, "y"), (std::set<int>{4}));
+  EXPECT_EQ(defs.UsesOfDef(3, "y"), (std::set<int>{4}));
+}
+
+TEST(ReachingDefsTest, LoopDefReachesItsOwnBody) {
+  Module module = Parse(
+      "xs = [1]\n"
+      "for x in xs:\n"
+      "    y = y + x\n");
+  PassManager pm(&module);
+  const ReachingDefsResult& defs = pm.Get<ReachingDefsPass>();
+  // Around the back edge, the body's own def of y reaches the body.
+  EXPECT_TRUE(defs.DefsReaching(2, "y").count(2) > 0);
+  EXPECT_TRUE(defs.UsesOfDef(2, "y").count(2) > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+
+TEST(LivenessTest, DetectsDeadStore) {
+  Module module = Parse(
+      "x = 1\n"
+      "x = 2\n"
+      "print(x)\n");
+  PassManager pm(&module);
+  const LivenessResult& live = pm.Get<LivenessPass>();
+  EXPECT_FALSE(live.LiveOut(0, "x"));  // overwritten before any read
+  EXPECT_TRUE(live.LiveOut(1, "x"));
+  ASSERT_EQ(live.dead_stores.size(), 1u);
+  EXPECT_EQ(live.dead_stores[0], (std::pair<int, std::string>{0, "x"}));
+}
+
+TEST(LivenessTest, BranchReadKeepsDefAlive) {
+  Module module = Parse(
+      "x = 1\n"
+      "if c:\n"
+      "    print(x)\n");
+  PassManager pm(&module);
+  const LivenessResult& live = pm.Get<LivenessPass>();
+  EXPECT_TRUE(live.LiveOut(0, "x"));
+  EXPECT_TRUE(live.dead_stores.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive type propagation
+
+TEST(TypeFlowTest, BranchAssignmentsUnionAtTheJoin) {
+  Module module = Parse(
+      "from sklearn import svm\n"
+      "from sklearn import tree\n"
+      "if flag:\n"
+      "    model = svm.SVC()\n"
+      "else:\n"
+      "    model = tree.DecisionTreeClassifier()\n"
+      "model.fit(X, y)\n");
+  PassManager pm(&module);
+  const TypeFlowResult& types = pm.Get<TypeFlowPass>();
+  EXPECT_EQ(types.imports.at("svm"), "sklearn.svm");
+  const Stmt* fit_stmt = module.statements.back().get();
+  const TypeEnv& env = types.EnvAt(fit_stmt);
+  ASSERT_TRUE(env.count("model"));
+  EXPECT_EQ(env.at("model"),
+            (TypeSet{"sklearn.svm.SVC",
+                     "sklearn.tree.DecisionTreeClassifier"}));
+}
+
+TEST(TypeFlowTest, ReassignmentIsFlowSensitiveNotLastWins) {
+  Module module = Parse(
+      "from sklearn import svm\n"
+      "from sklearn import tree\n"
+      "model = svm.SVC()\n"
+      "model.fit(X, y)\n"
+      "model = tree.DecisionTreeClassifier()\n"
+      "model.fit(X, y)\n");
+  PassManager pm(&module);
+  const TypeFlowResult& types = pm.Get<TypeFlowPass>();
+  // The first fit sees SVC; only the second sees the decision tree. The
+  // historical "last assignment wins" map got the first one wrong.
+  const TypeEnv& first = types.EnvAt(module.statements[3].get());
+  const TypeEnv& second = types.EnvAt(module.statements[5].get());
+  EXPECT_EQ(first.at("model"), (TypeSet{"sklearn.svm.SVC"}));
+  EXPECT_EQ(second.at("model"),
+            (TypeSet{"sklearn.tree.DecisionTreeClassifier"}));
+}
+
+TEST(TypeFlowTest, MethodChainsAndTupleUnpackingKeepFrameTypes) {
+  Module module = Parse(
+      "import pandas as pd\n"
+      "from sklearn.model_selection import train_test_split\n"
+      "df = pd.read_csv('a.csv')\n"
+      "df = df.dropna()\n"
+      "train, test = train_test_split(df)\n"
+      "print(train)\n");
+  PassManager pm(&module);
+  const TypeFlowResult& types = pm.Get<TypeFlowPass>();
+  const TypeEnv& env = types.EnvAt(module.statements.back().get());
+  EXPECT_EQ(env.at("df"), (TypeSet{"pandas.DataFrame"}));
+  EXPECT_EQ(env.at("train"), (TypeSet{"pandas.DataFrame"}));
+  EXPECT_EQ(env.at("test"), (TypeSet{"pandas.DataFrame"}));
+}
+
+TEST(TypeFlowTest, ResolvesCalleeCandidatesUnderTheEnv) {
+  Module module = Parse("from sklearn import svm\nmodel.fit(X)\n");
+  ImportMap imports = CollectImports(module);
+  TypeEnv env;
+  env["model"] = {"sklearn.svm.SVC", "sklearn.tree.DecisionTreeClassifier"};
+  const Expr& call = *module.statements[1]->value;
+  std::string via_alias = "unset";
+  std::vector<std::string> names =
+      ResolveCalleeNames(*call.value, env, imports, &via_alias);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "sklearn.svm.SVC.fit",
+                       "sklearn.tree.DecisionTreeClassifier.fit"}));
+  EXPECT_TRUE(via_alias.empty());  // resolved via types, not an import
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+
+TEST(CallGraphTest, ReachabilityFollowsDataFlowThroughVariables) {
+  auto graph = AnalyzeScript("cg.py",
+                             "import pandas as pd\n"
+                             "from sklearn import svm\n"
+                             "df = pd.read_csv('a.csv')\n"
+                             "df2 = df.dropna()\n"
+                             "model = svm.SVC()\n"
+                             "model.fit(df2, y)\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  PassManager pm(nullptr, &*graph);
+  const CallGraphResult& calls = pm.Get<CallGraphPass>();
+  auto find = [&](const std::string& label) {
+    for (int id : calls.call_nodes) {
+      if (graph->nodes[static_cast<size_t>(id)].label == label) return id;
+    }
+    return -1;
+  };
+  int read_csv = find("pandas.read_csv");
+  int dropna = find("pandas.DataFrame.dropna");
+  int fit = find("sklearn.svm.SVC.fit");
+  ASSERT_GE(read_csv, 0);
+  ASSERT_GE(dropna, 0);
+  ASSERT_GE(fit, 0);
+  EXPECT_TRUE(calls.Reaches(read_csv, dropna));
+  EXPECT_TRUE(calls.Reaches(read_csv, fit));  // transitive, via df2
+  EXPECT_FALSE(calls.Reaches(fit, read_csv));
+  EXPECT_FALSE(calls.Reaches(dropna, dropna));
+}
+
+// ---------------------------------------------------------------------------
+// CodeGraph verifier
+
+TEST(VerifierTest, AcceptsEveryAnalyzedGraph) {
+  auto graph = AnalyzeScript("ok.py",
+                             "import pandas as pd\n"
+                             "from sklearn import svm\n"
+                             "df = pd.read_csv('a.csv')\n"
+                             "model = svm.SVC()\n"
+                             "model.fit(df, y)\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(CodeGraphVerifier::Verify(*graph).empty());
+  EXPECT_TRUE(CodeGraphVerifier::Check(*graph).ok());
+}
+
+TEST(VerifierTest, CatchesOutOfRangeEdge) {
+  CodeGraph graph;
+  graph.AddNode(NodeKind::kCall, "print", 1);
+  graph.AddEdge(0, 999, EdgeKind::kDataFlow);
+  auto diags = CodeGraphVerifier::Verify(graph);
+  EXPECT_TRUE(HasCode(diags, "verify.edge-out-of-range")) << CodesOf(diags).size();
+  Status status = CodeGraphVerifier::Check(graph);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(VerifierTest, CatchesDataFlowCycle) {
+  CodeGraph graph;
+  graph.AddNode(NodeKind::kCall, "a", 1);
+  graph.AddNode(NodeKind::kVariable, "x", 1);
+  graph.AddEdge(0, 1, EdgeKind::kDataFlow);
+  graph.AddEdge(1, 0, EdgeKind::kDataFlow);
+  auto diags = CodeGraphVerifier::Verify(graph);
+  EXPECT_TRUE(HasCode(diags, "verify.dataflow-cycle"));
+}
+
+TEST(VerifierTest, CatchesEmptyLabelAndEdgeKindMismatch) {
+  CodeGraph graph;
+  graph.AddNode(NodeKind::kCall, "", 1);
+  graph.AddNode(NodeKind::kVariable, "x", 1);
+  // A parameter edge must land on a parameter node.
+  graph.AddEdge(0, 1, EdgeKind::kParameter);
+  auto diags = CodeGraphVerifier::Verify(graph);
+  EXPECT_TRUE(HasCode(diags, "verify.empty-label"));
+  EXPECT_TRUE(HasCode(diags, "verify.edge-kind-mismatch"));
+}
+
+TEST(VerifierTest, CatchesImportRootedCallCutFromItsImport) {
+  // Build a hand-corrupted graph: an import of pandas plus a
+  // pandas-rooted call with no data-flow path from the import.
+  CodeGraph graph;
+  graph.AddNode(NodeKind::kImport, "pandas", 1);
+  graph.AddNode(NodeKind::kCall, "pandas.read_csv", 2);
+  auto diags = CodeGraphVerifier::Verify(graph);
+  EXPECT_TRUE(HasCode(diags, "verify.unreachable-call"));
+  // Restoring the root edge clears the diagnostic.
+  graph.AddEdge(0, 1, EdgeKind::kDataFlow);
+  EXPECT_TRUE(CodeGraphVerifier::Verify(graph).empty());
+}
+
+TEST(VerifierTest, UnrootedCallsAreExempt) {
+  CodeGraph graph;
+  graph.AddNode(NodeKind::kImport, "pandas", 1);
+  graph.AddNode(NodeKind::kCall, "print", 2);  // not pandas-rooted
+  EXPECT_TRUE(CodeGraphVerifier::Verify(graph).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Filtered pipeline-graph verifier
+
+graph4ml::PipelineGraph MakeChain(std::vector<int> types,
+                                  const std::string& estimator) {
+  graph4ml::PipelineGraph out;
+  out.script_name = "curated.py";
+  out.dataset_name = "d";
+  out.estimator = estimator;
+  out.graph.node_types = std::move(types);
+  for (size_t i = 0; i + 1 < out.graph.node_types.size(); ++i) {
+    out.graph.edges.emplace_back(static_cast<int>(i),
+                                 static_cast<int>(i + 1));
+  }
+  return out;
+}
+
+TEST(PipelineVerifyTest, AcceptsWellFormedChain) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+  ASSERT_GE(xgb, graph4ml::PipelineVocab::kFirstOp);
+  auto pipeline = MakeChain({graph4ml::PipelineVocab::kDatasetType,
+                             graph4ml::PipelineVocab::kReadCsvType, xgb},
+                            "xgboost");
+  EXPECT_TRUE(graph4ml::VerifyPipelineGraph(pipeline).empty());
+}
+
+TEST(PipelineVerifyTest, CatchesCorruptedChains) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+
+  auto bad_type = MakeChain({0, 1, 9999}, "");
+  EXPECT_TRUE(HasCode(graph4ml::VerifyPipelineGraph(bad_type),
+                      "verify.unknown-node-type"));
+
+  auto no_anchor = MakeChain({1, 1, xgb}, "xgboost");
+  EXPECT_TRUE(HasCode(graph4ml::VerifyPipelineGraph(no_anchor),
+                      "verify.missing-dataset-anchor"));
+
+  auto cyclic = MakeChain({0, 1, xgb}, "xgboost");
+  cyclic.graph.edges.back() = {2, 1};  // backward edge
+  EXPECT_TRUE(
+      HasCode(graph4ml::VerifyPipelineGraph(cyclic), "verify.cycle"));
+
+  auto extra_edge = MakeChain({0, 1, xgb}, "xgboost");
+  extra_edge.graph.edges.emplace_back(0, 2);
+  EXPECT_TRUE(HasCode(graph4ml::VerifyPipelineGraph(extra_edge),
+                      "verify.not-a-chain"));
+
+  auto mismatch = MakeChain({0, 1, xgb}, "ridge");
+  EXPECT_TRUE(HasCode(graph4ml::VerifyPipelineGraph(mismatch),
+                      "verify.estimator-mismatch"));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline linter
+
+gen::GeneratedGraph MakeGenerated(std::vector<int> types) {
+  gen::GeneratedGraph out;
+  out.graph.node_types = std::move(types);
+  for (size_t i = 0; i + 1 < out.graph.node_types.size(); ++i) {
+    out.graph.edges.emplace_back(static_cast<int>(i),
+                                 static_cast<int>(i + 1));
+  }
+  out.log_prob = -1.0;
+  return out;
+}
+
+TEST(LinterTest, AcceptsCuratedValidCandidates) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+  int scaler = vocab.TypeOf("standard_scaler");
+  ASSERT_GE(xgb, 2);
+  ASSERT_GE(scaler, 2);
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+
+  auto report = linter.LintGraph(MakeGenerated({0, 1, scaler, xgb}));
+  EXPECT_TRUE(report.ok()) << report.Render();
+  EXPECT_TRUE(report.diagnostics.empty());
+
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  spec.preprocessors = {"standard_scaler"};
+  EXPECT_TRUE(linter.LintSpec(spec).ok());
+
+  gen::ScoredSkeleton skeleton;
+  skeleton.spec = spec;
+  skeleton.log_prob = -2.5;
+  EXPECT_TRUE(linter.LintSkeleton(skeleton).ok());
+}
+
+TEST(LinterTest, RejectsGraphWithoutEstimator) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int scaler = vocab.TypeOf("standard_scaler");
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  auto report = linter.LintGraph(MakeGenerated({0, 1, scaler}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.ErrorCodes(),
+            (std::vector<std::string>{"lint.no-estimator"}));
+}
+
+TEST(LinterTest, RejectsWrongTaskEstimator) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int ridge = vocab.TypeOf("ridge");  // regression-only learner
+  ASSERT_GE(ridge, 2);
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  auto report = linter.LintGraph(MakeGenerated({0, 1, ridge}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.ErrorCodes(),
+            (std::vector<std::string>{"lint.task-mismatch"}));
+  // The same candidate is fine once the task matches.
+  gen::PipelineLinter regression(TaskType::kRegression);
+  EXPECT_TRUE(regression.LintGraph(MakeGenerated({0, 1, ridge})).ok());
+}
+
+TEST(LinterTest, RejectsCyclicGraph) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+  auto generated = MakeGenerated({0, 1, xgb});
+  generated.graph.edges.emplace_back(2, 1);  // close a cycle
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  auto report = linter.LintGraph(generated);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report.diagnostics, "lint.cycle"));
+}
+
+TEST(LinterTest, RejectsUnknownOp) {
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  auto report = linter.LintGraph(MakeGenerated({0, 1, 9999}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report.diagnostics, "lint.unknown-op"));
+
+  ml::PipelineSpec spec;
+  spec.learner = "not_a_learner";
+  auto spec_report = linter.LintSpec(spec);
+  EXPECT_FALSE(spec_report.ok());
+  EXPECT_EQ(spec_report.ErrorCodes(),
+            (std::vector<std::string>{"lint.unknown-op"}));
+}
+
+TEST(LinterTest, EdgeRangeCheckedBeforeOpChecks) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+  auto generated = MakeGenerated({0, 1, xgb});
+  generated.graph.edges.emplace_back(1, 42);
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  EXPECT_TRUE(HasCode(linter.LintGraph(generated).diagnostics,
+                      "lint.edge-out-of-range"));
+}
+
+TEST(LinterTest, GraphLevelDuplicatesWarnButSpecLevelDuplicatesReject) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int xgb = vocab.TypeOf("xgboost");
+  int scaler = vocab.TypeOf("standard_scaler");
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+
+  // The skeleton mapper folds graph-level repeats, so they only warn —
+  // the Fit gate must not reject more than GraphToSkeleton accepts.
+  auto graph_report =
+      linter.LintGraph(MakeGenerated({0, 1, scaler, scaler, xgb}));
+  EXPECT_TRUE(graph_report.ok());
+  EXPECT_TRUE(
+      HasCode(graph_report.diagnostics, "lint.duplicate-transformer"));
+
+  // Nothing downstream folds spec-level repeats: hard error.
+  ml::PipelineSpec spec;
+  spec.learner = "decision_tree";
+  spec.preprocessors = {"standard_scaler", "standard_scaler"};
+  auto spec_report = linter.LintSpec(spec);
+  EXPECT_FALSE(spec_report.ok());
+  EXPECT_EQ(spec_report.ErrorCodes(),
+            (std::vector<std::string>{"lint.duplicate-transformer"}));
+  EXPECT_FALSE(spec_report.diagnostics[0].subject.empty());
+}
+
+TEST(LinterTest, PositiveScoreOnlyWarns) {
+  gen::PipelineLinter linter(TaskType::kBinaryClassification);
+  gen::ScoredSkeleton skeleton;
+  skeleton.spec.learner = "decision_tree";
+  skeleton.log_prob = 0.5;  // impossible for a log-probability
+  auto report = linter.LintSkeleton(skeleton);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasCode(report.diagnostics, "lint.positive-score"));
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton mapper diagnostics
+
+TEST(SkeletonDiagnosticTest, MapperReportsStructuredRejection) {
+  const auto& vocab = graph4ml::PipelineVocab::Get();
+  int scaler = vocab.TypeOf("standard_scaler");
+  auto generated = MakeGenerated({0, 1, scaler});  // no estimator
+  Diagnostic diagnostic;
+  auto skeleton = gen::GraphToSkeleton(
+      generated, TaskType::kBinaryClassification, &diagnostic);
+  ASSERT_FALSE(skeleton.ok());
+  EXPECT_EQ(diagnostic.code, "skeleton.no-estimator");
+  EXPECT_EQ(skeleton.status().code(), StatusCode::kInvalidArgument);
+
+  Diagnostic unknown;
+  auto bad = gen::GraphToSkeleton(MakeGenerated({0, 1, 9999}),
+                                  TaskType::kBinaryClassification, &unknown);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(unknown.code, "skeleton.unknown-op");
+}
+
+}  // namespace
+}  // namespace kgpip::codegraph::analysis

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "codegraph/analysis/verifier.h"
 #include "codegraph/analyzer.h"
 #include "data/benchmark_registry.h"
 #include "codegraph/corpus.h"
@@ -11,6 +12,14 @@
 
 namespace kgpip {
 namespace {
+
+/// Structural invariants are checked after every AnalyzeScript in this
+/// suite, regardless of build type.
+struct EnableVerifier {
+  EnableVerifier() {
+    codegraph::analysis::CodeGraphVerifier::set_enabled(true);
+  }
+} enable_verifier_;
 
 using codegraph::AnalyzeScript;
 using codegraph::AnalyzerOptions;
@@ -116,6 +125,83 @@ TEST(AnalyzerTest, DataFlowFollowsVariables) {
     }
   }
   EXPECT_TRUE(found_edge);
+}
+
+TEST(AnalyzerTest, FlowSensitiveTypesAcrossBranchReassignment) {
+  // A branch reassigns the model variable; the join must see both
+  // estimator types, so the fit call resolves against each candidate.
+  // The historical "last assignment wins" map dropped the SVC arm.
+  auto graph = AnalyzeScript(
+      "branch.py",
+      "from sklearn import svm\n"
+      "from sklearn import tree\n"
+      "if flag:\n"
+      "    model = svm.SVC()\n"
+      "else:\n"
+      "    model = tree.DecisionTreeClassifier()\n"
+      "model.fit(X, y)\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  bool saw_svc_fit = false, saw_tree_fit = false;
+  for (const auto& node : graph->nodes) {
+    if (node.kind != NodeKind::kCall) continue;
+    if (node.label == "sklearn.svm.SVC.fit") saw_svc_fit = true;
+    if (node.label == "sklearn.tree.DecisionTreeClassifier.fit") {
+      saw_tree_fit = true;
+    }
+  }
+  EXPECT_TRUE(saw_svc_fit);
+  EXPECT_TRUE(saw_tree_fit);
+}
+
+TEST(AnalyzerTest, SequentialReassignmentStaysFlowSensitive) {
+  auto graph = AnalyzeScript(
+      "reassign.py",
+      "from sklearn import svm\n"
+      "from sklearn import tree\n"
+      "model = svm.SVC()\n"
+      "model.fit(X, y)\n"
+      "model = tree.DecisionTreeClassifier()\n"
+      "model.predict(X)\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  bool saw_svc_fit = false, saw_tree_predict = false,
+       saw_tree_fit = false;
+  for (const auto& node : graph->nodes) {
+    if (node.kind != NodeKind::kCall) continue;
+    if (node.label == "sklearn.svm.SVC.fit") saw_svc_fit = true;
+    if (node.label == "sklearn.tree.DecisionTreeClassifier.fit") {
+      saw_tree_fit = true;
+    }
+    if (node.label == "sklearn.tree.DecisionTreeClassifier.predict") {
+      saw_tree_predict = true;
+    }
+  }
+  EXPECT_TRUE(saw_svc_fit) << "fit before reassignment must see SVC";
+  EXPECT_TRUE(saw_tree_predict);
+  EXPECT_FALSE(saw_tree_fit)
+      << "the later assignment must not leak backwards into fit";
+}
+
+TEST(AnalyzerTest, FindReadCsvArgumentResolvesAliasedImport) {
+  auto graph = AnalyzeScript("alias.py",
+                             "import pandas as p\n"
+                             "df = p.read_csv('aliased.csv')\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(codegraph::FindReadCsvArgument(*graph), "aliased.csv");
+}
+
+TEST(AnalyzerTest, FindReadCsvArgumentPrefersThePipelineFeed) {
+  // The auxiliary test split is read first, but only train.csv flows
+  // into the fitted pipeline; program order must not decide.
+  auto graph = AnalyzeScript(
+      "two_reads.py",
+      "import pandas as pd\n"
+      "from sklearn import svm\n"
+      "meta = pd.read_csv('test.csv')\n"
+      "df = pd.read_csv('train.csv')\n"
+      "model = svm.SVC()\n"
+      "model.fit(df, y)\n");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(codegraph::FindReadCsvArgument(*graph), "train.csv");
 }
 
 TEST(MlApiTest, CanonicalizationAndReverseLookup) {

@@ -164,6 +164,84 @@ TEST_F(KgpipFixture, UntrainedKgpipRefusesToPredict) {
   EXPECT_FALSE(fresh.NearestDataset(table).ok());
 }
 
+TEST(KgpipLintGateTest, RejectedSkeletonsConsumeNoTrialBudget) {
+  // Four candidates, three of them invalid: the linter must drop the bad
+  // ones before the (T - t) / K rule sees them, so the survivor gets the
+  // whole trial pool. Works untrained — the gate is in the search phase.
+  Kgpip fresh;
+  DatasetSpec spec;
+  spec.name = "lint_gate";
+  spec.family = ConceptFamily::kLinear;
+  spec.rows = 200;
+  Table table = GenerateDataset(spec);
+
+  std::vector<gen::ScoredSkeleton> candidates(4);
+  candidates[0].spec.learner = "ridge";  // regression-only: task-mismatch
+  candidates[0].log_prob = -0.5;
+  candidates[1].spec.learner = "decision_tree";  // duplicate transformer
+  candidates[1].spec.preprocessors = {"standard_scaler", "standard_scaler"};
+  candidates[1].log_prob = -0.7;
+  candidates[2].spec.learner = "not_a_learner";  // unknown op
+  candidates[2].log_prob = -0.9;
+  candidates[3].spec.learner = "decision_tree";  // the only valid one
+  candidates[3].log_prob = -1.0;
+
+  auto result = fresh.FitWithSkeletons(std::move(candidates), table,
+                                       TaskType::kBinaryClassification,
+                                       hpo::Budget(8, 1e9), 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const hpo::RunReport& report = result->report;
+  EXPECT_EQ(report.lint_rejected, 3);
+  EXPECT_EQ(report.lint_rejected_by_code.size(), 3u);
+  EXPECT_EQ(report.lint_rejected_by_code.at("lint.task-mismatch"), 1);
+  EXPECT_EQ(report.lint_rejected_by_code.at("lint.duplicate-transformer"),
+            1);
+  EXPECT_EQ(report.lint_rejected_by_code.at("lint.unknown-op"), 1);
+  EXPECT_NE(report.Summary().find("lint_rejected=3"), std::string::npos);
+
+  // Only the survivor was searched: every trial belongs to it, and the
+  // rejected candidates never appear in the result or the report.
+  ASSERT_EQ(result->skeletons.size(), 1u);
+  EXPECT_EQ(result->skeletons[0].learner, "decision_tree");
+  EXPECT_EQ(result->best_spec.learner, "decision_tree");
+  EXPECT_GT(result->trials, 0);
+  EXPECT_LE(result->trials, 8);
+  for (const std::string& learner : result->learner_sequence) {
+    EXPECT_EQ(learner, "decision_tree");
+  }
+  for (const hpo::SkeletonReport& s : report.skeletons) {
+    EXPECT_EQ(s.key.find("ridge"), std::string::npos);
+    EXPECT_EQ(s.key.find("not_a_learner"), std::string::npos);
+  }
+
+  // Serialized report carries the counters for the bench harness.
+  Json json = report.ToJson();
+  EXPECT_EQ(json.Get("lint_rejected").AsInt(), 3);
+}
+
+TEST(KgpipLintGateTest, AllCandidatesRejectedFailsCleanly) {
+  Kgpip fresh;
+  DatasetSpec spec;
+  spec.name = "lint_gate_empty";
+  spec.rows = 120;
+  Table table = GenerateDataset(spec);
+
+  std::vector<gen::ScoredSkeleton> candidates(1);
+  candidates[0].spec.learner = "not_a_learner";
+  auto result = fresh.FitWithSkeletons(std::move(candidates), table,
+                                       TaskType::kBinaryClassification,
+                                       hpo::Budget(4, 1e9), 5);
+  // The last-resort rung may still rescue the run; either way no trial
+  // was spent on the rejected candidate.
+  if (result.ok()) {
+    EXPECT_EQ(result->report.lint_rejected, 1);
+    EXPECT_TRUE(result->report.last_resort_pass);
+  } else {
+    EXPECT_FALSE(result.status().ok());
+  }
+}
+
 TEST_F(KgpipFixture, DiversityAcrossRunsWithSameDataset) {
   // §4.5.3: different runs over the same dataset yield different (but
   // correlated) pipeline lists.
