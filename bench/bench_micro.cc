@@ -1,7 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the KGpip
 // substrate: CSV scanning, static analysis + filtering, content
 // embedding, similarity search, generator decisions, and learner fits.
+//
+// Machine-readable output: google-benchmark's own --benchmark_out=PATH
+// --benchmark_out_format=json for timings, plus --metrics-out=PATH (ours)
+// to snapshot the obs::MetricsRegistry the benchmarked code populated.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "codegraph/analyzer.h"
 #include "codegraph/corpus.h"
@@ -13,6 +21,7 @@
 #include "gen/graph_generator.h"
 #include "graph4ml/filter.h"
 #include "ml/learner.h"
+#include "obs/metrics.h"
 
 namespace kgpip {
 namespace {
@@ -132,4 +141,29 @@ BENCHMARK(BM_LearnerFit)->DenseRange(0, 3);
 }  // namespace
 }  // namespace kgpip
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --metrics-out before google-benchmark sees (and rejects) it.
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    kgpip::Status written =
+        kgpip::obs::MetricsRegistry::Global().WriteJsonFile(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "WARNING: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

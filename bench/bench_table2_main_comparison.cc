@@ -121,6 +121,21 @@ int Run(int argc, char** argv) {
               "Auto-Sklearn on %d/%zu datasets.\n",
               kgpip_flaml_wins, specs.size(), kgpip_ask_wins, specs.size());
   std::printf("\nTotal wall time: %.1fs\n", watch.ElapsedSeconds());
+
+  // ---- Machine-readable outputs ----
+  Json comparison = ComparisonToJson(specs, all, options);
+  Json ttests = Json::Object();
+  auto ttest_row = [](const TTestResult& test) {
+    Json row = Json::Object();
+    row.Set("t", test.t_statistic);
+    row.Set("p", test.p_value);
+    return row;
+  };
+  ttests.Set("kgpip_flaml_vs_flaml", ttest_row(flaml_test));
+  ttests.Set("kgpip_ask_vs_ask", ttest_row(ask_test));
+  comparison.Set("t_tests", std::move(ttests));
+  comparison.Set("wall_seconds", watch.ElapsedSeconds());
+  WriteHarnessOutputs(options, &comparison);
   return 0;
 }
 

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace kgpip::bench {
@@ -26,6 +28,10 @@ HarnessOptions ParseOptions(int argc, char** argv) {
       options.trials = std::atoi(arg + 9);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       options.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      options.json_out = arg + 11;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics_out = arg + 14;
     }
   }
   return options;
@@ -182,6 +188,90 @@ TaskAggregate AggregateByTask(const SystemScores& scores,
 void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+Json ComparisonToJson(const std::vector<DatasetSpec>& specs,
+                      const std::vector<SystemScores>& all,
+                      const HarnessOptions& options) {
+  Json out = Json::Object();
+  Json opts = Json::Object();
+  opts.Set("runs", options.runs);
+  opts.Set("trials", options.trials);
+  opts.Set("seed", static_cast<int64_t>(options.seed));
+  opts.Set("quick", options.quick);
+  out.Set("options", std::move(opts));
+
+  Json systems = Json::Array();
+  for (const SystemScores& scores : all) {
+    Json entry = Json::Object();
+    entry.Set("system", scores.system);
+
+    TaskAggregate agg = AggregateByTask(scores, specs);
+    Json aggregates = Json::Object();
+    auto task_row = [](double mean, double std_dev) {
+      Json row = Json::Object();
+      row.Set("mean", mean);
+      row.Set("std", std_dev);
+      return row;
+    };
+    aggregates.Set("binary", task_row(agg.binary_mean, agg.binary_std));
+    aggregates.Set("multi_class", task_row(agg.multi_mean, agg.multi_std));
+    aggregates.Set("regression",
+                   task_row(agg.regression_mean, agg.regression_std));
+    entry.Set("aggregates", std::move(aggregates));
+
+    Json datasets = Json::Object();
+    for (const DatasetSpec& spec : specs) {
+      auto it = scores.scores.find(spec.name);
+      if (it == scores.scores.end()) continue;
+      Json d = Json::Object();
+      double mean = MeanScore(it->second);
+      // NaN (every run failed) is not representable in strict JSON.
+      d.Set("mean", std::isnan(mean) ? Json() : Json(mean));
+      Json runs = Json::Array();
+      for (double s : it->second) {
+        runs.Append(std::isnan(s) ? Json() : Json(s));
+      }
+      d.Set("scores", std::move(runs));
+      d.Set("task", TaskTypeName(spec.task));
+      datasets.Set(spec.name, std::move(d));
+    }
+    entry.Set("datasets", std::move(datasets));
+
+    Json robustness = Json::Object();
+    robustness.Set("trial_failures", scores.trial_failures);
+    robustness.Set("trial_retries", scores.trial_retries);
+    robustness.Set("quarantined_scores", scores.quarantined_scores);
+    robustness.Set("circuit_breaker_trips", scores.circuit_breaker_trips);
+    robustness.Set("degraded_runs", scores.degraded_runs);
+    entry.Set("robustness", std::move(robustness));
+    systems.Append(std::move(entry));
+  }
+  out.Set("systems", std::move(systems));
+  return out;
+}
+
+void WriteHarnessOutputs(const HarnessOptions& options,
+                         const Json* comparison) {
+  if (!options.json_out.empty() && comparison != nullptr) {
+    std::ofstream out(options.json_out);
+    if (out) out << comparison->Dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "WARNING: could not write --json-out=%s\n",
+                   options.json_out.c_str());
+    } else {
+      std::fprintf(stderr, "wrote %s\n", options.json_out.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    Status written =
+        obs::MetricsRegistry::Global().WriteJsonFile(options.metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "WARNING: %s\n", written.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote %s\n", options.metrics_out.c_str());
+    }
+  }
 }
 
 }  // namespace kgpip::bench

@@ -25,9 +25,16 @@ struct HarnessOptions {
   int corpus_noise_per_dataset = 6;
   uint64_t seed = 2022;
   bool quick = false;
+  /// When non-empty, the binary writes the machine-readable comparison
+  /// (aggregate rows + per-dataset scores) to this path on exit.
+  std::string json_out;
+  /// When non-empty, the binary snapshots the global MetricsRegistry to
+  /// this path on exit (every obs counter/gauge/histogram).
+  std::string metrics_out;
 };
 
-/// Parses --quick, --runs=N, --trials=N, --seed=N.
+/// Parses --quick, --runs=N, --trials=N, --seed=N, --json-out=PATH,
+/// --metrics-out=PATH.
 HarnessOptions ParseOptions(int argc, char** argv);
 
 /// Scores of one system over datasets and runs (NaN marks a failed fit,
@@ -110,6 +117,19 @@ std::vector<double> PerDatasetMeans(const SystemScores& scores,
 
 /// Fixed-width table-row printing helper.
 void PrintRule(int width);
+
+/// Machine-readable comparison for `--json-out`: run options, then one
+/// entry per system with per-task aggregates, per-dataset mean + raw
+/// scores, and the robustness counters.
+Json ComparisonToJson(const std::vector<DatasetSpec>& specs,
+                      const std::vector<SystemScores>& all,
+                      const HarnessOptions& options);
+
+/// Honors --json-out (with `comparison`, when non-null) and
+/// --metrics-out; failures are logged, not fatal, so a bad path never
+/// loses a finished bench run's stdout tables.
+void WriteHarnessOutputs(const HarnessOptions& options,
+                         const Json* comparison);
 
 }  // namespace kgpip::bench
 

@@ -17,7 +17,21 @@ echo "" | tee -a "$out"
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "===== $b =====" | tee -a "$out"
-  "$b" 2>>/tmp/bench_stderr.log | tee -a "$out"
+  # Machine-readable outputs land next to the combined text log: the main
+  # comparison emits its aggregate rows + obs metrics as JSON, and the
+  # micro-benches emit google-benchmark's JSON report.
+  extra_args=()
+  case "$(basename "$b")" in
+    bench_table2_main_comparison)
+      extra_args=(--json-out=/root/repo/BENCH_table2_main_comparison.json
+                  --metrics-out=/root/repo/BENCH_metrics.json)
+      ;;
+    bench_micro)
+      extra_args=(--benchmark_out=/root/repo/BENCH_micro.json
+                  --benchmark_out_format=json)
+      ;;
+  esac
+  "$b" "${extra_args[@]}" 2>>/tmp/bench_stderr.log | tee -a "$out"
   echo "" | tee -a "$out"
 done
 echo "ALL_BENCHES_DONE"

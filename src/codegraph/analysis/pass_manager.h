@@ -2,6 +2,7 @@
 #define KGPIP_CODEGRAPH_ANALYSIS_PASS_MANAGER_H_
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <typeindex>
@@ -10,7 +11,10 @@
 
 #include "codegraph/code_graph.h"
 #include "codegraph/python_ast.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace kgpip::codegraph::analysis {
 
@@ -55,21 +59,46 @@ class PassManager {
   bool has_graph() const { return graph_ != nullptr; }
 
   /// Returns PassT's result, computing (and caching) it on first request.
+  /// Every request lands in the global metrics registry (cache hit/miss
+  /// counters); a first run is additionally timed into the
+  /// "codegraph.pass.run_seconds" histogram and — when tracing is on —
+  /// emitted as a "codegraph.pass.<name>" span (dependencies pulled
+  /// mid-run nest inside their dependent's span).
   template <typename PassT>
   const typename PassT::Result& Get() {
+    static obs::Counter* hits =
+        obs::MetricsRegistry::Global().GetCounter("codegraph.pass.cache_hit");
+    static obs::Counter* misses = obs::MetricsRegistry::Global().GetCounter(
+        "codegraph.pass.cache_miss");
+    static obs::Histogram* run_seconds =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "codegraph.pass.run_seconds");
     const std::type_index key(typeid(PassT));
     auto it = cache_.find(key);
     if (it == cache_.end()) {
+      misses->Increment();
       PassT pass;
       KGPIP_CHECK(running_.insert(key).second)
           << "cyclic pass dependency involving " << pass.name();
       auto holder = std::make_shared<Holder<typename PassT::Result>>();
-      holder->value = pass.Run(*this);
+      {
+        std::optional<obs::TraceSpan> span;
+        if (obs::Tracer::enabled()) {
+          span.emplace(std::string("codegraph.pass.") + pass.name());
+        }
+        Stopwatch watch;
+        holder->value = pass.Run(*this);
+        // Includes dependency time when this pass pulled one in mid-run
+        // (the trace spans disambiguate self vs. dependency time).
+        run_seconds->Record(watch.ElapsedSeconds());
+      }
       // Recorded on completion, so a dependency pulled in mid-run lands
       // in the trace before its dependent.
       run_order_.push_back(pass.name());
       running_.erase(key);
       it = cache_.emplace(key, std::move(holder)).first;
+    } else {
+      hits->Increment();
     }
     return static_cast<const Holder<typename PassT::Result>*>(
                it->second.get())

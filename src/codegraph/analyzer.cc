@@ -277,6 +277,19 @@ class Analysis {
 Result<CodeGraph> AnalyzeScript(const std::string& script_name,
                                 const std::string& source,
                                 const AnalyzerOptions& options) {
+  KGPIP_TRACE_SPAN("codegraph.analyze_script");
+  static obs::Counter* analyzed =
+      obs::MetricsRegistry::Global().GetCounter("codegraph.scripts_analyzed");
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "codegraph.analyze_seconds");
+  analyzed->Increment();
+  Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* histogram;
+    Stopwatch* watch;
+    ~RecordOnExit() { histogram->Record(watch->ElapsedSeconds()); }
+  } record{latency, &watch};
   KGPIP_ASSIGN_OR_RETURN(Module module, ParsePython(source));
   Analysis analysis(script_name, options, module);
   KGPIP_RETURN_IF_ERROR(analysis.Run());

@@ -4,6 +4,8 @@
 
 #include "codegraph/ml_api.h"
 #include "ml/learner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace kgpip::codegraph {
@@ -229,18 +231,25 @@ NotebookScript CorpusGenerator::GenerateNoiseScript(const DatasetSpec& spec,
 
 std::vector<NotebookScript> CorpusGenerator::GenerateForDataset(
     const DatasetSpec& spec) {
+  static obs::Counter* pipelines = obs::MetricsRegistry::Global().GetCounter(
+      "corpus.pipeline_scripts_generated");
+  static obs::Counter* noise = obs::MetricsRegistry::Global().GetCounter(
+      "corpus.noise_scripts_generated");
   std::vector<NotebookScript> scripts;
   for (int i = 0; i < options_.pipelines_per_dataset; ++i) {
     scripts.push_back(GeneratePipeline(spec, i));
   }
+  pipelines->Increment(options_.pipelines_per_dataset);
   for (int i = 0; i < options_.noise_scripts_per_dataset; ++i) {
     scripts.push_back(GenerateNoiseScript(spec, i));
   }
+  noise->Increment(options_.noise_scripts_per_dataset);
   return scripts;
 }
 
 std::vector<NotebookScript> CorpusGenerator::GenerateCorpus(
     const std::vector<DatasetSpec>& specs) {
+  KGPIP_TRACE_SPAN("corpus.generate_corpus");
   std::vector<NotebookScript> all;
   for (const DatasetSpec& spec : specs) {
     std::vector<NotebookScript> scripts = GenerateForDataset(spec);

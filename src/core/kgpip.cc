@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -10,6 +11,8 @@
 #include "data/synthetic.h"
 #include "gen/linter.h"
 #include "ml/learner.h"
+#include "obs/stage_profile.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -194,14 +197,19 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
 Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
                                         hpo::Budget budget,
                                         uint64_t seed) const {
+  KGPIP_TRACE_SPAN("kgpip.fit");
+  Stopwatch fit_watch;
+  obs::StageProfile profile;
   bool used_fallback = false;
   std::string fallback_reason;
 
   // t: time consumed generating and validating the graphs.
-  Result<std::vector<gen::ScoredSkeleton>> predicted =
-      trained_ ? PredictSkeletons(train, task, seed)
-               : Result<std::vector<gen::ScoredSkeleton>>(
-                     Status::FailedPrecondition("KGpip is not trained"));
+  Result<std::vector<gen::ScoredSkeleton>> predicted = [&] {
+    obs::StageTimer timer(&profile, "fit.predict_skeletons");
+    return trained_ ? PredictSkeletons(train, task, seed)
+                    : Result<std::vector<gen::ScoredSkeleton>>(
+                          Status::FailedPrecondition("KGpip is not trained"));
+  }();
   std::vector<gen::ScoredSkeleton> skeletons;
   if (predicted.ok()) {
     skeletons = std::move(*predicted);
@@ -209,6 +217,7 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
     // Degradation rung 2: skeleton prediction (generator or
     // nearest-dataset lookup) failed. Never return empty-handed — run the
     // static default-skeleton portfolio instead.
+    obs::StageTimer timer(&profile, "fit.fallback_portfolio");
     fallback_reason = predicted.status().ToString();
     KGPIP_LOG(Warning) << "skeleton prediction failed ("
                        << fallback_reason
@@ -220,20 +229,24 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
     }
   }
   return RunSearch(std::move(skeletons), train, task, budget, seed,
-                   used_fallback, fallback_reason);
+                   used_fallback, fallback_reason, std::move(profile),
+                   fit_watch);
 }
 
 Result<automl::AutoMlResult> Kgpip::FitWithSkeletons(
     std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
     TaskType task, hpo::Budget budget, uint64_t seed) const {
+  KGPIP_TRACE_SPAN("kgpip.fit_with_skeletons");
   return RunSearch(std::move(skeletons), train, task, budget, seed,
-                   /*used_fallback=*/false, /*fallback_reason=*/"");
+                   /*used_fallback=*/false, /*fallback_reason=*/"",
+                   obs::StageProfile(), Stopwatch());
 }
 
 Result<automl::AutoMlResult> Kgpip::RunSearch(
     std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
     TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
-    const std::string& fallback_reason) const {
+    const std::string& fallback_reason, obs::StageProfile profile,
+    Stopwatch fit_watch) const {
   automl::AutoMlResult result;
 
   // Static lint gate: drop invalid candidates BEFORE the (T - t) / K
@@ -243,6 +256,7 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
   int lint_rejected = 0;
   std::map<std::string, int> lint_rejected_by_code;
   {
+    obs::StageTimer timer(&profile, "fit.lint_gate");
     std::vector<gen::ScoredSkeleton> accepted;
     accepted.reserve(skeletons.size());
     for (gen::ScoredSkeleton& s : skeletons) {
@@ -261,10 +275,14 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
     skeletons = std::move(accepted);
   }
 
-  KGPIP_ASSIGN_OR_RETURN(
-      hpo::TrialEvaluator evaluator,
-      hpo::TrialEvaluator::Create(train, task, 0.25, seed));
-  hpo::TrialGuard guard(&evaluator, config_.guard);
+  std::optional<hpo::TrialEvaluator> evaluator;
+  {
+    obs::StageTimer timer(&profile, "fit.evaluator_setup");
+    auto created = hpo::TrialEvaluator::Create(train, task, 0.25, seed);
+    if (!created.ok()) return created.status();
+    evaluator.emplace(std::move(*created));
+  }
+  hpo::TrialGuard guard(&*evaluator, config_.guard);
 
   for (const gen::ScoredSkeleton& s : skeletons) {
     result.skeletons.push_back(s.spec);
@@ -277,26 +295,29 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
   // the surviving skeletons.
   const int k = static_cast<int>(skeletons.size());
   bool stopped_early = false;
-  for (int i = 0; i < k; ++i) {
-    if (budget.Exhausted()) {
-      stopped_early = true;  // best-so-far is returned below
-      break;
-    }
-    hpo::Budget slice = budget.SplitRemaining(k - i);
-    hpo::OptimizeResult optimized = hp_optimizer_->OptimizeSkeleton(
-        skeletons[static_cast<size_t>(i)].spec, &guard, &slice,
-        seed + static_cast<uint64_t>(i) * 977);
-    // Account the slice's trials against the shared budget.
-    for (int t = 0; t < optimized.trials; ++t) budget.ConsumeTrial();
-    result.trials += optimized.trials;
-    for (int t = 0; t < optimized.trials; ++t) {
-      result.learner_sequence.push_back(
-          skeletons[static_cast<size_t>(i)].spec.learner);
-    }
-    if (optimized.best_score > result.validation_score) {
-      result.validation_score = optimized.best_score;
-      result.best_spec = optimized.best_spec;
-      result.best_skeleton_rank = i + 1;
+  {
+    obs::StageTimer timer(&profile, "fit.hpo_search");
+    for (int i = 0; i < k; ++i) {
+      if (budget.Exhausted()) {
+        stopped_early = true;  // best-so-far is returned below
+        break;
+      }
+      hpo::Budget slice = budget.SplitRemaining(k - i);
+      hpo::OptimizeResult optimized = hp_optimizer_->OptimizeSkeleton(
+          skeletons[static_cast<size_t>(i)].spec, &guard, &slice,
+          seed + static_cast<uint64_t>(i) * 977);
+      // Account the slice's trials against the shared budget.
+      for (int t = 0; t < optimized.trials; ++t) budget.ConsumeTrial();
+      result.trials += optimized.trials;
+      for (int t = 0; t < optimized.trials; ++t) {
+        result.learner_sequence.push_back(
+            skeletons[static_cast<size_t>(i)].spec.learner);
+      }
+      if (optimized.best_score > result.validation_score) {
+        result.validation_score = optimized.best_score;
+        result.best_spec = optimized.best_spec;
+        result.best_skeleton_rank = i + 1;
+      }
     }
   }
 
@@ -305,6 +326,7 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
   // first learner that fits — the "never return empty-handed" floor.
   bool last_resort = false;
   if (result.best_spec.learner.empty()) {
+    obs::StageTimer timer(&profile, "fit.last_resort");
     last_resort = true;
     uint64_t lr_seed = seed ^ 0xFA11BACCULL;
     for (const gen::ScoredSkeleton& s :
@@ -335,8 +357,16 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
   if (result.best_spec.learner.empty()) {
     return Status::Internal("KGpip optimization produced no candidate");
   }
-  KGPIP_RETURN_IF_ERROR(automl::FinalizeResult(result.best_spec, train,
-                                               task, seed, &result));
+  {
+    obs::StageTimer timer(&profile, "fit.finalize");
+    KGPIP_RETURN_IF_ERROR(automl::FinalizeResult(result.best_spec, train,
+                                                 task, seed, &result));
+  }
+  // Attach where the budget actually went. total_seconds is the whole
+  // fit's clock (Fit hands its watch in), so stage seconds must sum to
+  // roughly the fit wall time — the attribution invariant obs_test pins.
+  profile.total_seconds = fit_watch.ElapsedSeconds();
+  result.report.stage_profile = std::move(profile);
   return result;
 }
 

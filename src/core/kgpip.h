@@ -14,6 +14,8 @@
 #include "gen/skeleton.h"
 #include "graph4ml/graph4ml.h"
 #include "hpo/optimizer.h"
+#include "obs/stage_profile.h"
+#include "util/stopwatch.h"
 
 namespace kgpip::core {
 
@@ -109,10 +111,14 @@ class Kgpip : public automl::AutoMlSystem {
  private:
   /// Shared tail of Fit / FitWithSkeletons: lint gate, per-skeleton HPO
   /// under the (T - t) / K rule, last-resort pass, report assembly.
+  /// `profile` carries the stages the caller already timed (e.g. skeleton
+  /// prediction) and `fit_watch` the whole fit's clock; RunSearch adds
+  /// its own stages and attaches the finished profile to the RunReport.
   Result<automl::AutoMlResult> RunSearch(
       std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
       TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
-      const std::string& fallback_reason) const;
+      const std::string& fallback_reason, obs::StageProfile profile,
+      Stopwatch fit_watch) const;
 
   KgpipConfig config_;
   bool trained_ = false;

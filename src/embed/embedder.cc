@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace kgpip::embed {
@@ -155,6 +157,14 @@ void NormalizeBlock(double* block, size_t dims) {
 }  // namespace
 
 std::vector<double> TableEmbedder::Embed(const Table& table) const {
+  static obs::Histogram* embed_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("embed.table_embed_seconds");
+  Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* hist;
+    Stopwatch* watch;
+    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
+  } record{embed_seconds, &watch};
   std::vector<double> v(kDims, 0.0);
   const size_t rows = table.num_rows();
   const size_t cols = table.num_columns();

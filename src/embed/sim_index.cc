@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "embed/embedder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace kgpip::embed {
 
@@ -23,8 +26,13 @@ Status SimIndex::Add(const std::string& key, std::vector<double> vector) {
 }
 
 Status SimIndex::Build() {
+  KGPIP_TRACE_SPAN("embed.index_build");
+  static obs::Histogram* build_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("embed.index_build_seconds");
+  Stopwatch watch;
   if (options_.num_cells <= 0 || vectors_.empty()) {
     built_ = true;
+    build_seconds->Record(watch.ElapsedSeconds());
     return Status::Ok();
   }
   const size_t k = std::min<size_t>(
@@ -72,11 +80,20 @@ Status SimIndex::Build() {
     cells_[assignment[i]].push_back(i);
   }
   built_ = true;
+  build_seconds->Record(watch.ElapsedSeconds());
   return Status::Ok();
 }
 
 Result<std::vector<SearchHit>> SimIndex::Search(
     const std::vector<double>& query, size_t k) const {
+  static obs::Histogram* query_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("embed.index_query_seconds");
+  Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* hist;
+    Stopwatch* watch;
+    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
+  } record{query_seconds, &watch};
   if (vectors_.empty()) return Status::FailedPrecondition("empty index");
   if (query.size() != vectors_[0].size()) {
     return Status::InvalidArgument("query dimensionality mismatch");

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace kgpip::gen {
 
@@ -171,6 +174,13 @@ Var GraphGenerator::SequenceLoss(const GraphExample& example,
 double GraphGenerator::TrainEpoch(const std::vector<GraphExample>& examples,
                                   Rng* rng) {
   if (examples.empty()) return 0.0;
+  KGPIP_TRACE_SPAN("gen.train_epoch");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Counter* epochs = metrics.GetCounter("gen.train_epochs");
+  static obs::Histogram* epoch_seconds =
+      metrics.GetHistogram("gen.train_epoch_seconds");
+  static obs::Gauge* loss_gauge = metrics.GetGauge("gen.train_loss");
+  Stopwatch watch;
   std::vector<size_t> order = rng->Permutation(examples.size());
   double total_loss = 0.0;
   for (size_t idx : order) {
@@ -180,7 +190,12 @@ double GraphGenerator::TrainEpoch(const std::vector<GraphExample>& examples,
     nn::Backward(loss);
     optimizer_->Step();
   }
-  return total_loss / static_cast<double>(examples.size());
+  const double mean_loss =
+      total_loss / static_cast<double>(examples.size());
+  epochs->Increment();
+  epoch_seconds->Record(watch.ElapsedSeconds());
+  loss_gauge->Set(mean_loss);
+  return mean_loss;
 }
 
 double GraphGenerator::LogProb(const GraphExample& example) const {
@@ -193,6 +208,15 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
                                         const std::vector<double>& condition,
                                         Rng* rng,
                                         double temperature) const {
+  KGPIP_TRACE_SPAN("gen.generate");
+  static obs::Histogram* generate_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("gen.generate_seconds");
+  Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* hist;
+    Stopwatch* watch;
+    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
+  } record{generate_seconds, &watch};
   GeneratedGraph out;
   out.graph = seed;
   KGPIP_CHECK(!seed.node_types.empty()) << "seed subgraph required";

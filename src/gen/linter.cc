@@ -6,6 +6,7 @@
 #include "graph4ml/vocab.h"
 #include "ml/learner.h"
 #include "ml/preprocess.h"
+#include "obs/metrics.h"
 
 namespace kgpip::gen {
 
@@ -21,6 +22,22 @@ bool IsKnownLearner(const std::string& name) {
     if (info.name == name) return true;
   }
   return false;
+}
+
+/// Counts a finished lint: total lints, and — when errors are present —
+/// one overall rejection plus one "gen.lint_rejected.<code>" per error,
+/// so the metrics snapshot shows what the generator gets wrong most.
+void CountLintOutcome(const LintReport& report) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Counter* lints = metrics.GetCounter("gen.lints_run");
+  static obs::Counter* rejected = metrics.GetCounter("gen.lint_rejected");
+  lints->Increment();
+  if (report.ok()) return;
+  rejected->Increment();
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    metrics.GetCounter("gen.lint_rejected." + d.code)->Increment();
+  }
 }
 
 /// Kahn's algorithm; true if every node can be scheduled (no cycle).
@@ -92,7 +109,10 @@ LintReport PipelineLinter::LintGraph(const GeneratedGraph& generated) const {
         "lint.cycle", "generated graph contains a data-flow cycle"));
   }
 
-  if (!types_ok) return report;  // op-level checks need valid types
+  if (!types_ok) {  // op-level checks need valid types
+    CountLintOutcome(report);
+    return report;
+  }
 
   int last_estimator = -1;
   std::string estimator;
@@ -106,6 +126,7 @@ LintReport PipelineLinter::LintGraph(const GeneratedGraph& generated) const {
   if (last_estimator < 0) {
     report.diagnostics.push_back(MakeError(
         "lint.no-estimator", "generated graph contains no estimator node"));
+    CountLintOutcome(report);
     return report;
   }
   if (!ml::LearnerSupports(estimator, task_)) {
@@ -132,6 +153,7 @@ LintReport PipelineLinter::LintGraph(const GeneratedGraph& generated) const {
               "' appears more than once; the skeleton mapper deduplicates"));
     }
   }
+  CountLintOutcome(report);
   return report;
 }
 
@@ -167,6 +189,7 @@ LintReport PipelineLinter::LintSpec(const ml::PipelineSpec& spec) const {
     }
   }
   for (Diagnostic& d : report.diagnostics) d.subject = spec.ToString();
+  CountLintOutcome(report);
   return report;
 }
 

@@ -1,26 +1,47 @@
 #include "graph4ml/graph4ml.h"
 
 #include "codegraph/analyzer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace kgpip::graph4ml {
 
 Status Graph4Ml::Build(
     const std::vector<codegraph::NotebookScript>& scripts) {
+  KGPIP_TRACE_SPAN("graph4ml.build");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Counter* analyzed =
+      metrics.GetCounter("graph4ml.scripts_analyzed");
+  static obs::Counter* kept = metrics.GetCounter("graph4ml.scripts_kept");
+  static obs::Counter* filter_rejected =
+      metrics.GetCounter("graph4ml.filter_rejected");
   for (const codegraph::NotebookScript& script : scripts) {
     ++scripts_analyzed_;
+    analyzed->Increment();
     auto code_graph = codegraph::AnalyzeScript(script.name, script.text);
     if (!code_graph.ok()) {
       // Real-world mining skips unparseable scripts rather than failing
-      // the whole corpus.
+      // the whole corpus. Rejections are counted per status code so the
+      // metrics snapshot says *why* graphs were dropped.
+      metrics
+          .GetCounter(std::string("graph4ml.analyze_failed.") +
+                      StatusCodeName(code_graph.status().code()))
+          ->Increment();
       KGPIP_LOG(Warning) << "skipping " << script.name << ": "
                          << code_graph.status().ToString();
       continue;
     }
     PipelineGraph pipeline =
         FilterCodeGraph(*code_graph, script.dataset_name, &filter_stats_);
-    if (!pipeline.valid()) continue;
+    if (!pipeline.valid()) {
+      // No supported estimator reachable — EDA-only or unsupported
+      // framework, the >96 % of a portal dump the filter removes.
+      filter_rejected->Increment();
+      continue;
+    }
     ++scripts_kept_;
+    kept->Increment();
     by_dataset_[pipeline.dataset_name].push_back(std::move(pipeline));
   }
   return Status::Ok();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 
@@ -78,6 +80,9 @@ Json RunReport::ToJson() const {
   out.Set("last_resort_pass", last_resort_pass);
   out.Set("returned_best_so_far", returned_best_so_far);
   out.Set("notes", notes);
+  if (!stage_profile.empty()) {
+    out.Set("stage_profile", stage_profile.ToJson());
+  }
   return out;
 }
 
@@ -106,8 +111,29 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
   ++sr->trials;
   ++report_.total_trials;
 
+  // Mirror the report's accounting into the global metrics registry so a
+  // live metrics snapshot shows guard activity mid-run.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Counter* trials = metrics.GetCounter("hpo.trials");
+  static obs::Counter* failures = metrics.GetCounter("hpo.trial_failures");
+  static obs::Counter* retries = metrics.GetCounter("hpo.trial_retries");
+  static obs::Counter* quarantined =
+      metrics.GetCounter("hpo.quarantined_scores");
+  static obs::Counter* timeouts = metrics.GetCounter("hpo.timeouts");
+  static obs::Counter* breaker_trips =
+      metrics.GetCounter("hpo.circuit_breaker_trips");
+  static obs::Histogram* trial_seconds =
+      metrics.GetHistogram("hpo.trial_seconds");
+  trials->Increment();
+
+  KGPIP_TRACE_SPAN("hpo.trial");
   util::FaultInjector* inject = util::FaultInjector::Active();
   Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* hist;
+    Stopwatch* watch;
+    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
+  } record{trial_seconds, &watch};
   double injected_delay = 0.0;
   Status error;
   for (int attempt = 0;; ++attempt) {
@@ -142,6 +168,7 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
         out.code = StatusCode::kOutOfRange;
         ++sr->nan_quarantined;
         ++report_.quarantined_scores;
+        quarantined->Increment();
         break;
       }
       double elapsed = watch.ElapsedSeconds() + injected_delay;
@@ -151,6 +178,7 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
         out.code = StatusCode::kResourceExhausted;
         ++sr->timeouts;
         ++report_.timeouts;
+        timeouts->Increment();
         break;
       }
       out.score = value;
@@ -166,6 +194,7 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
       ++out.retries;
       ++sr->retries;
       ++report_.total_retries;
+      retries->Increment();
       report_.simulated_backoff_seconds +=
           options_.retry_backoff_seconds * static_cast<double>(1 << attempt);
       continue;
@@ -185,12 +214,14 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
   ++sr->failures;
   ++report_.total_failures;
   ++report_.failures_by_code[out.code];
+  failures->Increment();
   int streak = ++consecutive_failures_[group];
   if (options_.circuit_breaker_threshold > 0 &&
       streak >= options_.circuit_breaker_threshold) {
     open_.insert(group);
     sr->abandoned = true;
     ++report_.circuit_breaker_trips;
+    breaker_trips->Increment();
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hpo/evaluator.h"
+#include "obs/stage_profile.h"
 #include "util/json.h"
 
 namespace kgpip::hpo {
@@ -60,8 +61,9 @@ struct SkeletonReport {
 };
 
 /// Structured account of why (and how much) a run degraded, attached to
-/// `automl::AutoMlResult`. Deliberately wall-clock-free so a fixed seed
-/// yields a byte-identical report.
+/// `automl::AutoMlResult`. The failure accounting is wall-clock-free so a
+/// fixed seed yields identical counts; `stage_profile` is the one timed
+/// exception (clear it before byte-comparing reports across runs).
 struct RunReport {
   std::vector<SkeletonReport> skeletons;
   /// Failure taxonomy over terminal (post-retry) trial failures.
@@ -83,6 +85,9 @@ struct RunReport {
   bool last_resort_pass = false;     // search yielded nothing; defaults run
   bool returned_best_so_far = false; // budget expired before all skeletons
   std::string notes;
+  /// Where `Kgpip::Fit` spent its wall-clock budget, stage by stage
+  /// (predict_skeletons, hpo_search, ...). Empty outside full Fit runs.
+  obs::StageProfile stage_profile;
 
   SkeletonReport* FindOrAdd(const std::string& key);
   const SkeletonReport* Find(const std::string& key) const;

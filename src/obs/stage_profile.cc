@@ -1,0 +1,44 @@
+#include "obs/stage_profile.h"
+
+namespace kgpip::obs {
+
+void StageProfile::Add(const std::string& name, double seconds) {
+  for (Stage& stage : stages) {
+    if (stage.name == name) {
+      stage.seconds += seconds;
+      ++stage.count;
+      return;
+    }
+  }
+  stages.push_back(Stage{name, seconds, 1});
+}
+
+double StageProfile::StageSeconds(const std::string& name) const {
+  for (const Stage& stage : stages) {
+    if (stage.name == name) return stage.seconds;
+  }
+  return 0.0;
+}
+
+double StageProfile::SumSeconds() const {
+  double sum = 0.0;
+  for (const Stage& stage : stages) sum += stage.seconds;
+  return sum;
+}
+
+Json StageProfile::ToJson() const {
+  Json out = Json::Object();
+  out.Set("total_seconds", total_seconds);
+  Json list = Json::Array();
+  for (const Stage& stage : stages) {
+    Json s = Json::Object();
+    s.Set("name", stage.name);
+    s.Set("seconds", stage.seconds);
+    s.Set("count", stage.count);
+    list.Append(std::move(s));
+  }
+  out.Set("stages", std::move(list));
+  return out;
+}
+
+}  // namespace kgpip::obs

@@ -1,0 +1,70 @@
+#ifndef KGPIP_OBS_STAGE_PROFILE_H_
+#define KGPIP_OBS_STAGE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace kgpip::obs {
+
+/// Per-stage wall-time breakdown of one run, in first-seen order. This is
+/// the budget-attribution answer `Kgpip::Fit` attaches to its RunReport:
+/// how much of T went to skeleton prediction vs. lint vs. HPO search.
+/// Unlike trace spans, stage timing is always on — a run has a handful of
+/// stages, so two clock reads per stage are free.
+struct StageProfile {
+  struct Stage {
+    std::string name;
+    double seconds = 0.0;
+    int64_t count = 0;
+  };
+
+  std::vector<Stage> stages;
+  /// End-to-end wall time of the profiled operation; stage seconds sum
+  /// to (almost) this when the stages tile the run.
+  double total_seconds = 0.0;
+
+  /// Accumulates `seconds` into the stage named `name` (created on first
+  /// use, preserving insertion order).
+  void Add(const std::string& name, double seconds);
+
+  /// Total seconds of one stage (0 if absent).
+  double StageSeconds(const std::string& name) const;
+
+  /// Sum of all stage durations.
+  double SumSeconds() const;
+
+  bool empty() const { return stages.empty(); }
+
+  /// {"total_seconds", "stages": [{"name", "seconds", "count"}, ...]}
+  Json ToJson() const;
+};
+
+/// RAII stage timer: accumulates the scope's wall time into `profile`
+/// and — when tracing is enabled — emits a trace span of the same name,
+/// so stage attribution and the Chrome trace stay consistent.
+class StageTimer {
+ public:
+  StageTimer(StageProfile* profile, std::string name)
+      : profile_(profile), name_(std::move(name)), span_(name_) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    if (profile_ != nullptr) profile_->Add(name_, watch_.ElapsedSeconds());
+  }
+
+ private:
+  StageProfile* profile_;
+  std::string name_;
+  TraceSpan span_;
+  Stopwatch watch_;
+};
+
+}  // namespace kgpip::obs
+
+#endif  // KGPIP_OBS_STAGE_PROFILE_H_

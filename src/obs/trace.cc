@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace kgpip::obs {
+
+namespace internal_trace {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal_trace
+
+namespace {
+
+/// Dense per-thread id for trace tracks (std::thread::id is opaque).
+int ThisThreadTid() {
+  static std::atomic<int> next_tid{1};
+  thread_local const int tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+int& ThisThreadDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void ExportAtExit();
+
+/// Reads KGPIP_TRACE once at static-init time so every binary linking
+/// the library honors the toggle without code changes.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* path = std::getenv("KGPIP_TRACE");
+    if (path != nullptr && *path != '\0') {
+      Tracer::Global().EnableWithExportPath(path);
+    }
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+void ExportAtExit() {
+  Tracer& tracer = Tracer::Global();
+  const char* path = std::getenv("KGPIP_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  Status status = tracer.WriteChromeTrace(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[obs] KGPIP_TRACE export failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::EnableWithExportPath(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    export_path_ = std::move(path);
+  }
+  Enable();
+  static const bool registered = [] {
+    std::atexit(ExportAtExit);
+    return true;
+  }();
+  (void)registered;
+}
+
+double Tracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+Json Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json trace_events = Json::Array();
+  for (const TraceEvent& event : events_) {
+    Json e = Json::Object();
+    e.Set("name", event.name);
+    e.Set("cat", "kgpip");
+    e.Set("ph", "X");
+    e.Set("ts", event.start_us);
+    e.Set("dur", event.dur_us);
+    e.Set("pid", 1);
+    e.Set("tid", event.tid);
+    Json args = Json::Object();
+    args.Set("depth", event.depth);
+    for (const auto& [key, value] : event.args) {
+      args.Set(key, value);
+    }
+    e.Set("args", std::move(args));
+    trace_events.Append(std::move(e));
+  }
+  Json out = Json::Object();
+  out.Set("displayTimeUnit", "ms");
+  out.Set("traceEvents", std::move(trace_events));
+  if (dropped_ > 0) out.Set("kgpipDroppedEvents", dropped_);
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out << ToChromeJson().Dump() << "\n";
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+void TraceSpan::Begin(std::string name) {
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = ++ThisThreadDepth();
+  start_us_ = Tracer::NowMicros();
+}
+
+void TraceSpan::End() {
+  const double end_us = Tracer::NowMicros();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.tid = ThisThreadTid();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  --ThisThreadDepth();
+  Tracer::Global().Record(std::move(event));
+}
+
+void TraceSpan::SetAttr(const std::string& key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, double value) {
+  if (!active_) return;
+  args_.emplace_back(key, StrFormat("%g", value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, int64_t value) {
+  if (!active_) return;
+  args_.emplace_back(key, StrFormat("%lld", (long long)value));
+}
+
+}  // namespace kgpip::obs

@@ -1,12 +1,20 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <cstring>
+#include <string>
 
 namespace kgpip {
 
 namespace {
-LogLevel g_log_level = LogLevel::kWarning;
+
+/// Threads log concurrently (obs tests, future parallel trial runners),
+/// so the threshold is atomic — a plain global here is a data race.
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+std::atomic<bool> g_level_explicit{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,10 +29,53 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Applies KGPIP_LOG_LEVEL once, at first threshold read. An explicit
+/// SetLogLevel always wins over the environment.
+void ApplyEnvLogLevelOnce() {
+  static const bool applied = [] {
+    const char* env = std::getenv("KGPIP_LOG_LEVEL");
+    LogLevel level;
+    if (env != nullptr && ParseLogLevel(env, &level) &&
+        !g_level_explicit.load(std::memory_order_acquire)) {
+      g_log_level.store(level, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_level_explicit.store(true, std::memory_order_release);
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  ApplyEnvLogLevelOnce();
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
@@ -33,7 +84,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() { std::cerr << stream_.str() << "\n"; }
+LogMessage::~LogMessage() {
+  // One buffer, one fwrite: stdio locks the stream per call, so
+  // concurrent log lines never interleave mid-line.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
   stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << cond
@@ -41,7 +98,10 @@ CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
 }
 
 CheckFailure::~CheckFailure() {
-  std::cerr << stream_.str() << std::endl;
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
   std::abort();
 }
 

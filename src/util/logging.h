@@ -9,7 +9,11 @@ namespace kgpip {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets / reads the process-wide minimum severity (default: kWarning, so
-/// benchmarks and tests stay quiet unless something is wrong).
+/// benchmarks and tests stay quiet unless something is wrong). The
+/// threshold is atomic — logging is thread-safe, and concurrent messages
+/// never interleave mid-line. The `KGPIP_LOG_LEVEL` environment variable
+/// (debug|info|warning|error, case-insensitive) overrides the default at
+/// first use; an explicit SetLogLevel wins over the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

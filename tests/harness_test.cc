@@ -76,6 +76,45 @@ TEST(AggregationTest, PerTaskMeansAndFailuresScoreZero) {
   EXPECT_NEAR(per_dataset[2], 0.0, 1e-12);
 }
 
+TEST(ComparisonToJsonTest, EmitsAggregatesScoresAndRobustness) {
+  SystemScores scores;
+  scores.system = "test";
+  scores.scores["b"] = {0.8, 0.9};
+  scores.scores["m"] = {0.6, std::nan("")};  // one failed run
+  scores.scores["r"] = {std::nan("")};       // all runs failed
+  scores.trial_failures = 4;
+  scores.degraded_runs = 1;
+  HarnessOptions options;
+  options.runs = 2;
+  options.trials = 7;
+
+  Json json = ComparisonToJson(ThreeSpecs(), {scores}, options);
+  EXPECT_EQ(json.Get("options").Get("trials").AsInt(), 7);
+  ASSERT_EQ(json.Get("systems").size(), 1u);
+  const Json& entry = json.Get("systems").at(0);
+  EXPECT_EQ(entry.Get("system").AsString(), "test");
+  EXPECT_NEAR(
+      entry.Get("aggregates").Get("binary").Get("mean").AsDouble(), 0.85,
+      1e-12);
+
+  // NaN is not representable in strict JSON: failed runs become null,
+  // an all-failed dataset's mean becomes null.
+  const Json& datasets = entry.Get("datasets");
+  EXPECT_TRUE(datasets.Get("m").Get("scores").at(1).is_null());
+  EXPECT_TRUE(datasets.Get("r").Get("mean").is_null());
+  EXPECT_NEAR(datasets.Get("b").Get("mean").AsDouble(), 0.85, 1e-12);
+  EXPECT_EQ(datasets.Get("b").Get("task").AsString(),
+            TaskTypeName(TaskType::kBinaryClassification));
+
+  EXPECT_EQ(entry.Get("robustness").Get("trial_failures").AsInt(), 4);
+  EXPECT_EQ(entry.Get("robustness").Get("degraded_runs").AsInt(), 1);
+
+  // The dump must round-trip through the strict parser.
+  auto parsed = Json::Parse(json.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("systems").size(), 1u);
+}
+
 TEST(EvaluateOnceTest, ScoresSystemAndReportsFailure) {
   HarnessOptions options;
   options.runs = 1;
