@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "codegraph/analyzer.h"
 #include "codegraph/corpus.h"
@@ -20,11 +21,34 @@
 #include "embed/sim_index.h"
 #include "gen/graph_generator.h"
 #include "graph4ml/filter.h"
+#include "graph4ml/graph4ml.h"
 #include "ml/learner.h"
+#include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace kgpip {
 namespace {
+
+/// Thread-count axis for the parallel benchmarks: 1 (fully inline) vs the
+/// machine's hardware concurrency. run_benches.sh records the pair so the
+/// speedup is visible in BENCH_micro.json.
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Applies the benchmark's thread-count argument to the global pool and
+/// labels the state. Restores the default pool in ScopedPool's dtor.
+class ScopedPool {
+ public:
+  explicit ScopedPool(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    util::ThreadPool::Configure(threads);
+    state.SetLabel("threads=" + std::to_string(threads));
+  }
+  ~ScopedPool() { util::ThreadPool::Configure(0); }
+};
 
 DatasetSpec DefaultSpec() {
   DatasetSpec spec;
@@ -137,6 +161,97 @@ void BM_LearnerFit(benchmark::State& state) {
   state.SetLabel(learner);
 }
 BENCHMARK(BM_LearnerFit)->DenseRange(0, 3);
+
+void BM_MatMul(benchmark::State& state) {
+  // Exercises the cache-blocked kernel at a generator-forward-pass shape
+  // (tall activations x weight panel).
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::Matrix a = nn::Matrix::Randn(n, n, &rng);
+  nn::Matrix b = nn::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::Matrix::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Pure dispatch overhead: a loop whose body is nearly free measures
+  // what the pool costs per ParallelFor call at each thread count.
+  ScopedPool pool(state);
+  std::vector<double> out(256, 0.0);
+  for (auto _ : state) {
+    util::ThreadPool::Global().ParallelFor(out.size(), [&](size_t i) {
+      out[i] = static_cast<double>(i);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(HardwareThreads());
+
+void BM_CorpusAnalysisFanout(benchmark::State& state) {
+  // The mining hot path end-to-end: per-script static analysis + filter
+  // across a whole corpus, fanned out by Graph4Ml::Build.
+  ScopedPool pool(state);
+  codegraph::CorpusGenerator corpus(codegraph::CorpusOptions{});
+  std::vector<DatasetSpec> specs;
+  for (int d = 0; d < 8; ++d) {
+    DatasetSpec spec = DefaultSpec();
+    spec.name = "micro_" + std::to_string(d);
+    specs.push_back(spec);
+  }
+  auto scripts = corpus.GenerateCorpus(specs);
+  for (auto _ : state) {
+    graph4ml::Graph4Ml store;
+    benchmark::DoNotOptimize(store.Build(scripts).ok());
+  }
+}
+BENCHMARK(BM_CorpusAnalysisFanout)->Arg(1)->Arg(HardwareThreads());
+
+void BM_SimIndexBuild(benchmark::State& state) {
+  // IVF k-means over a contiguous buffer; the assignment sweep is the
+  // parallel part.
+  ScopedPool pool(state);
+  Rng rng(4);
+  std::vector<std::vector<double>> vectors;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<double> v(embed::TableEmbedder::kDims);
+    for (double& x : v) x = rng.Normal();
+    vectors.push_back(std::move(v));
+  }
+  embed::SimIndex::Options options;
+  options.num_cells = 16;
+  for (auto _ : state) {
+    embed::SimIndex index(options);
+    for (size_t i = 0; i < vectors.size(); ++i) {
+      index.Add("d" + std::to_string(i), vectors[i]);
+    }
+    benchmark::DoNotOptimize(index.Build().ok());
+  }
+}
+BENCHMARK(BM_SimIndexBuild)->Arg(1)->Arg(HardwareThreads());
+
+void BM_ForestFit(benchmark::State& state) {
+  // Per-tree parallel forest training with forked RNG streams.
+  ScopedPool pool(state);
+  DatasetSpec spec = DefaultSpec();
+  spec.rows = 600;
+  Table table = GenerateDataset(spec);
+  ml::Featurizer featurizer;
+  featurizer.Fit(table, spec.task);
+  auto data = featurizer.Transform(table);
+  ml::HyperParams params;
+  params.SetNum("n_estimators", 40);
+  for (auto _ : state) {
+    auto model =
+        ml::CreateLearner("random_forest", spec.task, params, 1);
+    benchmark::DoNotOptimize(model.value()->Fit(*data).ok());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(1)->Arg(HardwareThreads());
 
 }  // namespace
 }  // namespace kgpip

@@ -27,8 +27,13 @@ for b in build/bench/*; do
                   --metrics-out=/root/repo/BENCH_metrics.json)
       ;;
     bench_micro)
+      # The parallel benches register a threads=1 / threads=<hw> pair per
+      # case (see ScopedPool in bench_micro.cc), so one run captures the
+      # speedup axis in BENCH_micro.json; --metrics-out snapshots the
+      # pool counters (steals, tasks, queue depth) the run produced.
       extra_args=(--benchmark_out=/root/repo/BENCH_micro.json
-                  --benchmark_out_format=json)
+                  --benchmark_out_format=json
+                  --metrics-out=/root/repo/BENCH_micro_metrics.json)
       ;;
   esac
   "$b" "${extra_args[@]}" 2>>/tmp/bench_stderr.log | tee -a "$out"

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::codegraph {
 
@@ -64,7 +65,7 @@ CorpusGenerator::CorpusGenerator(CorpusOptions options)
     : options_(options), rng_(options.seed) {}
 
 NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
-                                                 int index) {
+                                                 int index, Rng* rng) const {
   NotebookScript script;
   script.name = spec.name + "_kernel_" + std::to_string(index) + ".py";
   script.dataset_name = spec.name;
@@ -75,19 +76,19 @@ NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
   std::vector<std::string> affine =
       FamilyAffineLearners(spec.family, spec.task);
   std::string estimator;
-  if (rng_.Bernoulli(options_.off_profile_prob)) {
+  if (rng->Bernoulli(options_.off_profile_prob)) {
     // Off-profile: any supported learner.
     std::vector<std::string> all;
     for (const auto& info : ml::LearnerRegistry()) {
       if (ml::LearnerSupports(info.name, spec.task)) all.push_back(info.name);
     }
-    estimator = all[rng_.UniformInt(all.size())];
+    estimator = all[rng->UniformInt(all.size())];
   } else {
     std::vector<double> weights;
     for (size_t i = 0; i < affine.size(); ++i) {
       weights.push_back(1.0 / static_cast<double>((i + 1) * (i + 1)));
     }
-    estimator = affine[rng_.Categorical(weights)];
+    estimator = affine[rng->Categorical(weights)];
   }
   script.estimator = estimator;
 
@@ -95,25 +96,25 @@ NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
   std::vector<std::string> transformers;
   switch (spec.family) {
     case ConceptFamily::kSparse:
-      if (rng_.Bernoulli(0.7)) transformers.push_back("select_k_best");
-      if (rng_.Bernoulli(0.3)) transformers.push_back("standard_scaler");
+      if (rng->Bernoulli(0.7)) transformers.push_back("select_k_best");
+      if (rng->Bernoulli(0.3)) transformers.push_back("standard_scaler");
       break;
     case ConceptFamily::kText:
-      transformers.push_back(rng_.Bernoulli(0.7) ? "tfidf_vectorizer"
+      transformers.push_back(rng->Bernoulli(0.7) ? "tfidf_vectorizer"
                                                  : "count_vectorizer");
       break;
     case ConceptFamily::kLinear:
     case ConceptFamily::kClusters:
-      if (rng_.Bernoulli(0.75)) transformers.push_back("standard_scaler");
-      if (rng_.Bernoulli(0.15)) transformers.push_back("pca");
+      if (rng->Bernoulli(0.75)) transformers.push_back("standard_scaler");
+      if (rng->Bernoulli(0.15)) transformers.push_back("pca");
       break;
     default:
-      if (rng_.Bernoulli(0.3)) transformers.push_back("standard_scaler");
-      if (rng_.Bernoulli(0.15)) transformers.push_back("minmax_scaler");
-      if (rng_.Bernoulli(0.1)) transformers.push_back("variance_threshold");
+      if (rng->Bernoulli(0.3)) transformers.push_back("standard_scaler");
+      if (rng->Bernoulli(0.15)) transformers.push_back("minmax_scaler");
+      if (rng->Bernoulli(0.1)) transformers.push_back("variance_threshold");
       break;
   }
-  if (spec.missing_fraction > 0.0 && rng_.Bernoulli(0.4)) {
+  if (spec.missing_fraction > 0.0 && rng->Bernoulli(0.4)) {
     transformers.insert(transformers.begin(), "simple_imputer");
   }
   script.transformers = transformers;
@@ -122,40 +123,40 @@ NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
   std::vector<std::string> lines;
   lines.push_back("import pandas as pd");
   lines.push_back("import numpy as np");
-  if (rng_.Bernoulli(0.6)) {
+  if (rng->Bernoulli(0.6)) {
     lines.push_back("import matplotlib.pyplot as plt");
   }
-  if (rng_.Bernoulli(0.3)) lines.push_back("import seaborn as sns");
+  if (rng->Bernoulli(0.3)) lines.push_back("import seaborn as sns");
   lines.push_back("from sklearn.model_selection import train_test_split");
   lines.push_back("from sklearn.metrics import accuracy_score");
 
   std::vector<ImportPlan> transformer_plans;
   for (const std::string& t : transformers) {
-    ImportPlan plan = PlanImport(PythonClassFor(t, regression), &rng_);
+    ImportPlan plan = PlanImport(PythonClassFor(t, regression), rng);
     lines.push_back(plan.import_line);
     transformer_plans.push_back(plan);
   }
   ImportPlan est_plan =
-      PlanImport(PythonClassFor(estimator, regression), &rng_);
+      PlanImport(PythonClassFor(estimator, regression), rng);
   lines.push_back(est_plan.import_line);
   lines.push_back("");
 
   // Load the dataset (sometimes with an anonymous file name).
-  std::string csv = rng_.Bernoulli(options_.implicit_dataset_prob)
+  std::string csv = rng->Bernoulli(options_.implicit_dataset_prob)
                         ? "data.csv"
                         : spec.name + ".csv";
   lines.push_back("df = pd.read_csv('" + csv + "')");
 
   // EDA noise typical of notebooks.
-  if (rng_.Bernoulli(0.7)) lines.push_back("df.head()");
-  if (rng_.Bernoulli(0.5)) lines.push_back("df.describe()");
-  if (rng_.Bernoulli(0.4)) lines.push_back("df.info()");
-  if (rng_.Bernoulli(0.35)) {
+  if (rng->Bernoulli(0.7)) lines.push_back("df.head()");
+  if (rng->Bernoulli(0.5)) lines.push_back("df.describe()");
+  if (rng->Bernoulli(0.4)) lines.push_back("df.info()");
+  if (rng->Bernoulli(0.35)) {
     lines.push_back("plt.figure()");
     lines.push_back("sns.heatmap(df.corr())");
   }
-  if (rng_.Bernoulli(0.3)) lines.push_back("df = df.dropna()");
-  if (rng_.Bernoulli(0.25)) {
+  if (rng->Bernoulli(0.3)) lines.push_back("df = df.dropna()");
+  if (rng->Bernoulli(0.25)) {
     lines.push_back("for col in df.columns:");
     lines.push_back("    print(df[col].nunique())");
   }
@@ -174,7 +175,7 @@ NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
   }
 
   lines.push_back("model = " + est_plan.constructor + "(" +
-                  EstimatorKwargs(estimator, &rng_) + ")");
+                  EstimatorKwargs(estimator, rng) + ")");
   lines.push_back("model.fit(X_train, y_train)");
   lines.push_back("preds = model.predict(X_test)");
   lines.push_back("score = accuracy_score(y_test, preds)");
@@ -185,13 +186,14 @@ NotebookScript CorpusGenerator::GeneratePipeline(const DatasetSpec& spec,
 }
 
 NotebookScript CorpusGenerator::GenerateNoiseScript(const DatasetSpec& spec,
-                                                    int index) {
+                                                    int index,
+                                                    Rng* rng) const {
   NotebookScript script;
   script.name = spec.name + "_noise_" + std::to_string(index) + ".py";
   script.dataset_name = spec.name;
   script.is_ml_pipeline = false;
   std::vector<std::string> lines;
-  if (rng_.Bernoulli(0.5)) {
+  if (rng->Bernoulli(0.5)) {
     // Pure exploratory analysis — no estimator at all.
     lines = {
         "import pandas as pd",
@@ -230,29 +232,42 @@ NotebookScript CorpusGenerator::GenerateNoiseScript(const DatasetSpec& spec,
 }
 
 std::vector<NotebookScript> CorpusGenerator::GenerateForDataset(
-    const DatasetSpec& spec) {
+    const DatasetSpec& spec, Rng* rng) const {
   static obs::Counter* pipelines = obs::MetricsRegistry::Global().GetCounter(
       "corpus.pipeline_scripts_generated");
   static obs::Counter* noise = obs::MetricsRegistry::Global().GetCounter(
       "corpus.noise_scripts_generated");
   std::vector<NotebookScript> scripts;
   for (int i = 0; i < options_.pipelines_per_dataset; ++i) {
-    scripts.push_back(GeneratePipeline(spec, i));
+    scripts.push_back(GeneratePipeline(spec, i, rng));
   }
   pipelines->Increment(options_.pipelines_per_dataset);
   for (int i = 0; i < options_.noise_scripts_per_dataset; ++i) {
-    scripts.push_back(GenerateNoiseScript(spec, i));
+    scripts.push_back(GenerateNoiseScript(spec, i, rng));
   }
   noise->Increment(options_.noise_scripts_per_dataset);
   return scripts;
 }
 
+std::vector<NotebookScript> CorpusGenerator::GenerateForDataset(
+    const DatasetSpec& spec) {
+  return GenerateForDataset(spec, &rng_);
+}
+
 std::vector<NotebookScript> CorpusGenerator::GenerateCorpus(
     const std::vector<DatasetSpec>& specs) {
   KGPIP_TRACE_SPAN("corpus.generate_corpus");
+  // Fork one RNG stream per dataset *before* dispatch: which values a
+  // dataset's scripts draw no longer depends on how work interleaves, so
+  // the corpus is byte-identical at any thread count.
+  std::vector<Rng> forks = util::ForkRngs(&rng_, specs.size());
+  std::vector<std::vector<NotebookScript>> per_dataset =
+      util::ThreadPool::Global().ParallelMap<std::vector<NotebookScript>>(
+          specs.size(), [&](size_t i) {
+            return GenerateForDataset(specs[i], &forks[i]);
+          });
   std::vector<NotebookScript> all;
-  for (const DatasetSpec& spec : specs) {
-    std::vector<NotebookScript> scripts = GenerateForDataset(spec);
+  for (std::vector<NotebookScript>& scripts : per_dataset) {
     for (NotebookScript& s : scripts) all.push_back(std::move(s));
   }
   return all;

@@ -48,16 +48,23 @@ class CorpusGenerator {
  public:
   explicit CorpusGenerator(CorpusOptions options = {});
 
-  /// All scripts for one dataset.
+  /// All scripts for one dataset (draws from the generator's own stream).
   std::vector<NotebookScript> GenerateForDataset(const DatasetSpec& spec);
 
-  /// Convenience: scripts for a whole list of datasets.
+  /// Scripts for a whole list of datasets. Forks one RNG stream per
+  /// dataset up front and fans the per-dataset generation out over the
+  /// global thread pool; output order and content are identical at any
+  /// thread count (and to KGPIP_THREADS=1).
   std::vector<NotebookScript> GenerateCorpus(
       const std::vector<DatasetSpec>& specs);
 
  private:
-  NotebookScript GeneratePipeline(const DatasetSpec& spec, int index);
-  NotebookScript GenerateNoiseScript(const DatasetSpec& spec, int index);
+  std::vector<NotebookScript> GenerateForDataset(const DatasetSpec& spec,
+                                                 Rng* rng) const;
+  NotebookScript GeneratePipeline(const DatasetSpec& spec, int index,
+                                  Rng* rng) const;
+  NotebookScript GenerateNoiseScript(const DatasetSpec& spec, int index,
+                                     Rng* rng) const;
 
   CorpusOptions options_;
   Rng rng_;

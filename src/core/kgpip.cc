@@ -17,6 +17,7 @@
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::core {
 
@@ -81,15 +82,26 @@ Status Kgpip::TrainFromStore(const graph4ml::Graph4Ml& store,
   store_ = store;
   embeddings_.clear();
   index_ = embed::SimIndex();
-  for (const std::string& name : store_.DatasetNames()) {
-    auto it = tables.find(name);
+  // Validate every dataset has a table first, then embed the tables in
+  // parallel and register them with the index in dataset order so the
+  // index layout is independent of the thread count.
+  const std::vector<std::string> names = store_.DatasetNames();
+  std::vector<const Table*> dataset_tables(names.size(), nullptr);
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto it = tables.find(names[i]);
     if (it == tables.end()) {
-      return Status::NotFound("no table provided for dataset '" + name +
+      return Status::NotFound("no table provided for dataset '" + names[i] +
                               "' referenced by the corpus");
     }
-    std::vector<double> embedding = embedder_.Embed(it->second);
-    KGPIP_RETURN_IF_ERROR(index_.Add(name, embedding));
-    embeddings_[name] = std::move(embedding);
+    dataset_tables[i] = &it->second;
+  }
+  std::vector<std::vector<double>> dataset_embeddings =
+      util::ThreadPool::Global().ParallelMap<std::vector<double>>(
+          names.size(),
+          [&](size_t i) { return embedder_.Embed(*dataset_tables[i]); });
+  for (size_t i = 0; i < names.size(); ++i) {
+    KGPIP_RETURN_IF_ERROR(index_.Add(names[i], dataset_embeddings[i]));
+    embeddings_[names[i]] = std::move(dataset_embeddings[i]);
   }
   KGPIP_RETURN_IF_ERROR(index_.Build());
 
@@ -101,6 +113,7 @@ Status Kgpip::TrainFromStore(const graph4ml::Graph4Ml& store,
       static_cast<int>(embed::TableEmbedder::kDims);
   gen_config.max_nodes = config_.max_nodes;
   gen_config.learning_rate = config_.learning_rate;
+  gen_config.batch_size = config_.generator_batch_size;
   generator_ = std::make_unique<gen::GraphGenerator>(gen_config, seed);
 
   std::vector<gen::GraphExample> examples;
@@ -408,6 +421,7 @@ Status Kgpip::LoadJson(const Json& json) {
       static_cast<int>(embed::TableEmbedder::kDims);
   gen_config.max_nodes = config_.max_nodes;
   gen_config.learning_rate = config_.learning_rate;
+  gen_config.batch_size = config_.generator_batch_size;
   generator_ = std::make_unique<gen::GraphGenerator>(gen_config, 1);
   KGPIP_RETURN_IF_ERROR(generator_->LoadWeights(json.Get("generator")));
   trained_ = true;

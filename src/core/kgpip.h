@@ -37,6 +37,10 @@ struct KgpipConfig {
   int hidden = 32;
   double learning_rate = 5e-3;
   int max_nodes = 10;
+  /// Generator minibatch size. >1 trains with data-parallel per-example
+  /// gradients (one Adam step per batch, deterministic at any thread
+  /// count); 1 is the classic sequential per-example loop.
+  int generator_batch_size = 4;
   /// Fault-tolerance policy applied to every trial during Fit (NaN
   /// quarantine, bounded retry on transient failures, per-trial deadline,
   /// per-skeleton circuit breaking). See hpo::TrialGuard.

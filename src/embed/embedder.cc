@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::embed {
 
@@ -239,16 +240,35 @@ std::vector<double> TableEmbedder::Embed(const Table& table) const {
   v[kShapeBlock + 11] = n_text > 0 ? 1.0 : 0.0;
 
   // ---- Target-relationship + numeric blocks ----
-  std::vector<double> abs_corrs;
-  std::vector<double> mis;
+  // Per-column statistics are independent, so they fan out over the pool;
+  // each item writes only its own slot, keeping the resulting vectors in
+  // column order regardless of thread count.
   std::vector<const Column*> numeric_columns;
   for (const Column& col : table.columns()) {
     if (col.name() == table.target_name()) continue;
     if (col.type() != ColumnType::kNumeric) continue;
     numeric_columns.push_back(&col);
-    if (have_target) {
-      abs_corrs.push_back(std::fabs(CorrWithTarget(col, target_encoded)));
-      mis.push_back(BinnedMutualInformation(col, target_encoded));
+  }
+  std::vector<double> abs_corrs;
+  std::vector<double> mis;
+  if (have_target && !numeric_columns.empty()) {
+    struct TargetStats {
+      double abs_corr = 0.0;
+      double mi = 0.0;
+    };
+    std::vector<TargetStats> stats =
+        util::ThreadPool::Global().ParallelMap<TargetStats>(
+            numeric_columns.size(), [&](size_t c) {
+              const Column& col = *numeric_columns[c];
+              return TargetStats{
+                  std::fabs(CorrWithTarget(col, target_encoded)),
+                  BinnedMutualInformation(col, target_encoded)};
+            });
+    abs_corrs.reserve(stats.size());
+    mis.reserve(stats.size());
+    for (const TargetStats& s : stats) {
+      abs_corrs.push_back(s.abs_corr);
+      mis.push_back(s.mi);
     }
   }
   auto top_mean = [](std::vector<double> values, size_t k) {
@@ -283,15 +303,27 @@ std::vector<double> TableEmbedder::Embed(const Table& table) const {
   }
 
   if (!numeric_columns.empty()) {
+    struct ColumnMoments {
+      Moments m;
+      double distinct_frac = 0.0;
+    };
+    std::vector<ColumnMoments> moments =
+        util::ThreadPool::Global().ParallelMap<ColumnMoments>(
+            numeric_columns.size(), [&](size_t c) {
+              const Column& col = *numeric_columns[c];
+              return ColumnMoments{
+                  ComputeMoments(col),
+                  static_cast<double>(col.DistinctCount()) /
+                      static_cast<double>(rows)};
+            });
+    // Accumulate in column order so the floating-point sums are fixed.
     double mean_slog_mean = 0.0, mean_log_std = 0.0, mean_skew = 0.0,
            mean_distinct = 0.0;
-    for (const Column* col : numeric_columns) {
-      Moments m = ComputeMoments(*col);
-      mean_slog_mean += SignedLog(m.mean);
-      mean_log_std += std::log1p(m.stddev);
-      mean_skew += m.skew;
-      mean_distinct += static_cast<double>(col->DistinctCount()) /
-                       static_cast<double>(rows);
+    for (const ColumnMoments& cm : moments) {
+      mean_slog_mean += SignedLog(cm.m.mean);
+      mean_log_std += std::log1p(cm.m.stddev);
+      mean_skew += cm.m.skew;
+      mean_distinct += cm.distinct_frac;
     }
     const double nn = static_cast<double>(numeric_columns.size());
     v[kNumericBlock + 0] = mean_slog_mean / nn / 10.0;

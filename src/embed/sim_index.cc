@@ -3,24 +3,77 @@
 #include <algorithm>
 #include <cmath>
 
-#include "embed/embedder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::embed {
+
+namespace {
+
+/// Candidate scoring fans out once the scan is big enough to amortize
+/// dispatch; below this the inline path wins.
+constexpr size_t kParallelScanThreshold = 2048;
+
+/// Ranking comparator: similarity descending, insertion index ascending.
+/// The index tie-break pins an order std::sort left unspecified, so the
+/// top-k selection, the full-sort reference, and any platform agree.
+struct RankedSim {
+  double sim;
+  size_t index;
+  bool operator<(const RankedSim& other) const {
+    if (sim != other.sim) return sim > other.sim;
+    return index < other.index;
+  }
+};
+
+}  // namespace
+
+double BlockedCosine(const double* a, const double* b, size_t dims) {
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  double na0 = 0.0, na1 = 0.0, na2 = 0.0, na3 = 0.0;
+  double nb0 = 0.0, nb1 = 0.0, nb2 = 0.0, nb3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    d2 += a[i + 2] * b[i + 2];
+    d3 += a[i + 3] * b[i + 3];
+    na0 += a[i] * a[i];
+    na1 += a[i + 1] * a[i + 1];
+    na2 += a[i + 2] * a[i + 2];
+    na3 += a[i + 3] * a[i + 3];
+    nb0 += b[i] * b[i];
+    nb1 += b[i + 1] * b[i + 1];
+    nb2 += b[i + 2] * b[i + 2];
+    nb3 += b[i + 3] * b[i + 3];
+  }
+  for (; i < dims; ++i) {
+    d0 += a[i] * b[i];
+    na0 += a[i] * a[i];
+    nb0 += b[i] * b[i];
+  }
+  const double dot = (d0 + d1) + (d2 + d3);
+  const double na = (na0 + na1) + (na2 + na3);
+  const double nb = (nb0 + nb1) + (nb2 + nb3);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
 
 SimIndex::SimIndex() : SimIndex(Options()) {}
 SimIndex::SimIndex(Options options) : options_(options) {}
 
 Status SimIndex::Add(const std::string& key, std::vector<double> vector) {
-  if (!vectors_.empty() && vector.size() != vectors_[0].size()) {
+  if (keys_.empty()) {
+    dims_ = vector.size();
+  } else if (vector.size() != dims_) {
     return Status::InvalidArgument(
         "vector dimensionality mismatch for key '" + key + "'");
   }
   keys_.push_back(key);
-  vectors_.push_back(std::move(vector));
+  data_.insert(data_.end(), vector.begin(), vector.end());
   built_ = false;
   return Status::Ok();
 }
@@ -30,58 +83,100 @@ Status SimIndex::Build() {
   static obs::Histogram* build_seconds =
       obs::MetricsRegistry::Global().GetHistogram("embed.index_build_seconds");
   Stopwatch watch;
-  if (options_.num_cells <= 0 || vectors_.empty()) {
+  const size_t n = keys_.size();
+  if (options_.num_cells <= 0 || n == 0) {
     built_ = true;
     build_seconds->Record(watch.ElapsedSeconds());
     return Status::Ok();
   }
-  const size_t k = std::min<size_t>(
-      static_cast<size_t>(options_.num_cells), vectors_.size());
-  const size_t dims = vectors_[0].size();
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(options_.num_cells), n);
   Rng rng(options_.seed);
   // k-means++ style init: random distinct picks.
-  std::vector<size_t> picks = rng.Permutation(vectors_.size());
-  centroids_.assign(k, std::vector<double>(dims, 0.0));
-  for (size_t c = 0; c < k; ++c) centroids_[c] = vectors_[picks[c]];
-  std::vector<size_t> assignment(vectors_.size(), 0);
+  std::vector<size_t> picks = rng.Permutation(n);
+  centroids_.assign(k * dims_, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    std::copy(RowData(picks[c]), RowData(picks[c]) + dims_,
+              centroids_.data() + c * dims_);
+  }
+  std::vector<size_t> assignment(n, 0);
+  util::ThreadPool& pool = util::ThreadPool::Global();
   for (int iter = 0; iter < 12; ++iter) {
-    for (size_t i = 0; i < vectors_.size(); ++i) {
+    // Assignment is embarrassingly parallel: each item writes only its
+    // own slot, and the best-centroid argmax is a pure function of the
+    // (fixed) centroid buffer — bit-identical at any thread count.
+    pool.ParallelFor(n, [&](size_t i) {
+      const double* row = RowData(i);
       double best = -2.0;
       size_t best_c = 0;
       for (size_t c = 0; c < k; ++c) {
-        double sim = TableEmbedder::Cosine(vectors_[i], centroids_[c]);
+        double sim = BlockedCosine(row, centroids_.data() + c * dims_,
+                                   dims_);
         if (sim > best) {
           best = sim;
           best_c = c;
         }
       }
       assignment[i] = best_c;
-    }
-    for (auto& centroid : centroids_) {
-      std::fill(centroid.begin(), centroid.end(), 0.0);
-    }
+    });
+    // Centroid update stays serial and index-ordered so the summation
+    // order (and therefore the rounded centroids) is fixed.
+    std::fill(centroids_.begin(), centroids_.end(), 0.0);
     std::vector<size_t> counts(k, 0);
-    for (size_t i = 0; i < vectors_.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       ++counts[assignment[i]];
-      for (size_t d = 0; d < dims; ++d) {
-        centroids_[assignment[i]][d] += vectors_[i][d];
-      }
+      const double* row = RowData(i);
+      double* centroid = centroids_.data() + assignment[i] * dims_;
+      for (size_t d = 0; d < dims_; ++d) centroid[d] += row[d];
     }
     for (size_t c = 0; c < k; ++c) {
+      double* centroid = centroids_.data() + c * dims_;
       if (counts[c] == 0) {
-        centroids_[c] = vectors_[rng.UniformInt(vectors_.size())];
+        const double* row = RowData(rng.UniformInt(n));
+        std::copy(row, row + dims_, centroid);
         continue;
       }
-      for (double& d : centroids_[c]) d /= static_cast<double>(counts[c]);
+      for (size_t d = 0; d < dims_; ++d) {
+        centroid[d] /= static_cast<double>(counts[c]);
+      }
     }
   }
   cells_.assign(k, {});
-  for (size_t i = 0; i < vectors_.size(); ++i) {
-    cells_[assignment[i]].push_back(i);
-  }
+  for (size_t i = 0; i < n; ++i) cells_[assignment[i]].push_back(i);
   built_ = true;
   build_seconds->Record(watch.ElapsedSeconds());
   return Status::Ok();
+}
+
+std::vector<SearchHit> SimIndex::TopK(
+    const std::vector<double>& query,
+    const std::vector<size_t>& candidates, size_t k) const {
+  std::vector<RankedSim> ranked(candidates.size());
+  auto score = [&](size_t c) {
+    ranked[c] = {BlockedCosine(query.data(), RowData(candidates[c]), dims_),
+                 candidates[c]};
+  };
+  if (candidates.size() >= kParallelScanThreshold) {
+    util::ThreadPool::Global().ParallelFor(
+        candidates.size(), [&](size_t c) { score(c); });
+  } else {
+    for (size_t c = 0; c < candidates.size(); ++c) score(c);
+  }
+  // Bounded selection instead of a full sort: nth_element partitions the
+  // top k in O(n), then only those k are ordered.
+  if (ranked.size() > k) {
+    std::nth_element(ranked.begin(),
+                     ranked.begin() + static_cast<ptrdiff_t>(k) - 1,
+                     ranked.end());
+    ranked.resize(k);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<SearchHit> hits;
+  hits.reserve(ranked.size());
+  for (const RankedSim& r : ranked) {
+    hits.push_back({keys_[r.index], r.sim});
+  }
+  return hits;
 }
 
 Result<std::vector<SearchHit>> SimIndex::Search(
@@ -94,42 +189,55 @@ Result<std::vector<SearchHit>> SimIndex::Search(
     Stopwatch* watch;
     ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
   } record{query_seconds, &watch};
-  if (vectors_.empty()) return Status::FailedPrecondition("empty index");
-  if (query.size() != vectors_[0].size()) {
+  if (keys_.empty()) return Status::FailedPrecondition("empty index");
+  if (query.size() != dims_) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   std::vector<size_t> candidates;
   if (options_.num_cells > 0 && built_ && !cells_.empty()) {
     // Probe the closest coarse cells.
-    std::vector<std::pair<double, size_t>> cell_sims;
-    for (size_t c = 0; c < centroids_.size(); ++c) {
-      cell_sims.emplace_back(TableEmbedder::Cosine(query, centroids_[c]),
-                             c);
+    const size_t num_centroids = cells_.size();
+    std::vector<RankedSim> cell_sims(num_centroids);
+    for (size_t c = 0; c < num_centroids; ++c) {
+      cell_sims[c] = {
+          BlockedCosine(query.data(), centroids_.data() + c * dims_, dims_),
+          c};
     }
-    std::sort(cell_sims.rbegin(), cell_sims.rend());
+    std::sort(cell_sims.begin(), cell_sims.end());
     size_t probes = std::min<size_t>(
         static_cast<size_t>(std::max(1, options_.num_probes)),
         cell_sims.size());
     for (size_t p = 0; p < probes; ++p) {
-      for (size_t i : cells_[cell_sims[p].second]) {
+      for (size_t i : cells_[cell_sims[p].index]) {
         candidates.push_back(i);
       }
     }
   } else {
-    candidates.resize(vectors_.size());
-    for (size_t i = 0; i < vectors_.size(); ++i) candidates[i] = i;
+    candidates.resize(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) candidates[i] = i;
   }
-  std::vector<SearchHit> hits;
-  hits.reserve(candidates.size());
-  for (size_t i : candidates) {
-    hits.push_back({keys_[i], TableEmbedder::Cosine(query, vectors_[i])});
+  return TopK(query, candidates, k);
+}
+
+Result<std::vector<std::vector<SearchHit>>> SimIndex::SearchBatch(
+    const std::vector<std::vector<double>>& queries, size_t k) const {
+  KGPIP_TRACE_SPAN("embed.index_search_batch");
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  std::vector<std::vector<SearchHit>> out(queries.size());
+  std::vector<Status> statuses(queries.size(), Status::Ok());
+  pool.ParallelFor(queries.size(), [&](size_t q) {
+    Result<std::vector<SearchHit>> r = Search(queries[q], k);
+    if (r.ok()) {
+      out[q] = std::move(*r);
+    } else {
+      statuses[q] = r.status();
+    }
+  });
+  // Lowest-index failure wins, independent of which lane hit it first.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
-  std::sort(hits.begin(), hits.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              return a.similarity > b.similarity;
-            });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
+  return out;
 }
 
 }  // namespace kgpip::embed

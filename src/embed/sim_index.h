@@ -1,6 +1,7 @@
 #ifndef KGPIP_EMBED_SIM_INDEX_H_
 #define KGPIP_EMBED_SIM_INDEX_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -14,10 +15,22 @@ struct SearchHit {
   double similarity = 0.0;  // cosine
 };
 
+/// Cosine similarity over contiguous rows with a 4-way unrolled
+/// dot-product kernel. The accumulation pattern is fixed (four partial
+/// sums folded pairwise), so every caller — index build, search, and the
+/// regression tests' reference path — rounds identically.
+double BlockedCosine(const double* a, const double* b, size_t dims);
+
 /// In-process dense-vector similarity index — the library's stand-in for
 /// FAISS (Johnson et al. 2021). Supports exact flat search and an
 /// IVF-style mode (k-means coarse quantizer + probed cells) that trades
 /// recall for speed at larger corpus sizes.
+///
+/// Storage is one contiguous row-major buffer (not vector-of-vectors),
+/// so scans stream linearly through memory and the blocked dot kernel
+/// sees dense rows. The k-means build and `SearchBatch` fan out over the
+/// global util::ThreadPool; results are index-ordered and bit-identical
+/// at any thread count.
 class SimIndex {
  public:
   struct Options {
@@ -37,21 +50,39 @@ class SimIndex {
   /// Builds the coarse quantizer (IVF mode only; no-op for flat).
   Status Build();
 
-  /// Top-k most cosine-similar entries to `query`.
+  /// Top-k most cosine-similar entries to `query`, most similar first.
+  /// Ties order by insertion index (deterministic across platforms and
+  /// thread counts).
   Result<std::vector<SearchHit>> Search(const std::vector<double>& query,
                                         size_t k) const;
 
+  /// Batched queries: out[i] == Search(queries[i], k). Queries run in
+  /// parallel; the first (lowest-index) failure is returned.
+  Result<std::vector<std::vector<SearchHit>>> SearchBatch(
+      const std::vector<std::vector<double>>& queries, size_t k) const;
+
   size_t size() const { return keys_.size(); }
-  const std::vector<double>& VectorOf(size_t i) const { return vectors_[i]; }
+  size_t dims() const { return dims_; }
+  /// Row i of the contiguous buffer (valid while the index is unchanged).
+  const double* RowData(size_t i) const { return data_.data() + i * dims_; }
+  std::vector<double> VectorOf(size_t i) const {
+    return std::vector<double>(RowData(i), RowData(i) + dims_);
+  }
   const std::string& KeyOf(size_t i) const { return keys_[i]; }
 
  private:
+  /// Scores `candidates` against `query` and keeps the top k.
+  std::vector<SearchHit> TopK(const std::vector<double>& query,
+                              const std::vector<size_t>& candidates,
+                              size_t k) const;
+
   Options options_;
   std::vector<std::string> keys_;
-  std::vector<std::vector<double>> vectors_;
+  size_t dims_ = 0;
+  std::vector<double> data_;  // keys_.size() x dims_, row-major
   // IVF state.
   bool built_ = false;
-  std::vector<std::vector<double>> centroids_;
+  std::vector<double> centroids_;  // num_cells x dims_, row-major
   std::vector<std::vector<size_t>> cells_;
 };
 

@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::gen {
 
@@ -182,20 +183,86 @@ double GraphGenerator::TrainEpoch(const std::vector<GraphExample>& examples,
   static obs::Gauge* loss_gauge = metrics.GetGauge("gen.train_loss");
   Stopwatch watch;
   std::vector<size_t> order = rng->Permutation(examples.size());
-  double total_loss = 0.0;
-  for (size_t idx : order) {
-    int decisions = 0;
-    Var loss = SequenceLoss(examples[idx], &decisions);
-    total_loss += loss.value()(0, 0);
-    nn::Backward(loss);
-    optimizer_->Step();
+  double mean_loss = 0.0;
+  if (config_.batch_size <= 1) {
+    // Classic per-example SGD: loss → backward → step, one example at a
+    // time. Inherently sequential (each step changes the weights the
+    // next example sees), so it stays on the calling thread.
+    double total_loss = 0.0;
+    for (size_t idx : order) {
+      int decisions = 0;
+      Var loss = SequenceLoss(examples[idx], &decisions);
+      total_loss += loss.value()(0, 0);
+      nn::Backward(loss);
+      optimizer_->Step();
+    }
+    mean_loss = total_loss / static_cast<double>(examples.size());
+  } else {
+    mean_loss = TrainEpochBatched(examples, order);
   }
-  const double mean_loss =
-      total_loss / static_cast<double>(examples.size());
   epochs->Increment();
   epoch_seconds->Record(watch.ElapsedSeconds());
   loss_gauge->Set(mean_loss);
   return mean_loss;
+}
+
+void GraphGenerator::CopyWeightsFrom(const GraphGenerator& other) {
+  const std::vector<Var>& src = other.store_.params();
+  const std::vector<Var>& dst = store_.params();
+  KGPIP_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    Var param = dst[i];  // cheap handle; shares the underlying node
+    param.mutable_value() = src[i].value();
+  }
+}
+
+double GraphGenerator::TrainEpochBatched(
+    const std::vector<GraphExample>& examples,
+    const std::vector<size_t>& order) {
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  // One replica per lane: a lane processes its batch items serially on
+  // its own weight copy, so per-example graphs never share mutable
+  // state. Replicas are built lazily and reused across epochs.
+  while (replicas_.size() < static_cast<size_t>(pool.num_lanes())) {
+    replicas_.push_back(
+        std::make_unique<GraphGenerator>(config_, /*seed=*/0));
+  }
+  const size_t batch = static_cast<size_t>(config_.batch_size);
+  const std::vector<Var>& params = store_.params();
+  double total_loss = 0.0;
+  for (size_t start = 0; start < order.size(); start += batch) {
+    const size_t count = std::min(batch, order.size() - start);
+    for (auto& replica : replicas_) replica->CopyWeightsFrom(*this);
+    std::vector<double> losses(count, 0.0);
+    std::vector<std::vector<nn::Matrix>> grads(count);
+    pool.ParallelFor(count, [&](size_t b, size_t lane) {
+      GraphGenerator& replica = *replicas_[lane];
+      int decisions = 0;
+      Var loss = replica.SequenceLoss(examples[order[start + b]], &decisions);
+      losses[b] = loss.value()(0, 0);
+      nn::Backward(loss);
+      // Snapshot this example's gradients, then clear the replica for
+      // the lane's next item. Params a loss never touched keep an empty
+      // grad matrix; the accumulation below skips those.
+      const std::vector<Var>& replica_params = replica.store_.params();
+      grads[b].reserve(replica_params.size());
+      for (const Var& p : replica_params) grads[b].push_back(p.grad());
+      replica.store_.ZeroGrads();
+    });
+    // Accumulate in example order so the summed gradient is one fixed
+    // floating-point expression, then take a single Adam step.
+    store_.ZeroGrads();
+    for (size_t b = 0; b < count; ++b) {
+      total_loss += losses[b];
+      for (size_t p = 0; p < params.size(); ++p) {
+        if (grads[b][p].empty()) continue;
+        Var param = params[p];
+        param.node()->grad.AddInPlace(grads[b][p]);
+      }
+    }
+    optimizer_->Step();
+  }
+  return total_loss / static_cast<double>(examples.size());
 }
 
 double GraphGenerator::LogProb(const GraphExample& example) const {

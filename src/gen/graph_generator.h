@@ -21,6 +21,12 @@ struct GeneratorConfig {
   int max_nodes = 12;      // generation cap
   int condition_dims = 0;  // dataset content-embedding width (0 = off)
   double learning_rate = 3e-3;
+  /// Examples per optimizer step. 1 reproduces the classic per-example
+  /// SGD loop exactly; >1 computes the per-example gradients of each
+  /// minibatch in parallel (data parallelism over model replicas),
+  /// accumulates them in example order, and applies one Adam step —
+  /// bit-identical at any thread count.
+  int batch_size = 1;
 };
 
 /// One training example: a node-ordered typed graph (node 0 is the seed /
@@ -85,10 +91,21 @@ class GraphGenerator {
   /// number of decisions (for Generate/LogProb reuse see .cc).
   nn::Var SequenceLoss(const GraphExample& example, int* decisions) const;
 
+  /// Overwrites this model's parameter values with `other`'s (same
+  /// config). Used to sync per-lane training replicas each minibatch.
+  void CopyWeightsFrom(const GraphGenerator& other);
+
+  /// Minibatch path of TrainEpoch: per-example gradients fan out over
+  /// per-lane replicas; accumulation and the Adam step stay ordered.
+  double TrainEpochBatched(const std::vector<GraphExample>& examples,
+                           const std::vector<size_t>& order);
+
   GeneratorConfig config_;
   Rng init_rng_;
   nn::ParamStore store_;
   std::unique_ptr<nn::Adam> optimizer_;
+  /// Lane-indexed model replicas for data-parallel training (lazy).
+  std::vector<std::unique_ptr<GraphGenerator>> replicas_;
 
   nn::Var type_embedding_;  // (vocab) x hidden
   nn::Linear init_node_;    // hidden + hidden -> hidden (type emb + hG)

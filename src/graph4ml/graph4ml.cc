@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::graph4ml {
 
@@ -16,25 +17,51 @@ Status Graph4Ml::Build(
   static obs::Counter* kept = metrics.GetCounter("graph4ml.scripts_kept");
   static obs::Counter* filter_rejected =
       metrics.GetCounter("graph4ml.filter_rejected");
-  for (const codegraph::NotebookScript& script : scripts) {
+  // Per-script analyze+filter is the pipeline-mining hot loop; each
+  // script is independent, so it fans out over the pool. All mutation of
+  // shared state (counters, stats, by_dataset_, warnings) happens in the
+  // ordered merge below, keeping results and logs in script order.
+  struct ScriptResult {
+    Status analyze_status = Status::Ok();
+    PipelineGraph pipeline;
+    FilterStats stats;
+  };
+  std::vector<ScriptResult> results =
+      util::ThreadPool::Global().ParallelMap<ScriptResult>(
+          scripts.size(), [&](size_t i) {
+            const codegraph::NotebookScript& script = scripts[i];
+            ScriptResult r;
+            auto code_graph =
+                codegraph::AnalyzeScript(script.name, script.text);
+            if (!code_graph.ok()) {
+              r.analyze_status = code_graph.status();
+              return r;
+            }
+            r.pipeline =
+                FilterCodeGraph(*code_graph, script.dataset_name, &r.stats);
+            return r;
+          });
+  for (size_t i = 0; i < results.size(); ++i) {
+    ScriptResult& r = results[i];
     ++scripts_analyzed_;
     analyzed->Increment();
-    auto code_graph = codegraph::AnalyzeScript(script.name, script.text);
-    if (!code_graph.ok()) {
+    if (!r.analyze_status.ok()) {
       // Real-world mining skips unparseable scripts rather than failing
       // the whole corpus. Rejections are counted per status code so the
       // metrics snapshot says *why* graphs were dropped.
       metrics
           .GetCounter(std::string("graph4ml.analyze_failed.") +
-                      StatusCodeName(code_graph.status().code()))
+                      StatusCodeName(r.analyze_status.code()))
           ->Increment();
-      KGPIP_LOG(Warning) << "skipping " << script.name << ": "
-                         << code_graph.status().ToString();
+      KGPIP_LOG(Warning) << "skipping " << scripts[i].name << ": "
+                         << r.analyze_status.ToString();
       continue;
     }
-    PipelineGraph pipeline =
-        FilterCodeGraph(*code_graph, script.dataset_name, &filter_stats_);
-    if (!pipeline.valid()) {
+    filter_stats_.raw_nodes += r.stats.raw_nodes;
+    filter_stats_.raw_edges += r.stats.raw_edges;
+    filter_stats_.filtered_nodes += r.stats.filtered_nodes;
+    filter_stats_.filtered_edges += r.stats.filtered_edges;
+    if (!r.pipeline.valid()) {
       // No supported estimator reachable — EDA-only or unsupported
       // framework, the >96 % of a portal dump the filter removes.
       filter_rejected->Increment();
@@ -42,7 +69,7 @@ Status Graph4Ml::Build(
     }
     ++scripts_kept_;
     kept->Increment();
-    by_dataset_[pipeline.dataset_name].push_back(std::move(pipeline));
+    by_dataset_[r.pipeline.dataset_name].push_back(std::move(r.pipeline));
   }
   return Status::Ok();
 }

@@ -1,6 +1,9 @@
 #include "hpo/evaluator.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "util/thread_pool.h"
 
 namespace kgpip::hpo {
 
@@ -13,10 +16,16 @@ Result<TrialEvaluator> TrialEvaluator::Create(const Table& train,
   TrainTestSplit split = SplitTable(train, holdout_fraction, seed);
   ml::Featurizer featurizer;
   KGPIP_RETURN_IF_ERROR(featurizer.Fit(split.train, task));
-  KGPIP_ASSIGN_OR_RETURN(evaluator.fit_data_,
-                         featurizer.Transform(split.train));
+  // The fitted featurizer is read-only from here, so the two transforms
+  // (train + holdout) run concurrently on the pool.
+  std::optional<Result<ml::LabeledData>> transformed[2];
+  const Table* splits[2] = {&split.train, &split.test};
+  util::ThreadPool::Global().ParallelFor(2, [&](size_t i) {
+    transformed[i] = featurizer.Transform(*splits[i]);
+  });
+  KGPIP_ASSIGN_OR_RETURN(evaluator.fit_data_, std::move(*transformed[0]));
   KGPIP_ASSIGN_OR_RETURN(evaluator.holdout_data_,
-                         featurizer.Transform(split.test));
+                         std::move(*transformed[1]));
   return evaluator;
 }
 

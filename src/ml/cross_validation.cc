@@ -1,8 +1,10 @@
 #include "ml/cross_validation.h"
 
 #include <cmath>
+#include <optional>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::ml {
 
@@ -18,20 +20,32 @@ Result<CrossValResult> CrossValidate(const PipelineSpec& spec,
   }
   std::vector<int> assignment = KFoldAssignment(table.num_rows(), folds,
                                                 seed);
+  // Folds are independent (each gets its own derived seed), so they fan
+  // out over the pool; scores are collected in fold order and the first
+  // (lowest-fold) failure is returned.
+  std::vector<std::optional<Result<double>>> fold_results(
+      static_cast<size_t>(folds));
+  util::ThreadPool::Global().ParallelFor(
+      static_cast<size_t>(folds), [&](size_t fold) {
+        std::vector<size_t> train_rows, test_rows;
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          (assignment[r] == static_cast<int>(fold) ? test_rows : train_rows)
+              .push_back(r);
+        }
+        Table train = table.TakeRows(train_rows);
+        Table test = table.TakeRows(test_rows);
+        Result<Pipeline> pipeline =
+            Pipeline::FitOnTable(spec, train, task, seed + fold);
+        if (!pipeline.ok()) {
+          fold_results[fold] = pipeline.status();
+          return;
+        }
+        fold_results[fold] = pipeline->ScoreTable(test);
+      });
   CrossValResult result;
-  for (int fold = 0; fold < folds; ++fold) {
-    std::vector<size_t> train_rows, test_rows;
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      (assignment[r] == fold ? test_rows : train_rows).push_back(r);
-    }
-    Table train = table.TakeRows(train_rows);
-    Table test = table.TakeRows(test_rows);
-    KGPIP_ASSIGN_OR_RETURN(
-        Pipeline pipeline,
-        Pipeline::FitOnTable(spec, train, task,
-                             seed + static_cast<uint64_t>(fold)));
-    KGPIP_ASSIGN_OR_RETURN(double score, pipeline.ScoreTable(test));
-    result.fold_scores.push_back(score);
+  for (std::optional<Result<double>>& r : fold_results) {
+    if (!r->ok()) return r->status();
+    result.fold_scores.push_back(**r);
   }
   result.mean = Mean(result.fold_scores);
   result.stddev = StdDev(result.fold_scores);

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::ml {
 
@@ -44,22 +45,29 @@ Status ForestLearner::Fit(const LabeledData& data) {
     hess.assign(n, 1.0);
     for (size_t i = 0; i < n; ++i) grad[i] = -data.y[i];
   }
-  for (int t = 0; t < n_estimators_; ++t) {
-    std::vector<size_t> rows(n);
-    if (extra_trees_) {
-      std::iota(rows.begin(), rows.end(), 0);
-    } else {
-      for (size_t i = 0; i < n; ++i) rows[i] = rng_.UniformInt(n);
-    }
-    if (IsClassification(task_)) {
-      trees_.push_back(FitClassificationTree(
-          data.x, data.y, num_classes_, rows, params, &rng_));
-    } else {
-      TreeParams p = params;
-      p.lambda = 0.0;
-      trees_.push_back(FitGradientTree(data.x, grad, hess, rows, p, &rng_));
-    }
-  }
+  // Trees are independent given their bootstrap sample and RNG stream.
+  // Forking one stream per tree up front decouples each tree's draws
+  // from scheduling, so the fitted forest is identical at any thread
+  // count (though it differs from the old single-stream sequential fit).
+  std::vector<Rng> tree_rngs =
+      util::ForkRngs(&rng_, static_cast<size_t>(n_estimators_));
+  trees_ = util::ThreadPool::Global().ParallelMap<Tree>(
+      static_cast<size_t>(n_estimators_), [&](size_t t) {
+        Rng* rng = &tree_rngs[t];
+        std::vector<size_t> rows(n);
+        if (extra_trees_) {
+          std::iota(rows.begin(), rows.end(), 0);
+        } else {
+          for (size_t i = 0; i < n; ++i) rows[i] = rng->UniformInt(n);
+        }
+        if (IsClassification(task_)) {
+          return FitClassificationTree(data.x, data.y, num_classes_, rows,
+                                       params, rng);
+        }
+        TreeParams p = params;
+        p.lambda = 0.0;
+        return FitGradientTree(data.x, grad, hess, rows, p, rng);
+      });
   fitted_ = true;
   return Status::Ok();
 }

@@ -1,5 +1,6 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -42,13 +43,26 @@ Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
       << "matmul shape mismatch: " << a.rows_ << "x" << a.cols_ << " * "
       << b.rows_ << "x" << b.cols_;
   Matrix c(a.rows_, b.cols_);
-  for (size_t i = 0; i < a.rows_; ++i) {
-    for (size_t k = 0; k < a.cols_; ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols_;
-      double* crow = c.data() + i * c.cols_;
-      for (size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+  // Cache-blocked ikj: tile k and j so a panel of B stays resident in
+  // L1/L2 while every row of A streams over it. Within each c(i,j) the
+  // k-accumulation still runs in ascending order (tiles are visited in
+  // order and k ascends inside a tile), so results are bit-identical to
+  // the untiled loop.
+  constexpr size_t kTileK = 64;
+  constexpr size_t kTileJ = 256;
+  for (size_t kk = 0; kk < a.cols_; kk += kTileK) {
+    const size_t k_end = std::min(kk + kTileK, a.cols_);
+    for (size_t jj = 0; jj < b.cols_; jj += kTileJ) {
+      const size_t j_end = std::min(jj + kTileJ, b.cols_);
+      for (size_t i = 0; i < a.rows_; ++i) {
+        double* crow = c.data() + i * c.cols_;
+        for (size_t k = kk; k < k_end; ++k) {
+          const double aik = a(i, k);
+          if (aik == 0.0) continue;
+          const double* brow = b.data() + k * b.cols_;
+          for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
   }
   return c;

@@ -1,0 +1,117 @@
+#ifndef KGPIP_UTIL_THREAD_POOL_H_
+#define KGPIP_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgpip::util {
+
+/// In-process parallel runtime for the corpus/embedding/training hot
+/// paths. Design goals, in priority order:
+///
+///   1. **Determinism.** Parallel results must be bit-identical at any
+///      thread count. The pool itself never reorders *outputs*: work is
+///      identified by item index, `ParallelMap` writes results into an
+///      index-addressed vector, and callers reduce left-to-right. RNG
+///      state is split *before* dispatch via `ForkRngs` (sequential
+///      `Rng::Fork` calls on the calling thread), so stream assignment
+///      is a function of the item index alone.
+///   2. **Work stealing.** Each worker owns a deque (Chase–Lev layout:
+///      the owner pushes/pops at the bottom, thieves steal from the
+///      top), so an unlucky worker stuck with slow items sheds its tail
+///      to idle peers. Deques are mutex-guarded rather than lock-free —
+///      chunks are coarse enough that the lock is not the bottleneck,
+///      and the simple variant is ThreadSanitizer-clean by construction.
+///   3. **Inline degeneration.** `KGPIP_THREADS=1` (or a single-core
+///      machine) spawns no threads at all: every helper runs the loop
+///      body inline on the calling thread. Nested `ParallelFor` calls
+///      from inside a worker also run inline, which keeps composed
+///      parallel code (e.g. forest fits inside parallel CV folds)
+///      deadlock-free.
+///
+/// Instrumentation: `pool.tasks_executed`, `pool.steals`,
+/// `pool.parallel_fors` counters, a `pool.queue_depth` gauge (chunks
+/// outstanding at submit), and a `pool.task_seconds` histogram in the
+/// global obs::MetricsRegistry, plus `pool.parallel_for` trace spans.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Lazily constructed on first use with
+  /// `KGPIP_THREADS` threads (unset or 0 = hardware concurrency).
+  static ThreadPool& Global();
+
+  /// Threads the *global* pool would be created with right now: the
+  /// `KGPIP_THREADS` override, a `Configure` call, or the hardware
+  /// concurrency. Does not force pool construction.
+  static int PlannedThreads();
+
+  /// Reconfigures the global pool's thread count (tests and benches;
+  /// production uses the env var). Joins existing workers first. Must
+  /// not be called from inside a pool task.
+  static void Configure(int num_threads);
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes: worker threads + the calling thread. Lane
+  /// ids passed to loop bodies are in [0, num_lanes()).
+  int num_lanes() const { return num_workers_ + 1; }
+  int num_worker_threads() const { return num_workers_; }
+
+  /// Runs body(i, lane) for every i in [0, n), blocking until all items
+  /// finish. `lane` identifies the executing lane (stable scratch-slot
+  /// index); item-to-lane assignment is *not* deterministic, so lane
+  /// scratch must not influence results. If bodies throw, the exception
+  /// of the lowest item index is rethrown after the loop drains (so the
+  /// choice of surfaced error is deterministic too).
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t item, size_t lane)>& body);
+
+  /// Convenience: grain-free ParallelFor without the lane id.
+  void ParallelFor(size_t n, const std::function<void(size_t item)>& body);
+
+  /// Order-preserving map: out[i] = fn(i). Results land by index, so the
+  /// output is independent of scheduling.
+  template <typename T>
+  std::vector<T> ParallelMap(size_t n,
+                             const std::function<T(size_t item)>& fn) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i, size_t /*lane*/) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Ordered reduction: maps every item, then folds the per-item results
+  /// strictly left-to-right on the calling thread. `fold(acc, value, i)`
+  /// sees items in ascending index order regardless of thread count, so
+  /// floating-point accumulation is bit-stable.
+  template <typename Acc, typename T>
+  Acc ParallelMapReduce(size_t n, Acc init,
+                        const std::function<T(size_t item)>& map,
+                        const std::function<void(Acc&, T&, size_t)>& fold) {
+    std::vector<T> mapped = ParallelMap<T>(n, map);
+    Acc acc = std::move(init);
+    for (size_t i = 0; i < n; ++i) fold(acc, mapped[i], i);
+    return acc;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;  // manually managed; opaque to keep <thread> out of headers
+  int num_workers_ = 0;
+};
+
+/// Splits `parent` into `n` statistically independent child generators by
+/// consuming from it sequentially (n forks) on the calling thread. The
+/// i-th child depends only on the parent state and i — never on which
+/// worker later consumes it — so handing fork i to item i keeps parallel
+/// randomness deterministic at any thread count.
+std::vector<Rng> ForkRngs(Rng* parent, size_t n);
+
+}  // namespace kgpip::util
+
+#endif  // KGPIP_UTIL_THREAD_POOL_H_

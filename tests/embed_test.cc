@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "data/benchmark_registry.h"
@@ -123,6 +125,85 @@ TEST(SimIndexTest, IvfModeFindsNearNeighbours) {
   for (const auto& hit : *hits) {
     EXPECT_EQ(hit.key.substr(0, 2), "c1") << hit.key;
   }
+}
+
+TEST(SimIndexTest, TopKMatchesFullSortReference) {
+  // Regression for the nth_element top-k path: hits (keys, order, and
+  // similarity values) must match a stable full-sort reference exactly,
+  // including duplicate-vector ties (which order by insertion index).
+  SimIndex index;
+  kgpip::Rng rng(11);
+  constexpr size_t kN = 200;
+  constexpr size_t kDims = 16;
+  std::vector<std::vector<double>> vectors;
+  for (size_t i = 0; i < kN; ++i) {
+    std::vector<double> v(kDims);
+    if (i % 10 == 3 && i > 10) {
+      v = vectors[i - 1];  // exact duplicate => similarity tie
+    } else {
+      for (double& x : v) x = rng.Normal();
+    }
+    vectors.push_back(v);
+    ASSERT_TRUE(index.Add("k" + std::to_string(i), v).ok());
+  }
+  ASSERT_TRUE(index.Build().ok());
+
+  std::vector<double> query(kDims);
+  for (double& x : query) x = rng.Normal();
+  for (size_t k : {size_t{1}, size_t{5}, size_t{17}, kN, kN + 10}) {
+    auto hits = index.Search(query, k);
+    ASSERT_TRUE(hits.ok());
+    // Reference: score everything with the same kernel, stable-sort by
+    // similarity descending (stability preserves insertion order ties).
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t i = 0; i < kN; ++i) {
+      ranked.emplace_back(
+          BlockedCosine(query.data(), vectors[i].data(), kDims), i);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    ASSERT_EQ(hits->size(), std::min(k, kN)) << "k=" << k;
+    for (size_t i = 0; i < hits->size(); ++i) {
+      EXPECT_EQ((*hits)[i].key, "k" + std::to_string(ranked[i].second))
+          << "k=" << k << " rank " << i;
+      EXPECT_EQ((*hits)[i].similarity, ranked[i].first)
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+TEST(SimIndexTest, SearchBatchMatchesSequentialSearches) {
+  SimIndex index;
+  kgpip::Rng rng(23);
+  for (size_t i = 0; i < 50; ++i) {
+    std::vector<double> v(8);
+    for (double& x : v) x = rng.Normal();
+    ASSERT_TRUE(index.Add("v" + std::to_string(i), v).ok());
+  }
+  ASSERT_TRUE(index.Build().ok());
+  std::vector<std::vector<double>> queries;
+  for (size_t q = 0; q < 12; ++q) {
+    std::vector<double> v(8);
+    for (double& x : v) x = rng.Normal();
+    queries.push_back(v);
+  }
+  auto batch = index.SearchBatch(queries, 3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto single = index.Search(queries[q], 3);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[q].size(), single->size());
+    for (size_t i = 0; i < single->size(); ++i) {
+      EXPECT_EQ((*batch)[q][i].key, (*single)[i].key);
+      EXPECT_EQ((*batch)[q][i].similarity, (*single)[i].similarity);
+    }
+  }
+  // A bad query anywhere in the batch surfaces as the batch's error.
+  queries[4] = {1.0};  // wrong dimensionality
+  EXPECT_FALSE(index.SearchBatch(queries, 3).ok());
 }
 
 TEST(TsneTest, SeparatesObviousClusters) {

@@ -3,6 +3,8 @@
 #include "automl/flaml_system.h"
 #include "core/kgpip.h"
 #include "data/benchmark_registry.h"
+#include "obs/stage_profile.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::core {
 namespace {
@@ -240,6 +242,60 @@ TEST(KgpipLintGateTest, AllCandidatesRejectedFailsCleanly) {
   } else {
     EXPECT_FALSE(result.status().ok());
   }
+}
+
+TEST(KgpipDeterminismTest, TrainFitAndArtifactsAreIdenticalAcrossThreadCounts) {
+  // The whole stack — corpus generation, mining, table embedding, index
+  // build, batched generator training, HPO search — runs through the
+  // thread pool. This is the end-to-end contract: the serialized
+  // artifacts and the (timing-stripped) run report are byte-identical
+  // whether the pool is inline or multi-threaded.
+  BenchmarkRegistry registry;
+  std::vector<DatasetSpec> chosen;
+  for (const auto& spec : registry.TrainingSpecs()) {
+    if (spec.task == TaskType::kRegression) continue;
+    chosen.push_back(spec);
+    if (chosen.size() >= 8) break;
+  }
+  DatasetSpec eval;
+  eval.name = "determinism_eval";
+  eval.family = ConceptFamily::kLinear;
+  eval.domain = Domain::kWeb;
+  eval.rows = 200;
+  Table table = GenerateDataset(eval);
+
+  auto run_once = [&]() -> std::string {
+    KgpipConfig config;
+    config.top_k = 2;
+    config.generator_epochs = 4;
+    config.candidate_samples = 8;
+    Kgpip kgpip(config);
+    codegraph::CorpusOptions corpus;
+    corpus.pipelines_per_dataset = 6;
+    corpus.noise_scripts_per_dataset = 2;
+    Status status = kgpip.Train(chosen, corpus, 13);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!status.ok()) return "train-failed";
+    auto result = kgpip.Fit(table, TaskType::kBinaryClassification,
+                            hpo::Budget(8, 1e9), 5);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return "fit-failed";
+    hpo::RunReport report = result->report;
+    // Stage timings are wall-clock and legitimately vary run to run;
+    // everything else must match exactly.
+    report.stage_profile = obs::StageProfile();
+    return kgpip.ToJson().Dump() + "\n===\n" + report.ToJson().Dump() +
+           "\n===\n" + result->best_spec.ToString();
+  };
+
+  util::ThreadPool::Configure(1);
+  const std::string baseline = run_once();
+  for (int threads : {2, 4}) {
+    util::ThreadPool::Configure(threads);
+    EXPECT_EQ(run_once(), baseline) << "divergence at " << threads
+                                    << " threads";
+  }
+  util::ThreadPool::Configure(0);
 }
 
 TEST_F(KgpipFixture, DiversityAcrossRunsWithSameDataset) {

@@ -1,0 +1,202 @@
+// Work-stealing pool: determinism at any thread count, exception
+// propagation, RNG forking, nesting, and stress coverage.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace kgpip::util {
+namespace {
+
+/// Runs `fn` under a global pool of each size in `sizes`, returning one
+/// result per size. Restores the default (env/hardware) pool afterwards.
+template <typename T>
+std::vector<T> WithPoolSizes(const std::vector<int>& sizes,
+                             const std::function<T()>& fn) {
+  std::vector<T> results;
+  for (int threads : sizes) {
+    ThreadPool::Configure(threads);
+    results.push_back(fn());
+  }
+  ThreadPool::Configure(0);
+  return results;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::Configure(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    ThreadPool::Global().ParallelFor(
+        kN, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesOrder) {
+  auto squares = [] {
+    return ThreadPool::Global().ParallelMap<int>(
+        256, [](size_t i) { return static_cast<int>(i * i); });
+  };
+  auto results = WithPoolSizes<std::vector<int>>({1, 3, 8}, squares);
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), 256u);
+    for (size_t i = 0; i < r.size(); ++i) {
+      ASSERT_EQ(r[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, OrderedReductionIsBitIdenticalAcrossThreadCounts) {
+  // Sums of irrationals are order-sensitive in floating point; the
+  // ordered fold must erase scheduling from the result entirely.
+  auto reduce = [] {
+    return ThreadPool::Global().ParallelMapReduce<double, double>(
+        5000, 0.0,
+        [](size_t i) {
+          return std::sqrt(static_cast<double>(i)) * 1e-3 +
+                 std::sin(static_cast<double>(i));
+        },
+        [](double& acc, double& v, size_t) { acc += v; });
+  };
+  auto sums = WithPoolSizes<double>({1, 2, 4, 7}, reduce);
+  for (size_t i = 1; i < sums.size(); ++i) {
+    ASSERT_EQ(sums[0], sums[i]) << "thread-count-dependent reduction";
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  ThreadPool::Configure(4);
+  try {
+    ThreadPool::Global().ParallelFor(400, [](size_t i) {
+      if (i % 7 == 3) {  // first thrower is index 3
+        throw std::runtime_error("item " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 3");
+  }
+  // The pool survives an exceptional loop.
+  int sum = 0;
+  std::atomic<int> atomic_sum{0};
+  ThreadPool::Global().ParallelFor(
+      100, [&](size_t i) { atomic_sum += static_cast<int>(i); });
+  sum = atomic_sum.load();
+  EXPECT_EQ(sum, 4950);
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromInlinePool) {
+  ThreadPool::Configure(1);
+  EXPECT_THROW(ThreadPool::Global().ParallelFor(
+                   10, [](size_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool::Configure(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  ThreadPool::Global().ParallelFor(64, [&](size_t outer) {
+    ThreadPool::Global().ParallelFor(64, [&](size_t inner) {
+      hits[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, ForkRngsIsIndependentOfThreadCount) {
+  auto draw = [] {
+    Rng parent(99);
+    std::vector<Rng> forks = ForkRngs(&parent, 16);
+    return ThreadPool::Global().ParallelMap<uint64_t>(
+        16, [&](size_t i) { return forks[i].Next(); });
+  };
+  auto streams = WithPoolSizes<std::vector<uint64_t>>({1, 4}, draw);
+  ASSERT_EQ(streams[0], streams[1]);
+  // Forked streams are distinct from each other.
+  std::set<uint64_t> distinct(streams[0].begin(), streams[0].end());
+  EXPECT_EQ(distinct.size(), streams[0].size());
+}
+
+TEST(ThreadPoolTest, StressManySmallLoops) {
+  ThreadPool::Configure(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> total{0};
+    size_t n = static_cast<size_t>(1 + (round % 67));
+    ThreadPool::Global().ParallelFor(
+        n, [&](size_t i) { total += static_cast<int64_t>(i) + 1; });
+    ASSERT_EQ(total.load(),
+              static_cast<int64_t>(n) * static_cast<int64_t>(n + 1) / 2);
+  }
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, StressUnevenItemCostsStillCoverAllItems) {
+  ThreadPool::Configure(4);
+  constexpr size_t kN = 300;
+  std::vector<double> out(kN, -1.0);
+  ThreadPool::Global().ParallelFor(kN, [&](size_t i) {
+    // Skewed costs: early indices do ~100x the work of late ones, so
+    // completion relies on stealing from the loaded deques.
+    double acc = 0.0;
+    size_t spins = (i < 30) ? 20000 : 200;
+    for (size_t s = 0; s < spins; ++s) {
+      acc += std::sqrt(static_cast<double>(s + i));
+    }
+    out[i] = acc;
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_GE(out[i], 0.0) << i;
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleItemLoops) {
+  ThreadPool::Configure(3);
+  int calls = 0;
+  ThreadPool::Global().ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ThreadPool::Global().ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, PlannedThreadsHonoursConfigure) {
+  ThreadPool::Configure(5);
+  EXPECT_EQ(ThreadPool::PlannedThreads(), 5);
+  EXPECT_EQ(ThreadPool::Global().num_lanes(), 5);
+  EXPECT_EQ(ThreadPool::Global().num_worker_threads(), 4);
+  ThreadPool::Configure(1);
+  EXPECT_EQ(ThreadPool::Global().num_worker_threads(), 0);
+  ThreadPool::Configure(0);
+}
+
+TEST(ThreadPoolTest, PoolMetricsAreRecorded) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter* fors = metrics.GetCounter("pool.parallel_fors");
+  obs::Counter* tasks = metrics.GetCounter("pool.tasks_executed");
+  const int64_t fors_before = fors->value();
+  const int64_t tasks_before = tasks->value();
+  ThreadPool::Configure(4);
+  ThreadPool::Global().ParallelFor(500, [](size_t) {});
+  EXPECT_GT(fors->value(), fors_before);
+  EXPECT_GT(tasks->value(), tasks_before);
+  ThreadPool::Configure(0);
+}
+
+}  // namespace
+}  // namespace kgpip::util
