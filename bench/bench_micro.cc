@@ -144,6 +144,53 @@ void BM_GeneratorSample(benchmark::State& state) {
 }
 BENCHMARK(BM_GeneratorSample);
 
+void BM_GenGenerate(benchmark::State& state) {
+  // Tape (range(0) == 1) vs tape-free (range(0) == 0) decode at a given
+  // generation cap; the pair quantifies the inference-engine speedup
+  // recorded in BENCH_gen.json.
+  gen::GeneratorConfig config;
+  config.vocab_size = graph4ml::PipelineVocab::Get().size();
+  config.hidden = 32;
+  config.max_nodes = static_cast<int>(state.range(1));
+  gen::GraphGenerator generator(config, 7);
+  graph4ml::TypedGraph seed;
+  seed.node_types = {0, 1};
+  seed.edges = {{0, 1}};
+  const bool tape = state.range(0) != 0;
+  Rng rng(3);
+  for (auto _ : state) {
+    auto g = tape ? generator.GenerateTape(seed, {}, &rng, 0.9)
+                  : generator.Generate(seed, {}, &rng, 0.9);
+    benchmark::DoNotOptimize(g.graph.num_nodes());
+  }
+  state.SetLabel(std::string(tape ? "tape" : "tape_free") +
+                 " max_nodes=" + std::to_string(config.max_nodes));
+}
+BENCHMARK(BM_GenGenerate)
+    ->Args({0, 12})
+    ->Args({1, 12})
+    ->Args({0, 30})
+    ->Args({1, 30});
+
+void BM_GenGenerateTopK(benchmark::State& state) {
+  // Batched candidate generation over the pool (one engine per lane).
+  ScopedPool pool(state);
+  gen::GeneratorConfig config;
+  config.vocab_size = graph4ml::PipelineVocab::Get().size();
+  config.hidden = 32;
+  config.max_nodes = 30;
+  gen::GraphGenerator generator(config, 7);
+  graph4ml::TypedGraph seed;
+  seed.node_types = {0, 1};
+  seed.edges = {{0, 1}};
+  Rng rng(3);
+  for (auto _ : state) {
+    auto batch = generator.GenerateTopK(seed, {}, 8, &rng, 0.9);
+    benchmark::DoNotOptimize(batch.size());
+  }
+}
+BENCHMARK(BM_GenGenerateTopK)->Arg(1)->Arg(HardwareThreads());
+
 void BM_LearnerFit(benchmark::State& state) {
   static const char* kLearners[] = {"logistic_regression", "decision_tree",
                                     "xgboost", "knn"};

@@ -14,6 +14,25 @@ cmake -B build-sanitize -S . -DKGPIP_SANITIZE=ON >/dev/null 2>&1 \
        | tail -3 | tee -a "$out" \
   || echo "sanitize run failed (see /tmp/bench_stderr.log)" | tee -a "$out"
 echo "" | tee -a "$out"
+
+echo "===== sanitize: kgpip_gen_tests =====" | tee -a "$out"
+cmake --build build-sanitize -j "$(nproc)" \
+       --target kgpip_gen_tests >/dev/null 2>>/tmp/bench_stderr.log \
+  && ./build-sanitize/tests/kgpip_gen_tests 2>>/tmp/bench_stderr.log \
+       | tail -3 | tee -a "$out" \
+  || echo "sanitize gen run failed (see /tmp/bench_stderr.log)" | tee -a "$out"
+echo "" | tee -a "$out"
+
+# Focused decode benches: the tape-vs-tape-free pairs land in their own
+# JSON so the inference-engine speedup is a first-class artifact.
+if [ -x build/bench/bench_micro ]; then
+  echo "===== gen decode benches (BENCH_gen.json) =====" | tee -a "$out"
+  build/bench/bench_micro \
+      --benchmark_filter='BM_GenGenerate' \
+      --benchmark_out=/root/repo/BENCH_gen.json \
+      --benchmark_out_format=json 2>>/tmp/bench_stderr.log | tee -a "$out"
+  echo "" | tee -a "$out"
+fi
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "===== $b =====" | tee -a "$out"

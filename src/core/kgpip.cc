@@ -161,12 +161,17 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
   gen::PipelineLinter linter(task);
   std::vector<gen::ScoredSkeleton> skeletons;
   std::set<std::string> seen;
-  for (int attempt = 0;
-       attempt < config_.candidate_samples &&
-       static_cast<int>(skeletons.size()) < config_.candidate_samples;
-       ++attempt) {
-    gen::GeneratedGraph generated = generator_->Generate(
-        seed_graph, condition, &rng, config_.temperature);
+  // All candidates decode in one batched call (parallel over the thread
+  // pool, one RNG stream per candidate — deterministic at any thread
+  // count); lint, mapping, and dedupe then filter in candidate order.
+  std::vector<gen::GeneratedGraph> candidates = generator_->GenerateTopK(
+      seed_graph, condition,
+      static_cast<size_t>(std::max(config_.candidate_samples, 0)), &rng,
+      config_.temperature);
+  for (gen::GeneratedGraph& generated : candidates) {
+    if (static_cast<int>(skeletons.size()) >= config_.candidate_samples) {
+      break;
+    }
     // Graph-level lint first (vocabulary, acyclicity, estimator/task),
     // then the skeleton mapping; both reject invalid generator output.
     if (!linter.LintGraph(generated).ok()) continue;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
+#include "gen/inference_engine.h"
+#include "nn/fastmath.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -13,9 +16,14 @@ namespace kgpip::gen {
 
 using nn::Var;
 
+GraphGenerator::~GraphGenerator() = default;
+
 GraphGenerator::GraphGenerator(const GeneratorConfig& config, uint64_t seed)
     : config_(config), init_rng_(seed) {
   KGPIP_CHECK(config_.vocab_size > 0);
+  if (std::getenv("KGPIP_GEN_CROSSCHECK") != nullptr) {
+    config_.cross_check = true;
+  }
   const size_t h = static_cast<size_t>(config_.hidden);
   type_embedding_ = store_.Create(
       "type_embedding", static_cast<size_t>(config_.vocab_size), h,
@@ -271,43 +279,17 @@ double GraphGenerator::LogProb(const GraphExample& example) const {
   return -loss.value()(0, 0);
 }
 
-GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
-                                        const std::vector<double>& condition,
-                                        Rng* rng,
-                                        double temperature) const {
-  KGPIP_TRACE_SPAN("gen.generate");
-  static obs::Histogram* generate_seconds =
-      obs::MetricsRegistry::Global().GetHistogram("gen.generate_seconds");
-  Stopwatch watch;
-  struct RecordOnExit {
-    obs::Histogram* hist;
-    Stopwatch* watch;
-    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
-  } record{generate_seconds, &watch};
+GeneratedGraph GraphGenerator::GenerateTape(
+    const graph4ml::TypedGraph& seed, const std::vector<double>& condition,
+    Rng* rng, double temperature) const {
   GeneratedGraph out;
   out.graph = seed;
   KGPIP_CHECK(!seed.node_types.empty()) << "seed subgraph required";
 
-  auto sample_from = [&](const nn::Matrix& logits) -> int {
-    const size_t k = logits.cols();
-    if (temperature <= 0.0) {
-      size_t best = 0;
-      for (size_t c = 1; c < k; ++c) {
-        if (logits(0, c) > logits(0, best)) best = c;
-      }
-      return static_cast<int>(best);
-    }
-    nn::Matrix scaled(1, k);
-    for (size_t c = 0; c < k; ++c) scaled(0, c) = logits(0, c) / temperature;
-    nn::Matrix probs = nn::SoftmaxValue(scaled);
-    std::vector<double> weights(k);
-    for (size_t c = 0; c < k; ++c) weights[c] = probs(0, c);
-    return static_cast<int>(rng->Categorical(weights));
-  };
-  auto log_prob_of = [](const nn::Matrix& logits, int pick) {
-    nn::Matrix probs = nn::SoftmaxValue(logits);
-    return std::log(std::max(probs(0, static_cast<size_t>(pick)), 1e-12));
-  };
+  // One softmax per decision, shared between the sample and its
+  // log-probability (DecisionDist); buffers live outside the decode loop
+  // so a step allocates nothing for them after the first.
+  DecisionDist node_dist, choose_dist;
 
   Var states = InitNode(out.graph.node_types[0], condition);
   for (size_t i = 1; i < out.graph.node_types.size(); ++i) {
@@ -320,8 +302,9 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
     states = Propagate(states, edges);
     Var h_graph = Readout(states);
     nn::Matrix node_logits = add_node_.Forward(h_graph).value();
-    int picked = sample_from(node_logits);
-    out.log_prob += log_prob_of(node_logits, picked);
+    node_dist.Compute(node_logits.data(), node_logits.cols(), temperature);
+    int picked = node_dist.Sample(rng, temperature);
+    out.log_prob += node_dist.LogProbOf(picked);
     if (picked == config_.vocab_size) break;  // STOP
 
     int new_index = static_cast<int>(out.graph.num_nodes());
@@ -329,11 +312,13 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
     Var h_new = InitNode(picked, condition);
 
     // Edge loop: Bernoulli "add edge" then categorical "to which node".
+    // The heads are re-run every iteration on purpose — this is the
+    // naive reference the inference engine's caching is checked against.
     int edge_budget = new_index;  // at most one edge per earlier node
     while (edge_budget-- > 0) {
       nn::Matrix edge_logit =
           add_edge_.Forward(ConcatCols(h_graph, h_new)).value();
-      double p_edge = 1.0 / (1.0 + std::exp(-edge_logit(0, 0)));
+      double p_edge = nn::FastSigmoid(edge_logit(0, 0));
       bool add = temperature <= 0.0 ? p_edge >= 0.5
                                     : rng->Bernoulli(p_edge);
       out.log_prob += std::log(std::max(add ? p_edge : 1.0 - p_edge,
@@ -344,8 +329,9 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
       nn::Matrix scores =
           choose_node_.Forward(ConcatCols(states, tiled)).value()
               .Transposed();
-      int src = sample_from(scores);
-      out.log_prob += log_prob_of(scores, src);
+      choose_dist.Compute(scores.data(), scores.cols(), temperature);
+      int src = choose_dist.Sample(rng, temperature);
+      out.log_prob += choose_dist.LogProbOf(src);
       bool duplicate = false;
       for (const auto& [s, d] : edges) {
         if (s == src && d == new_index) duplicate = true;
@@ -358,6 +344,123 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
     states = ConcatRows(states, h_new);
   }
   return out;
+}
+
+void GraphGenerator::EnsureEngines(size_t lanes) const {
+  while (engines_.size() < lanes) {
+    engines_.push_back(std::make_unique<InferenceEngine>(this));
+  }
+}
+
+GeneratedGraph GraphGenerator::GenerateWithEngine(
+    InferenceEngine& engine, const graph4ml::TypedGraph& seed,
+    const std::vector<double>& condition, Rng* rng,
+    double temperature) const {
+  if (!config_.cross_check) {
+    return engine.Decode(seed, condition, rng, temperature);
+  }
+  Rng tape_rng = *rng;  // identical stream for the reference decode
+  GeneratedGraph out = engine.Decode(seed, condition, rng, temperature);
+  GeneratedGraph ref = GenerateTape(seed, condition, &tape_rng, temperature);
+  KGPIP_CHECK(out.graph.node_types == ref.graph.node_types)
+      << "tape-free decode diverged from tape (node types)";
+  KGPIP_CHECK(out.graph.edges == ref.graph.edges)
+      << "tape-free decode diverged from tape (edges)";
+  KGPIP_CHECK(out.log_prob == ref.log_prob)
+      << "tape-free decode diverged from tape (log-prob)";
+  return out;
+}
+
+GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
+                                        const std::vector<double>& condition,
+                                        Rng* rng,
+                                        double temperature) const {
+  KGPIP_TRACE_SPAN("gen.generate");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Histogram* generate_seconds =
+      metrics.GetHistogram("gen.generate_seconds");
+  static obs::Counter* generate_allocs =
+      metrics.GetCounter("gen.generate_allocs");
+  Stopwatch watch;
+  struct RecordOnExit {
+    obs::Histogram* hist;
+    Stopwatch* watch;
+    ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
+  } record{generate_seconds, &watch};
+  EnsureEngines(1);
+  InferenceEngine& engine = *engines_[0];
+  const size_t allocs_before = engine.alloc_events();
+  GeneratedGraph out =
+      GenerateWithEngine(engine, seed, condition, rng, temperature);
+  generate_allocs->Increment(
+      static_cast<int64_t>(engine.alloc_events() - allocs_before));
+  return out;
+}
+
+std::vector<GeneratedGraph> GraphGenerator::GenerateTopK(
+    const graph4ml::TypedGraph& seed, const std::vector<double>& condition,
+    size_t k, Rng* rng, double temperature) const {
+  KGPIP_TRACE_SPAN("gen.generate_topk");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static obs::Histogram* topk_seconds =
+      metrics.GetHistogram("gen.generate_topk_seconds");
+  static obs::Counter* generate_allocs =
+      metrics.GetCounter("gen.generate_allocs");
+  if (k == 0) return {};
+  Stopwatch watch;
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  EnsureEngines(static_cast<size_t>(pool.num_lanes()));
+  // Fork one stream per candidate *before* dispatch, and write results
+  // by candidate index: output is then a function of (seed rng, k) only,
+  // byte-identical at any thread count.
+  std::vector<Rng> rngs = util::ForkRngs(rng, k);
+  size_t allocs_before = 0;
+  for (const auto& engine : engines_) allocs_before += engine->alloc_events();
+  std::vector<GeneratedGraph> results(k);
+  pool.ParallelFor(k, [&](size_t i, size_t lane) {
+    results[i] = GenerateWithEngine(*engines_[lane], seed, condition,
+                                    &rngs[i], temperature);
+  });
+  size_t allocs_after = 0;
+  for (const auto& engine : engines_) allocs_after += engine->alloc_events();
+  generate_allocs->Increment(
+      static_cast<int64_t>(allocs_after - allocs_before));
+  topk_seconds->Record(watch.ElapsedSeconds());
+  return results;
+}
+
+nn::Matrix GraphGenerator::ReferencePropagate(
+    const nn::Matrix& states,
+    const std::vector<std::pair<int, int>>& edges) const {
+  return Propagate(Var(states), edges).value();
+}
+
+nn::Matrix GraphGenerator::ReferenceReadout(const nn::Matrix& states) const {
+  return Readout(Var(states)).value();
+}
+
+nn::Matrix GraphGenerator::ReferenceInitNode(
+    int type, const std::vector<double>& condition) const {
+  return InitNode(type, condition).value();
+}
+
+nn::Matrix GraphGenerator::ReferenceNodeLogits(
+    const nn::Matrix& states) const {
+  return add_node_.Forward(Readout(Var(states))).value();
+}
+
+double GraphGenerator::ReferenceEdgeLogit(const nn::Matrix& states,
+                                          const nn::Matrix& h_new) const {
+  Var h_graph = Readout(Var(states));
+  return add_edge_.Forward(ConcatCols(h_graph, Var(h_new))).value()(0, 0);
+}
+
+nn::Matrix GraphGenerator::ReferenceChooseScores(
+    const nn::Matrix& states, const nn::Matrix& h_new) const {
+  nn::Matrix ones(states.rows(), 1, 1.0);
+  Var tiled = MatMul(Var(std::move(ones)), Var(h_new));
+  return choose_node_.Forward(ConcatCols(Var(states), tiled)).value()
+      .Transposed();
 }
 
 Json GraphGenerator::ToJson() const {

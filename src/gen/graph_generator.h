@@ -11,6 +11,8 @@
 
 namespace kgpip::gen {
 
+class InferenceEngine;
+
 /// Configuration of the deep graph generative model (Li et al. 2018,
 /// adapted for conditional generation from a seed subgraph — KGpip's
 /// §3.5 modification).
@@ -21,6 +23,10 @@ struct GeneratorConfig {
   int max_nodes = 12;      // generation cap
   int condition_dims = 0;  // dataset content-embedding width (0 = off)
   double learning_rate = 3e-3;
+  /// Debug mode: every tape-free Generate also runs the tape path on a
+  /// copy of the RNG and checks the outputs are identical. Also enabled
+  /// by setting the KGPIP_GEN_CROSSCHECK environment variable.
+  bool cross_check = false;
   /// Examples per optimizer step. 1 reproduces the classic per-example
   /// SGD loop exactly; >1 computes the per-example gradients of each
   /// minibatch in parallel (data parallelism over model replicas),
@@ -55,15 +61,50 @@ struct GeneratedGraph {
 class GraphGenerator {
  public:
   GraphGenerator(const GeneratorConfig& config, uint64_t seed);
+  ~GraphGenerator();
 
   /// One pass over the examples (shuffled); returns mean sequence loss.
   double TrainEpoch(const std::vector<GraphExample>& examples, Rng* rng);
 
   /// Generates one graph conditioned on a seed subgraph. `temperature`
-  /// scales sampling entropy (0 = greedy argmax).
+  /// scales sampling entropy (0 = greedy argmax). Runs on the tape-free
+  /// inference engine — byte-identical to GenerateTape but without
+  /// autograd bookkeeping. Reuses a per-generator engine arena, so
+  /// concurrent calls on the *same* generator must go through
+  /// GenerateTopK instead (which runs one engine per pool lane).
   GeneratedGraph Generate(const graph4ml::TypedGraph& seed,
                           const std::vector<double>& condition, Rng* rng,
                           double temperature = 1.0) const;
+
+  /// Reference decode on the autograd tape. Slow; kept as the
+  /// ground-truth the inference engine is verified against (and for
+  /// cross_check mode).
+  GeneratedGraph GenerateTape(const graph4ml::TypedGraph& seed,
+                              const std::vector<double>& condition,
+                              Rng* rng, double temperature = 1.0) const;
+
+  /// Batched generation: decodes `k` candidates in parallel over the
+  /// global thread pool, one engine per lane. RNG streams are forked
+  /// from `rng` by candidate index before dispatch and results land by
+  /// index, so output is byte-identical at any thread count.
+  std::vector<GeneratedGraph> GenerateTopK(
+      const graph4ml::TypedGraph& seed,
+      const std::vector<double>& condition, size_t k, Rng* rng,
+      double temperature = 1.0) const;
+
+  // --- Reference forwards (naive tape recomputes, exposed so the
+  // equivalence tests can check every inference-engine cache) ---
+  nn::Matrix ReferencePropagate(
+      const nn::Matrix& states,
+      const std::vector<std::pair<int, int>>& edges) const;
+  nn::Matrix ReferenceReadout(const nn::Matrix& states) const;
+  nn::Matrix ReferenceInitNode(int type,
+                               const std::vector<double>& condition) const;
+  nn::Matrix ReferenceNodeLogits(const nn::Matrix& states) const;
+  double ReferenceEdgeLogit(const nn::Matrix& states,
+                            const nn::Matrix& h_new) const;
+  nn::Matrix ReferenceChooseScores(const nn::Matrix& states,
+                                   const nn::Matrix& h_new) const;
 
   /// Log-probability the model assigns to a complete graph (teacher
   /// forcing without learning) — used for ranking and tests.
@@ -78,6 +119,7 @@ class GraphGenerator {
 
  private:
   struct StepState;
+  friend class InferenceEngine;  // reads weights for tape-free forwards
 
   /// Runs propagation rounds over node states given current edges.
   nn::Var Propagate(const nn::Var& states,
@@ -100,12 +142,22 @@ class GraphGenerator {
   double TrainEpochBatched(const std::vector<GraphExample>& examples,
                            const std::vector<size_t>& order);
 
+  /// Grows the lane-indexed engine set to `lanes` entries (lazy).
+  void EnsureEngines(size_t lanes) const;
+  /// Decode via `engine`, optionally cross-checked against the tape.
+  GeneratedGraph GenerateWithEngine(InferenceEngine& engine,
+                                    const graph4ml::TypedGraph& seed,
+                                    const std::vector<double>& condition,
+                                    Rng* rng, double temperature) const;
+
   GeneratorConfig config_;
   Rng init_rng_;
   nn::ParamStore store_;
   std::unique_ptr<nn::Adam> optimizer_;
   /// Lane-indexed model replicas for data-parallel training (lazy).
   std::vector<std::unique_ptr<GraphGenerator>> replicas_;
+  /// Lane-indexed inference engines (lazy, mutable decode scratch).
+  mutable std::vector<std::unique_ptr<InferenceEngine>> engines_;
 
   nn::Var type_embedding_;  // (vocab) x hidden
   nn::Linear init_node_;    // hidden + hidden -> hidden (type emb + hG)

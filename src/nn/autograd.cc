@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/fastmath.h"
 #include "util/logging.h"
 
 namespace kgpip::nn {
@@ -159,7 +160,7 @@ Var Scale(const Var& a, double s) {
 Var Sigmoid(const Var& a) {
   Matrix value = a.value();
   for (size_t i = 0; i < value.size(); ++i) {
-    value.data()[i] = 1.0 / (1.0 + std::exp(-value.data()[i]));
+    value.data()[i] = FastSigmoid(value.data()[i]);
   }
   return MakeOp(std::move(value), {a}, [](VarNode& self) {
     Matrix& g = GradOf(self.parents[0]);
@@ -173,7 +174,7 @@ Var Sigmoid(const Var& a) {
 Var Tanh(const Var& a) {
   Matrix value = a.value();
   for (size_t i = 0; i < value.size(); ++i) {
-    value.data()[i] = std::tanh(value.data()[i]);
+    value.data()[i] = FastTanh(value.data()[i]);
   }
   return MakeOp(std::move(value), {a}, [](VarNode& self) {
     Matrix& g = GradOf(self.parents[0]);

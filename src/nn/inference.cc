@@ -1,0 +1,211 @@
+#include "nn/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgpip::nn {
+
+// The serve kernels runtime-dispatch an AVX2 clone where the host
+// supports it (glibc IFUNC resolution keeps the binary portable).
+// Wider lanes do not change a single bit: packed IEEE mul/add/div round
+// exactly like their scalar forms lane by lane, every accumulation
+// chain stays per-element, and -ffp-contract=off (set for this file)
+// forbids the FMA contraction that would change results. Disabled under
+// ThreadSanitizer: TSan's runtime is not IFUNC-safe (the resolver runs
+// before the sanitizer initializes and crashes at startup).
+#if defined(__x86_64__) && defined(__has_attribute) && \
+    !defined(__SANITIZE_THREAD__)
+#if __has_attribute(target_clones)
+#define KGPIP_SERVE_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef KGPIP_SERVE_CLONES
+#define KGPIP_SERVE_CLONES
+#endif
+
+namespace {
+
+// Serve-path GEMM. Bit-identical to Matrix::MatMulInto — same cache
+// tiling constants, same ascending-k accumulation per output element,
+// same aik == 0.0 skip — but restructured so the compiler can vectorize
+// and register-block it: k is unrolled in quads whose adds issue
+// sequentially per element, so each c(i,j) chain is still
+// (((c + a0*b0) + a1*b1) + a2*b2) + a3*b3, exactly what four separate
+// k passes produce. `__restrict` lets the j-loop vectorize (each j owns
+// an independent accumulation chain, and packed IEEE ops round exactly
+// like their scalar forms, so SIMD here cannot change a single bit).
+// This file builds with -ffp-contract=off (see src/nn/CMakeLists.txt),
+// which forbids the FMA contraction that *would* change results.
+KGPIP_SERVE_CLONES
+void GemmInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  KGPIP_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  out->Reshape(a.rows(), b.cols());
+  out->Fill(0.0);
+  const size_t ar = a.rows();
+  const size_t ac = a.cols();
+  const size_t bc = b.cols();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = out->data();
+  constexpr size_t kTileK = 64;
+  constexpr size_t kTileJ = 256;
+  for (size_t kk = 0; kk < ac; kk += kTileK) {
+    const size_t k_end = std::min(kk + kTileK, ac);
+    for (size_t jj = 0; jj < bc; jj += kTileJ) {
+      const size_t j_end = std::min(jj + kTileJ, bc);
+      for (size_t i = 0; i < ar; ++i) {
+        double* __restrict crow = pc + i * bc;
+        const double* arow = pa + i * ac;
+        size_t k = kk;
+        for (; k + 3 < k_end; k += 4) {
+          const double a0 = arow[k];
+          const double a1 = arow[k + 1];
+          const double a2 = arow[k + 2];
+          const double a3 = arow[k + 3];
+          const double* __restrict b0 = pb + k * bc;
+          const double* __restrict b1 = b0 + bc;
+          const double* __restrict b2 = b1 + bc;
+          const double* __restrict b3 = b2 + bc;
+          if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+            for (size_t j = jj; j < j_end; ++j) {
+              crow[j] = (((crow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
+                        a3 * b3[j];
+            }
+          } else {
+            // A zero coefficient must be *skipped*, not added: c += 0.0
+            // would flip a -0.0 accumulator to +0.0. Falling back to one
+            // pass per nonzero k keeps chains and skips identical.
+            if (a0 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a0 * b0[j];
+            }
+            if (a1 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a1 * b1[j];
+            }
+            if (a2 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a2 * b2[j];
+            }
+            if (a3 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a3 * b3[j];
+            }
+          }
+        }
+        for (; k < k_end; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* __restrict brow = pb + k * bc;
+          for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FusedLinear(const Matrix& x, const Matrix& w, const Matrix& b,
+                 Activation act, Matrix* out) {
+  KGPIP_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  GemmInto(x, w, out);
+  // Bias broadcast in the same row-major order as AddRowBroadcast.
+  const double* bias = b.data();
+  for (size_t i = 0; i < out->rows(); ++i) {
+    double* row = out->data() + i * out->cols();
+    for (size_t j = 0; j < out->cols(); ++j) row[j] += bias[j];
+  }
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kTanh:
+      TanhInPlace(out);
+      break;
+    case Activation::kSigmoid:
+      SigmoidInPlace(out);
+      break;
+  }
+}
+
+KGPIP_SERVE_CLONES
+void SigmoidInPlace(Matrix* m) {
+  double* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = FastSigmoid(d[i]);
+}
+
+KGPIP_SERVE_CLONES
+void TanhInPlace(Matrix* m) {
+  double* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i) d[i] = FastTanh(d[i]);
+}
+
+void MulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  KGPIP_CHECK(a.SameShape(b));
+  out->Reshape(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out->data();
+  for (size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+}
+
+KGPIP_SERVE_CLONES
+void GruFusedForward(const Matrix& x, const Matrix& h, const Matrix& wx,
+                     const Matrix& bx, const Matrix& wh2, const Matrix& bh2,
+                     const Matrix& whn, const Matrix& bhn, Matrix* xg,
+                     Matrix* hg, Matrix* z, Matrix* r, Matrix* rh,
+                     Matrix* tmp, Matrix* cand, Matrix* out) {
+  const size_t n = h.rows();
+  const size_t hd = h.cols();
+  FusedLinear(x, wx, bx, Activation::kNone, xg);    // [xz|xr|xn] + bias
+  FusedLinear(h, wh2, bh2, Activation::kNone, hg);  // [hz|hr] + bias
+  z->Reshape(n, hd);
+  r->Reshape(n, hd);
+  // Gate j of row i sums its x- and h-side affine parts in the same
+  // order as ForwardValue's AddInPlace (x part first), then squashes.
+  for (size_t i = 0; i < n; ++i) {
+    const double* xrow = xg->data() + i * 3 * hd;
+    const double* hrow = hg->data() + i * 2 * hd;
+    double* zrow = z->data() + i * hd;
+    double* rrow = r->data() + i * hd;
+    for (size_t j = 0; j < hd; ++j) zrow[j] = FastSigmoid(xrow[j] + hrow[j]);
+    for (size_t j = 0; j < hd; ++j) {
+      rrow[j] = FastSigmoid(xrow[hd + j] + hrow[hd + j]);
+    }
+  }
+  MulInto(*r, h, rh);
+  FusedLinear(*rh, whn, bhn, Activation::kNone, tmp);
+  cand->Reshape(n, hd);
+  for (size_t i = 0; i < n; ++i) {
+    const double* xrow = xg->data() + i * 3 * hd + 2 * hd;
+    const double* trow = tmp->data() + i * hd;
+    double* crow = cand->data() + i * hd;
+    for (size_t j = 0; j < hd; ++j) crow[j] = FastTanh(xrow[j] + trow[j]);
+  }
+  out->Reshape(n, hd);
+  const double* zp = z->data();
+  const double* np = cand->data();
+  const double* hp = h.data();
+  double* op = out->data();
+  // Same association as the tape expression Add(Sub(n, Mul(z, n)),
+  // Mul(z, h)): (n + (-1)*(z*n)) + z*h.
+  for (size_t k = 0; k < n * hd; ++k) {
+    const double zn = zp[k] * np[k];
+    const double a = np[k] + (-1.0) * zn;
+    op[k] = a + zp[k] * hp[k];
+  }
+}
+
+void SoftmaxRow(const double* logits, size_t n, double* out) {
+  KGPIP_CHECK(n > 0);
+  double max_logit = logits[0];
+  for (size_t j = 1; j < n; ++j) max_logit = std::max(max_logit, logits[j]);
+  double z = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = std::exp(logits[j] - max_logit);
+    z += out[j];
+  }
+  for (size_t j = 0; j < n; ++j) out[j] /= z;
+}
+
+}  // namespace kgpip::nn

@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -74,6 +75,10 @@ Var Linear::Forward(const Var& x) const {
   return AddRowBroadcast(MatMul(x, weight_), bias_);
 }
 
+void Linear::ForwardValue(const Matrix& x, Matrix* out, Activation act) const {
+  FusedLinear(x, weight_.value(), bias_.value(), act, out);
+}
+
 GruCell::GruCell(ParamStore* store, const std::string& name, size_t input,
                  size_t hidden, Rng* rng)
     : xz_(store, name + ".xz", input, hidden, rng),
@@ -89,6 +94,61 @@ Var GruCell::Forward(const Var& x, const Var& h) const {
   Var n = Tanh(Add(xn_.Forward(x), hn_.Forward(Mul(r, h))));
   // h' = (1 - z) * n + z * h  ==  n - z*n + z*h
   return Add(Sub(n, Mul(z, n)), Mul(z, h));
+}
+
+void GruCell::ForwardValue(const Matrix& x, const Matrix& h,
+                           GruScratch* scratch, Matrix* out) const {
+  GruScratch& s = *scratch;
+  xz_.ForwardValue(x, &s.z);
+  hz_.ForwardValue(h, &s.tmp);
+  s.z.AddInPlace(s.tmp);
+  SigmoidInPlace(&s.z);
+  xr_.ForwardValue(x, &s.r);
+  hr_.ForwardValue(h, &s.tmp);
+  s.r.AddInPlace(s.tmp);
+  SigmoidInPlace(&s.r);
+  MulInto(s.r, h, &s.rh);
+  xn_.ForwardValue(x, &s.cand);
+  hn_.ForwardValue(s.rh, &s.tmp);
+  s.cand.AddInPlace(s.tmp);
+  TanhInPlace(&s.cand);
+  out->Reshape(h.rows(), h.cols());
+  const double* zp = s.z.data();
+  const double* np = s.cand.data();
+  const double* hp = h.data();
+  double* op = out->data();
+  // Same association as the tape expression Add(Sub(n, Mul(z, n)), Mul(z, h)):
+  // (n + (-1)*(z*n)) + z*h, where x + (-1)*y is exactly x - y in IEEE754.
+  for (size_t k = 0; k < h.size(); ++k) {
+    const double zn = zp[k] * np[k];
+    const double a = np[k] + (-1.0) * zn;
+    op[k] = a + zp[k] * hp[k];
+  }
+}
+
+void GruCell::PackFused(Matrix* wx, Matrix* bx, Matrix* wh2,
+                        Matrix* bh2) const {
+  const auto pack = [](const Linear* const* gates, size_t count, Matrix* w,
+                       Matrix* b) {
+    const Matrix& w0 = gates[0]->weight_value();
+    const size_t rows = w0.rows();
+    const size_t h = w0.cols();
+    w->Reshape(rows, count * h);
+    b->Reshape(1, count * h);
+    for (size_t g = 0; g < count; ++g) {
+      const Matrix& wg = gates[g]->weight_value();
+      const Matrix& bg = gates[g]->bias_value();
+      for (size_t i = 0; i < rows; ++i) {
+        std::memcpy(w->data() + i * count * h + g * h, wg.data() + i * h,
+                    h * sizeof(double));
+      }
+      std::memcpy(b->data() + g * h, bg.data(), h * sizeof(double));
+    }
+  };
+  const Linear* x_gates[] = {&xz_, &xr_, &xn_};
+  pack(x_gates, 3, wx, bx);
+  const Linear* h_gates[] = {&hz_, &hr_};
+  pack(h_gates, 2, wh2, bh2);
 }
 
 Adam::Adam(ParamStore* store, double lr, double beta1, double beta2,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "nn/inference.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -45,9 +46,29 @@ class Linear {
 
   Var Forward(const Var& x) const;
 
+  /// Tape-free forward into a caller-owned buffer, optionally fused with
+  /// an activation. Bit-identical to `Act(Forward(Var(x))).value()` but
+  /// never touches the autograd tape and performs no allocation once
+  /// `out` has capacity.
+  void ForwardValue(const Matrix& x, Matrix* out,
+                    Activation act = Activation::kNone) const;
+
+  const Matrix& weight_value() const { return weight_.value(); }
+  const Matrix& bias_value() const { return bias_.value(); }
+
  private:
   Var weight_;
   Var bias_;
+};
+
+/// Caller-owned temporaries for GruCell::ForwardValue; sized lazily and
+/// reused across calls so steady-state propagation allocates nothing.
+struct GruScratch {
+  Matrix z;     // update gate
+  Matrix r;     // reset gate
+  Matrix cand;  // candidate state
+  Matrix tmp;   // shared per-gate second operand
+  Matrix rh;    // r ⊙ h
 };
 
 /// Batched GRU cell applied row-wise: every row of `h` (one graph node) is
@@ -60,6 +81,26 @@ class GruCell {
           size_t hidden, Rng* rng);
 
   Var Forward(const Var& x, const Var& h) const;
+
+  /// Tape-free forward: `*out = GRU(x, h)` using caller-owned scratch.
+  /// Bit-identical to `Forward(Var(x), Var(h)).value()`. `out` must not
+  /// alias `x`, `h`, or the scratch buffers.
+  void ForwardValue(const Matrix& x, const Matrix& h, GruScratch* scratch,
+                    Matrix* out) const;
+
+  /// Packs the gate weights into column-concatenated panels for
+  /// GruFusedForward: `wx = [Wxz | Wxr | Wxn]` (input x 3h) with bias
+  /// row `bx`, and `wh2 = [Whz | Whr]` (hidden x 2h) with bias `bh2`.
+  /// A single GEMM against a panel produces every output column through
+  /// the same ascending-k accumulation chain as the per-gate GEMMs, so
+  /// fusion is bit-identical; it just amortizes kernel dispatch and
+  /// widens the vectorized panels. Cheap enough to call per decode,
+  /// which also keeps the panels fresh after further training.
+  void PackFused(Matrix* wx, Matrix* bx, Matrix* wh2, Matrix* bh2) const;
+
+  /// Candidate-gate hidden projection, needed separately by the fused
+  /// path (its input is r ⊙ h, which depends on the fused gate output).
+  const Linear& hn() const { return hn_; }
 
  private:
   Linear xz_, hz_;  // update gate

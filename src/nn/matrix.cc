@@ -39,10 +39,18 @@ double Matrix::Norm() const {
 }
 
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulInto(a, b, &c);
+  return c;
+}
+
+void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   KGPIP_CHECK(a.cols_ == b.rows_)
       << "matmul shape mismatch: " << a.rows_ << "x" << a.cols_ << " * "
       << b.rows_ << "x" << b.cols_;
-  Matrix c(a.rows_, b.cols_);
+  out->Reshape(a.rows_, b.cols_);
+  out->Fill(0.0);
+  Matrix& c = *out;
   // Cache-blocked ikj: tile k and j so a panel of B stays resident in
   // L1/L2 while every row of A streams over it. Within each c(i,j) the
   // k-accumulation still runs in ascending order (tiles are visited in
@@ -65,7 +73,6 @@ Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
       }
     }
   }
-  return c;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& a, const Matrix& b) {

@@ -25,6 +25,24 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reinterprets the buffer as `rows` x `cols`, preserving existing
+  /// elements in flat row-major order (appending rows at an unchanged
+  /// column count keeps old rows intact; new elements are zero). Never
+  /// shrinks capacity, so shrinking and re-growing within a previously
+  /// reached size performs no heap allocation — the property the
+  /// generator's decode workspace relies on.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Preallocates backing storage without changing the logical shape.
+  void ReserveElems(size_t elems) { data_.reserve(elems); }
+
+  /// Elements the buffer can hold without reallocating.
+  size_t CapacityElems() const { return data_.capacity(); }
+
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
@@ -48,6 +66,10 @@ class Matrix {
 
   /// C = A * B. Shapes must agree.
   static Matrix MatMul(const Matrix& a, const Matrix& b);
+  /// C = A * B into a caller-owned buffer (reshaped, zeroed, then
+  /// accumulated by the same blocked kernel as MatMul, so results are
+  /// bit-identical). `out` must not alias `a` or `b`.
+  static void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
   /// C = A^T * B.
   static Matrix TransposeMatMul(const Matrix& a, const Matrix& b);
   /// C = A * B^T.

@@ -82,17 +82,23 @@ class Rng {
   /// True with probability p.
   bool Bernoulli(double p) { return Uniform() < p; }
 
-  /// Samples an index from an unnormalized non-negative weight vector.
-  /// Falls back to uniform if the weights sum to zero.
-  size_t Categorical(const std::vector<double>& weights) {
-    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-    if (total <= 0.0) return UniformInt(weights.size());
+  /// Samples an index from an unnormalized non-negative weight span.
+  /// Falls back to uniform if the weights sum to zero. Consumes exactly
+  /// one Uniform() draw (or one Next() on the fallback path).
+  size_t Categorical(const double* weights, size_t n) {
+    double total = std::accumulate(weights, weights + n, 0.0);
+    if (total <= 0.0) return UniformInt(n);
     double u = Uniform() * total;
-    for (size_t i = 0; i < weights.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       u -= weights[i];
       if (u <= 0.0) return i;
     }
-    return weights.size() - 1;
+    return n - 1;
+  }
+
+  /// Vector convenience overload of the span version above.
+  size_t Categorical(const std::vector<double>& weights) {
+    return Categorical(weights.data(), weights.size());
   }
 
   /// Fisher-Yates shuffle.
