@@ -1,0 +1,113 @@
+// Serving-daemon bench: drives the soak harness against a live Server at
+// 1 / 2 / 4 tenants and reports throughput, latency percentiles, and the
+// cache hit rate per concurrency level. `--json-out=PATH` lands the rows
+// as machine-readable JSON (run_benches.sh writes BENCH_serve.json).
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/harness.h"
+#include "serve/server.h"
+#include "serve/soak_harness.h"
+#include "util/json.h"
+
+namespace kgpip::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  HarnessOptions options = ParseOptions(argc, argv);
+
+  // Small but real model: the serve path exercises embedding, SimIndex,
+  // generation, and HPO, so the bench trains the same way a deploy would.
+  BenchmarkRegistry registry;
+  std::vector<DatasetSpec> chosen;
+  for (const DatasetSpec& spec : registry.TrainingSpecs()) {
+    if (spec.task == TaskType::kRegression) continue;
+    chosen.push_back(spec);
+    if (chosen.size() >= (options.quick ? 8u : 12u)) break;
+  }
+  core::KgpipConfig config;
+  config.top_k = 3;
+  config.generator_epochs = options.quick ? 5 : 10;
+  core::Kgpip model(config);
+  codegraph::CorpusOptions corpus;
+  corpus.pipelines_per_dataset = 6;
+  Status trained = model.Train(chosen, corpus, options.seed);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "KGpip training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  const double duration = options.quick ? 2.0 : 5.0;
+  Json rows = Json::Array();
+  std::printf("%-8s %10s %10s %10s %10s %10s\n", "tenants", "ok/s", "p50_ms",
+              "p99_ms", "hit_rate", "shed");
+  for (int tenants : {1, 2, 4}) {
+    serve::ServeOptions serve_options;
+    serve_options.num_workers = tenants;  // scale workers with offered load
+    serve_options.default_deadline_seconds = 10.0;
+    serve_options.max_trials = 4;
+    serve::Server server(&model, serve_options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+
+    serve::SoakOptions soak;
+    soak.num_tenants = tenants;
+    soak.duration_seconds = duration;
+    soak.num_datasets = 3;
+    soak.request_deadline_seconds = 10.0;
+    soak.max_trials = 4;
+    soak.seed = options.seed + static_cast<uint64_t>(tenants);
+    serve::SoakHarness harness(&server, soak);
+    Result<serve::SoakSummary> summary = harness.Run();
+    server.Stop();
+    if (!summary.ok()) {
+      std::fprintf(stderr, "soak at %d tenants failed: %s\n", tenants,
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+
+    const double throughput =
+        static_cast<double>(summary->ok) / duration;
+    const double hit_rate =
+        summary->ok > 0 ? static_cast<double>(summary->cache_hits) /
+                              static_cast<double>(summary->ok)
+                        : 0.0;
+    std::printf("%-8d %10.1f %10.2f %10.2f %10.3f %10lld\n", tenants,
+                throughput, summary->p50_latency_seconds * 1e3,
+                summary->p99_latency_seconds * 1e3, hit_rate,
+                static_cast<long long>(summary->shed));
+
+    Json row = summary->ToJson();
+    row.Set("tenants", tenants);
+    row.Set("duration_seconds", duration);
+    row.Set("throughput_ok_per_second", throughput);
+    row.Set("cache_hit_rate", hit_rate);
+    rows.Append(std::move(row));
+  }
+
+  if (!options.json_out.empty()) {
+    Json doc = Json::Object();
+    doc.Set("bench", std::string("serve"));
+    doc.Set("rows", std::move(rows));
+    std::ofstream out(options.json_out);
+    if (out) {
+      out << doc.Dump(2) << "\n";
+      std::fprintf(stderr, "wrote %s\n", options.json_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", options.json_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgpip::bench
+
+int main(int argc, char** argv) { return kgpip::bench::Run(argc, argv); }

@@ -136,11 +136,12 @@ Status Kgpip::TrainFromStore(const graph4ml::Graph4Ml& store,
   return Status::Ok();
 }
 
-Result<embed::SearchHit> Kgpip::NearestDataset(const Table& table) const {
+Result<embed::SearchHit> Kgpip::NearestDataset(
+    const Table& table, const util::CancelToken* cancel) const {
   if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
   std::vector<double> query = embedder_.Embed(table);
   KGPIP_ASSIGN_OR_RETURN(std::vector<embed::SearchHit> hits,
-                         index_.Search(query, 1));
+                         index_.Search(query, 1, cancel));
   if (hits.empty()) return Status::NotFound("empty similarity index");
   return hits[0];
 }
@@ -149,7 +150,19 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletons(
     const Table& train, TaskType task, uint64_t seed) const {
   if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
   KGPIP_ASSIGN_OR_RETURN(embed::SearchHit nearest, NearestDataset(train));
-  const std::vector<double>& condition = embeddings_.at(nearest.key);
+  return PredictSkeletonsFromNearest(nearest.key, task, seed);
+}
+
+Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletonsFromNearest(
+    const std::string& nearest_key, TaskType task, uint64_t seed) const {
+  if (!trained_) return Status::FailedPrecondition("KGpip is not trained");
+  auto condition_it = embeddings_.find(nearest_key);
+  if (condition_it == embeddings_.end()) {
+    return Status::NotFound("no embedding for dataset key '" + nearest_key +
+                            "' (stale cache entry?)");
+  }
+  const std::vector<double>& condition = condition_it->second;
+  const embed::SearchHit nearest{nearest_key, 1.0};
 
   // Seed subgraph: dataset node flowing into read_csv (paper §3.5).
   graph4ml::TypedGraph seed_graph;
@@ -253,18 +266,19 @@ Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
 
 Result<automl::AutoMlResult> Kgpip::FitWithSkeletons(
     std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
-    TaskType task, hpo::Budget budget, uint64_t seed) const {
+    TaskType task, hpo::Budget budget, uint64_t seed,
+    const FitOverrides& overrides) const {
   KGPIP_TRACE_SPAN("kgpip.fit_with_skeletons");
   return RunSearch(std::move(skeletons), train, task, budget, seed,
                    /*used_fallback=*/false, /*fallback_reason=*/"",
-                   obs::StageProfile(), Stopwatch());
+                   obs::StageProfile(), Stopwatch(), overrides);
 }
 
 Result<automl::AutoMlResult> Kgpip::RunSearch(
     std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
     TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
     const std::string& fallback_reason, obs::StageProfile profile,
-    Stopwatch fit_watch) const {
+    Stopwatch fit_watch, const FitOverrides& overrides) const {
   automl::AutoMlResult result;
 
   // Static lint gate: drop invalid candidates BEFORE the (T - t) / K
@@ -300,7 +314,9 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
     if (!created.ok()) return created.status();
     evaluator.emplace(std::move(*created));
   }
-  hpo::TrialGuard guard(&*evaluator, config_.guard);
+  hpo::TrialGuard guard(
+      &*evaluator,
+      overrides.guard != nullptr ? *overrides.guard : config_.guard);
 
   for (const gen::ScoredSkeleton& s : skeletons) {
     result.skeletons.push_back(s.spec);
@@ -316,7 +332,7 @@ Result<automl::AutoMlResult> Kgpip::RunSearch(
   {
     obs::StageTimer timer(&profile, "fit.hpo_search");
     for (int i = 0; i < k; ++i) {
-      if (budget.Exhausted()) {
+      if (budget.Exhausted() || util::Cancelled(overrides.cancel)) {
         stopped_early = true;  // best-so-far is returned below
         break;
       }

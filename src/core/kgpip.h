@@ -15,6 +15,7 @@
 #include "graph4ml/graph4ml.h"
 #include "hpo/optimizer.h"
 #include "obs/stage_profile.h"
+#include "util/cancel.h"
 #include "util/stopwatch.h"
 
 namespace kgpip::core {
@@ -52,6 +53,17 @@ struct KgpipConfig {
 /// reliable learners first, filtered by task support, capped at `k`.
 std::vector<gen::ScoredSkeleton> FallbackPortfolio(TaskType task, int k);
 
+/// Per-request knobs the serving daemon threads through a shared (const)
+/// Kgpip instance without mutating its config: a trial-guard override
+/// (per-request deadlines, retry policy) and a cooperative cancellation
+/// token (the watchdog's lever). Both pointers are borrowed — they must
+/// outlive the Fit call — and both default to "use the instance config /
+/// never cancel".
+struct FitOverrides {
+  const hpo::TrialGuardOptions* guard = nullptr;
+  const util::CancelToken* cancel = nullptr;
+};
+
 /// The KGpip system (paper §3): a learner & transformer selection
 /// component that (1) mines pipelines from scripts with static analysis,
 /// (2) embeds datasets by content for nearest-neighbour lookup,
@@ -79,6 +91,16 @@ class Kgpip : public automl::AutoMlSystem {
   Result<std::vector<gen::ScoredSkeleton>> PredictSkeletons(
       const Table& train, TaskType task, uint64_t seed) const;
 
+  /// The generation tail of PredictSkeletons with the expensive head
+  /// (table embedding + SimIndex query) already resolved to a training
+  /// dataset key. The serving daemon's content-hash cache stores that
+  /// key per dataset digest, so a repeated fit skips embed + SimIndex
+  /// entirely and re-enters here. Fails kNotFound for a key the trained
+  /// embedding map does not contain (e.g. a stale cache entry from an
+  /// older artifact generation).
+  Result<std::vector<gen::ScoredSkeleton>> PredictSkeletonsFromNearest(
+      const std::string& nearest_key, TaskType task, uint64_t seed) const;
+
   /// Full AutoML fit (implements automl::AutoMlSystem).
   Result<automl::AutoMlResult> Fit(const Table& train, TaskType task,
                                    hpo::Budget budget,
@@ -91,13 +113,21 @@ class Kgpip : public automl::AutoMlSystem {
   /// rejections are counted in the result's RunReport.
   Result<automl::AutoMlResult> FitWithSkeletons(
       std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
-      TaskType task, hpo::Budget budget, uint64_t seed) const;
+      TaskType task, hpo::Budget budget, uint64_t seed,
+      const FitOverrides& overrides = {}) const;
   std::string name() const override {
     return config_.optimizer == "flaml" ? "KGpipFLAML" : "KGpipAutoSklearn";
   }
 
-  /// Name + similarity of the nearest seen dataset for a table.
-  Result<embed::SearchHit> NearestDataset(const Table& table) const;
+  /// Name + similarity of the nearest seen dataset for a table. `cancel`
+  /// is polled inside the SimIndex scan (see SimIndex::Search).
+  Result<embed::SearchHit> NearestDataset(
+      const Table& table, const util::CancelToken* cancel = nullptr) const;
+
+  /// The content embedder (serving computes digests/embeddings itself to
+  /// key its cache) and the similarity index it queries.
+  const embed::TableEmbedder& embedder() const { return embedder_; }
+  const embed::SimIndex& index() const { return index_; }
 
   const graph4ml::Graph4Ml& store() const { return store_; }
   bool trained() const { return trained_; }
@@ -122,7 +152,7 @@ class Kgpip : public automl::AutoMlSystem {
       std::vector<gen::ScoredSkeleton> skeletons, const Table& train,
       TaskType task, hpo::Budget budget, uint64_t seed, bool used_fallback,
       const std::string& fallback_reason, obs::StageProfile profile,
-      Stopwatch fit_watch) const;
+      Stopwatch fit_watch, const FitOverrides& overrides = {}) const;
 
   KgpipConfig config_;
   bool trained_ = false;

@@ -17,6 +17,16 @@ namespace {
 /// dispatch; below this the inline path wins.
 constexpr size_t kParallelScanThreshold = 2048;
 
+/// Candidates scored between cancellation polls. Small enough that a
+/// deadline-exceeded request stops within microseconds of cancellation,
+/// large enough that the relaxed atomic load is amortized away.
+constexpr size_t kCancelPollStride = 512;
+
+Status CancelledStatus() {
+  return Status::ResourceExhausted(
+      "similarity search cancelled (deadline exceeded)");
+}
+
 /// Ranking comparator: similarity descending, insertion index ascending.
 /// The index tie-break pins an order std::sort left unspecified, so the
 /// top-k selection, the full-sort reference, and any platform agree.
@@ -148,19 +158,30 @@ Status SimIndex::Build() {
   return Status::Ok();
 }
 
-std::vector<SearchHit> SimIndex::TopK(
+Result<std::vector<SearchHit>> SimIndex::TopK(
     const std::vector<double>& query,
-    const std::vector<size_t>& candidates, size_t k) const {
+    const std::vector<size_t>& candidates, size_t k,
+    const util::CancelToken* cancel) const {
   std::vector<RankedSim> ranked(candidates.size());
   auto score = [&](size_t c) {
     ranked[c] = {BlockedCosine(query.data(), RowData(candidates[c]), dims_),
                  candidates[c]};
   };
   if (candidates.size() >= kParallelScanThreshold) {
-    util::ThreadPool::Global().ParallelFor(
-        candidates.size(), [&](size_t c) { score(c); });
+    // Pool lanes poll at block boundaries too: a cancelled block skips
+    // its scoring work (the partial `ranked` is discarded below).
+    util::ThreadPool::Global().ParallelFor(candidates.size(), [&](size_t c) {
+      if (c % kCancelPollStride == 0 && util::Cancelled(cancel)) return;
+      score(c);
+    });
+    if (util::Cancelled(cancel)) return CancelledStatus();
   } else {
-    for (size_t c = 0; c < candidates.size(); ++c) score(c);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (c % kCancelPollStride == 0 && util::Cancelled(cancel)) {
+        return CancelledStatus();
+      }
+      score(c);
+    }
   }
   // Bounded selection instead of a full sort: nth_element partitions the
   // top k in O(n), then only those k are ordered.
@@ -180,7 +201,9 @@ std::vector<SearchHit> SimIndex::TopK(
 }
 
 Result<std::vector<SearchHit>> SimIndex::Search(
-    const std::vector<double>& query, size_t k) const {
+    const std::vector<double>& query, size_t k,
+    const util::CancelToken* cancel) const {
+  KGPIP_TRACE_SPAN("embed.index_search");
   static obs::Histogram* query_seconds =
       obs::MetricsRegistry::Global().GetHistogram("embed.index_query_seconds");
   Stopwatch watch;
@@ -193,6 +216,7 @@ Result<std::vector<SearchHit>> SimIndex::Search(
   if (query.size() != dims_) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  if (util::Cancelled(cancel)) return CancelledStatus();
   std::vector<size_t> candidates;
   if (options_.num_cells > 0 && built_ && !cells_.empty()) {
     // Probe the closest coarse cells.
@@ -216,17 +240,20 @@ Result<std::vector<SearchHit>> SimIndex::Search(
     candidates.resize(keys_.size());
     for (size_t i = 0; i < keys_.size(); ++i) candidates[i] = i;
   }
-  return TopK(query, candidates, k);
+  return TopK(query, candidates, k, cancel);
 }
 
 Result<std::vector<std::vector<SearchHit>>> SimIndex::SearchBatch(
-    const std::vector<std::vector<double>>& queries, size_t k) const {
+    const std::vector<std::vector<double>>& queries, size_t k,
+    const util::CancelToken* cancel) const {
   KGPIP_TRACE_SPAN("embed.index_search_batch");
   util::ThreadPool& pool = util::ThreadPool::Global();
   std::vector<std::vector<SearchHit>> out(queries.size());
   std::vector<Status> statuses(queries.size(), Status::Ok());
   pool.ParallelFor(queries.size(), [&](size_t q) {
-    Result<std::vector<SearchHit>> r = Search(queries[q], k);
+    // Per-query poll: queries not yet started when the token flips are
+    // skipped outright instead of each scanning to completion.
+    Result<std::vector<SearchHit>> r = Search(queries[q], k, cancel);
     if (r.ok()) {
       out[q] = std::move(*r);
     } else {

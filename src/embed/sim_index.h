@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace kgpip::embed {
@@ -52,14 +53,20 @@ class SimIndex {
 
   /// Top-k most cosine-similar entries to `query`, most similar first.
   /// Ties order by insertion index (deterministic across platforms and
-  /// thread counts).
-  Result<std::vector<SearchHit>> Search(const std::vector<double>& query,
-                                        size_t k) const;
+  /// thread counts). `cancel`, when non-null, is polled between scan
+  /// blocks: a cancelled search stops burning CPU mid-scan and returns
+  /// kResourceExhausted instead of finishing a doomed pass — the serve
+  /// watchdog's lever against deadline-exceeded requests.
+  Result<std::vector<SearchHit>> Search(
+      const std::vector<double>& query, size_t k,
+      const util::CancelToken* cancel = nullptr) const;
 
   /// Batched queries: out[i] == Search(queries[i], k). Queries run in
-  /// parallel; the first (lowest-index) failure is returned.
+  /// parallel; the first (lowest-index) failure is returned. A cancelled
+  /// token surfaces as kResourceExhausted like in Search.
   Result<std::vector<std::vector<SearchHit>>> SearchBatch(
-      const std::vector<std::vector<double>>& queries, size_t k) const;
+      const std::vector<std::vector<double>>& queries, size_t k,
+      const util::CancelToken* cancel = nullptr) const;
 
   size_t size() const { return keys_.size(); }
   size_t dims() const { return dims_; }
@@ -71,10 +78,13 @@ class SimIndex {
   const std::string& KeyOf(size_t i) const { return keys_[i]; }
 
  private:
-  /// Scores `candidates` against `query` and keeps the top k.
-  std::vector<SearchHit> TopK(const std::vector<double>& query,
-                              const std::vector<size_t>& candidates,
-                              size_t k) const;
+  /// Scores `candidates` against `query` and keeps the top k. Polls
+  /// `cancel` every scoring block; a cancelled scan returns
+  /// kResourceExhausted without finishing.
+  Result<std::vector<SearchHit>> TopK(const std::vector<double>& query,
+                                      const std::vector<size_t>& candidates,
+                                      size_t k,
+                                      const util::CancelToken* cancel) const;
 
   Options options_;
   std::vector<std::string> keys_;

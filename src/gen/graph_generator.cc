@@ -1,6 +1,7 @@
 #include "gen/graph_generator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
@@ -346,10 +347,24 @@ GeneratedGraph GraphGenerator::GenerateTape(
   return out;
 }
 
-void GraphGenerator::EnsureEngines(size_t lanes) const {
-  while (engines_.size() < lanes) {
-    engines_.push_back(std::make_unique<InferenceEngine>(this));
+std::unique_ptr<InferenceEngine> GraphGenerator::AcquireEngine() const {
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    if (!engines_.empty()) {
+      std::unique_ptr<InferenceEngine> engine = std::move(engines_.back());
+      engines_.pop_back();
+      return engine;
+    }
   }
+  // Construction happens outside the lock: it allocates the full decode
+  // scratch and only touches this generator's (immutable-here) weights.
+  return std::make_unique<InferenceEngine>(this);
+}
+
+void GraphGenerator::ReleaseEngine(
+    std::unique_ptr<InferenceEngine> engine) const {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  engines_.push_back(std::move(engine));
 }
 
 GeneratedGraph GraphGenerator::GenerateWithEngine(
@@ -387,13 +402,13 @@ GeneratedGraph GraphGenerator::Generate(const graph4ml::TypedGraph& seed,
     Stopwatch* watch;
     ~RecordOnExit() { hist->Record(watch->ElapsedSeconds()); }
   } record{generate_seconds, &watch};
-  EnsureEngines(1);
-  InferenceEngine& engine = *engines_[0];
-  const size_t allocs_before = engine.alloc_events();
+  std::unique_ptr<InferenceEngine> engine = AcquireEngine();
+  const size_t allocs_before = engine->alloc_events();
   GeneratedGraph out =
-      GenerateWithEngine(engine, seed, condition, rng, temperature);
+      GenerateWithEngine(*engine, seed, condition, rng, temperature);
   generate_allocs->Increment(
-      static_cast<int64_t>(engine.alloc_events() - allocs_before));
+      static_cast<int64_t>(engine->alloc_events() - allocs_before));
+  ReleaseEngine(std::move(engine));
   return out;
 }
 
@@ -409,22 +424,25 @@ std::vector<GeneratedGraph> GraphGenerator::GenerateTopK(
   if (k == 0) return {};
   Stopwatch watch;
   util::ThreadPool& pool = util::ThreadPool::Global();
-  EnsureEngines(static_cast<size_t>(pool.num_lanes()));
   // Fork one stream per candidate *before* dispatch, and write results
   // by candidate index: output is then a function of (seed rng, k) only,
-  // byte-identical at any thread count.
+  // byte-identical at any thread count. Engine identity does not affect
+  // the decode (engines are scratch over shared weights), so checkout
+  // order — which *does* vary with scheduling — is output-invariant.
   std::vector<Rng> rngs = util::ForkRngs(rng, k);
-  size_t allocs_before = 0;
-  for (const auto& engine : engines_) allocs_before += engine->alloc_events();
   std::vector<GeneratedGraph> results(k);
-  pool.ParallelFor(k, [&](size_t i, size_t lane) {
-    results[i] = GenerateWithEngine(*engines_[lane], seed, condition,
-                                    &rngs[i], temperature);
+  std::atomic<size_t> alloc_delta{0};
+  pool.ParallelFor(k, [&](size_t i) {
+    std::unique_ptr<InferenceEngine> engine = AcquireEngine();
+    const size_t allocs_before = engine->alloc_events();
+    results[i] = GenerateWithEngine(*engine, seed, condition, &rngs[i],
+                                    temperature);
+    alloc_delta.fetch_add(engine->alloc_events() - allocs_before,
+                          std::memory_order_relaxed);
+    ReleaseEngine(std::move(engine));
   });
-  size_t allocs_after = 0;
-  for (const auto& engine : engines_) allocs_after += engine->alloc_events();
   generate_allocs->Increment(
-      static_cast<int64_t>(allocs_after - allocs_before));
+      static_cast<int64_t>(alloc_delta.load(std::memory_order_relaxed)));
   topk_seconds->Record(watch.ElapsedSeconds());
   return results;
 }

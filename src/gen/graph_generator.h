@@ -2,6 +2,7 @@
 #define KGPIP_GEN_GRAPH_GENERATOR_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph4ml/vocab.h"
@@ -69,9 +70,9 @@ class GraphGenerator {
   /// Generates one graph conditioned on a seed subgraph. `temperature`
   /// scales sampling entropy (0 = greedy argmax). Runs on the tape-free
   /// inference engine — byte-identical to GenerateTape but without
-  /// autograd bookkeeping. Reuses a per-generator engine arena, so
-  /// concurrent calls on the *same* generator must go through
-  /// GenerateTopK instead (which runs one engine per pool lane).
+  /// autograd bookkeeping. Engines are checked out of a shared free
+  /// list per call, so concurrent calls on the *same* generator are
+  /// safe (each caller decodes on private scratch).
   GeneratedGraph Generate(const graph4ml::TypedGraph& seed,
                           const std::vector<double>& condition, Rng* rng,
                           double temperature = 1.0) const;
@@ -84,7 +85,8 @@ class GraphGenerator {
                               Rng* rng, double temperature = 1.0) const;
 
   /// Batched generation: decodes `k` candidates in parallel over the
-  /// global thread pool, one engine per lane. RNG streams are forked
+  /// global thread pool, one checked-out engine per in-flight
+  /// candidate. RNG streams are forked
   /// from `rng` by candidate index before dispatch and results land by
   /// index, so output is byte-identical at any thread count.
   std::vector<GeneratedGraph> GenerateTopK(
@@ -142,8 +144,12 @@ class GraphGenerator {
   double TrainEpochBatched(const std::vector<GraphExample>& examples,
                            const std::vector<size_t>& order);
 
-  /// Grows the lane-indexed engine set to `lanes` entries (lazy).
-  void EnsureEngines(size_t lanes) const;
+  /// Checks a warm engine out of the free list (or builds one when the
+  /// list is empty). Pairs with ReleaseEngine; checkout means two
+  /// threads can never share decode scratch, no matter how many
+  /// concurrent Generate/GenerateTopK calls are in flight.
+  std::unique_ptr<InferenceEngine> AcquireEngine() const;
+  void ReleaseEngine(std::unique_ptr<InferenceEngine> engine) const;
   /// Decode via `engine`, optionally cross-checked against the tape.
   GeneratedGraph GenerateWithEngine(InferenceEngine& engine,
                                     const graph4ml::TypedGraph& seed,
@@ -156,7 +162,10 @@ class GraphGenerator {
   std::unique_ptr<nn::Adam> optimizer_;
   /// Lane-indexed model replicas for data-parallel training (lazy).
   std::vector<std::unique_ptr<GraphGenerator>> replicas_;
-  /// Lane-indexed inference engines (lazy, mutable decode scratch).
+  /// Free list of inference engines (mutable decode scratch), guarded
+  /// by engines_mu_. Grows lazily to the peak number of concurrent
+  /// decodes and keeps warmed-up caches across calls.
+  mutable std::mutex engines_mu_;
   mutable std::vector<std::unique_ptr<InferenceEngine>> engines_;
 
   nn::Var type_embedding_;  // (vocab) x hidden

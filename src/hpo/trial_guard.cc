@@ -79,6 +79,8 @@ Json RunReport::ToJson() const {
   out.Set("fallback_portfolio", fallback_portfolio);
   out.Set("last_resort_pass", last_resort_pass);
   out.Set("returned_best_so_far", returned_best_so_far);
+  out.Set("cache_hit", cache_hit);
+  out.Set("degradation_level", degradation_level);
   out.Set("notes", notes);
   if (!stage_profile.empty()) {
     out.Set("stage_profile", stage_profile.ToJson());
@@ -95,6 +97,10 @@ std::string RunReport::Summary() const {
   if (fallback_portfolio) out += " fallback_portfolio";
   if (last_resort_pass) out += " last_resort";
   if (returned_best_so_far) out += " best_so_far";
+  if (cache_hit) out += " cache_hit";
+  if (degradation_level > 0) {
+    out += StrFormat(" degraded=%d", degradation_level);
+  }
   return out;
 }
 
@@ -206,7 +212,7 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
 
   evaluator_->Record(spec, out.ok() ? out.score : -1e18);
   if (out.ok()) {
-    consecutive_failures_[group] = 0;
+    breaker_.RecordSuccess(group);
     if (out.score > sr->best_score) sr->best_score = out.score;
     return out;
   }
@@ -215,10 +221,7 @@ GuardedTrial TrialGuard::Evaluate(const ml::PipelineSpec& spec,
   ++report_.total_failures;
   ++report_.failures_by_code[out.code];
   failures->Increment();
-  int streak = ++consecutive_failures_[group];
-  if (options_.circuit_breaker_threshold > 0 &&
-      streak >= options_.circuit_breaker_threshold) {
-    open_.insert(group);
+  if (breaker_.RecordFailure(group)) {
     sr->abandoned = true;
     ++report_.circuit_breaker_trips;
     breaker_trips->Increment();

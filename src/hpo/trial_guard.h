@@ -47,6 +47,47 @@ struct TrialGuardOptions {
   int circuit_breaker_threshold = 3;
 };
 
+/// Consecutive-failure circuit breaker over string-keyed groups (PR 1's
+/// per-skeleton breaker, factored out so the serve daemon can reuse the
+/// identical policy per tenant). Not thread-safe on its own; TrialGuard
+/// runs single-threaded and serve wraps it in its tenant-state mutex.
+class CircuitBreaker {
+ public:
+  /// `threshold` consecutive failures open the circuit; <= 0 disables
+  /// breaking entirely.
+  explicit CircuitBreaker(int threshold) : threshold_(threshold) {}
+
+  bool Open(const std::string& key) const { return open_.count(key) > 0; }
+
+  /// Records one failure; returns true when this failure tripped the
+  /// breaker (the open transition, not merely "is open").
+  bool RecordFailure(const std::string& key) {
+    if (Open(key)) return false;
+    int streak = ++consecutive_[key];
+    if (threshold_ > 0 && streak >= threshold_) {
+      open_.insert(key);
+      return true;
+    }
+    return false;
+  }
+
+  void RecordSuccess(const std::string& key) { consecutive_[key] = 0; }
+
+  /// Half-open probe support: forgets the open state (and the streak) so
+  /// the next request through gets one real attempt.
+  void Reset(const std::string& key) {
+    open_.erase(key);
+    consecutive_[key] = 0;
+  }
+
+  int threshold() const { return threshold_; }
+
+ private:
+  int threshold_;
+  std::map<std::string, int> consecutive_;
+  std::set<std::string> open_;
+};
+
 /// Per-skeleton (or per-learner) slice of a run's failure accounting.
 struct SkeletonReport {
   std::string key;  // skeleton spec string or learner name
@@ -84,6 +125,14 @@ struct RunReport {
   bool fallback_portfolio = false;   // skeleton prediction failed
   bool last_resort_pass = false;     // search yielded nothing; defaults run
   bool returned_best_so_far = false; // budget expired before all skeletons
+  /// Serving provenance: true when the result was answered from the
+  /// daemon's content-hash cache instead of a fresh search, so a cached
+  /// answer stays auditable (see DESIGN.md "Serving & multi-tenancy").
+  bool cache_hit = false;
+  /// Overload degradation rung the daemon served this request at:
+  /// 0 = full fit, 1 = cached-skeleton fit (embedding + SimIndex skipped,
+  /// reduced HPO budget), 2 = zero-shot top-1 skeleton (no HPO).
+  int degradation_level = 0;
   std::string notes;
   /// Where `Kgpip::Fit` spent its wall-clock budget, stage by stage
   /// (predict_skeletons, hpo_search, ...). Empty outside full Fit runs.
@@ -106,7 +155,9 @@ struct RunReport {
 class TrialGuard {
  public:
   TrialGuard(TrialEvaluator* evaluator, TrialGuardOptions options)
-      : evaluator_(evaluator), options_(options) {}
+      : evaluator_(evaluator),
+        options_(options),
+        breaker_(options.circuit_breaker_threshold) {}
 
   /// Evaluates `spec` under the guard. Never propagates an error: every
   /// outcome is a `GuardedTrial`. A trial against an open circuit returns
@@ -117,7 +168,7 @@ class TrialGuard {
 
   /// True once `group` has been abandoned by the circuit breaker.
   bool CircuitOpen(const std::string& group) const {
-    return open_.count(group) > 0;
+    return breaker_.Open(group);
   }
 
   /// Records budget trials an abandoned group released back to the pool.
@@ -133,8 +184,7 @@ class TrialGuard {
   TrialEvaluator* evaluator_;
   TrialGuardOptions options_;
   RunReport report_;
-  std::map<std::string, int> consecutive_failures_;
-  std::set<std::string> open_;
+  CircuitBreaker breaker_;
 };
 
 }  // namespace kgpip::hpo

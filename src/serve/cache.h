@@ -1,0 +1,106 @@
+#ifndef KGPIP_SERVE_CACHE_H_
+#define KGPIP_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "data/table.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace kgpip::serve {
+
+/// FNV-1a content digest of a table: column names, declared types,
+/// missing masks, and cell values (numeric cells hash their raw IEEE-754
+/// bits, so two tables digest equal iff their contents are bit-equal).
+/// This is the daemon's cache key: a repeated fit over the same dataset
+/// digests identically and short-circuits embedding + SimIndex.
+uint64_t TableDigest(const Table& table);
+
+/// Crash-safe content-addressed cache for serving artifacts: embedding +
+/// SimIndex query results and completed fit results, keyed by dataset
+/// digest. Two tiers:
+///
+///   * an in-memory LRU map (bounded by `max_memory_entries`) absorbing
+///     the steady-state hit path without touching disk;
+///   * an on-disk entry-per-file store under `dir` surviving restarts.
+///
+/// Disk entries are written atomically (write to a temp file in the same
+/// directory, then rename over the final name) and carry a checksummed
+/// header `KGCACHE1 <fnv1a> <size>\n`, so a torn write, truncation, or
+/// bit flip is *detected at read time* — the corrupt entry is evicted
+/// (unlinked) and reported as a miss, never served. All methods are
+/// thread-safe; serve workers share one cache.
+class ArtifactCache {
+ public:
+  struct Options {
+    /// On-disk directory; empty = memory-only cache. Created on first
+    /// Put if missing.
+    std::string dir;
+    size_t max_memory_entries = 256;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t writes = 0;
+    int64_t corrupt_evictions = 0;
+  };
+
+  explicit ArtifactCache(Options options);
+
+  /// Looks `key` up (memory tier first, then disk). A corrupt disk entry
+  /// is evicted and the lookup reports kNotFound; the caller rebuilds
+  /// and re-Puts, healing the cache.
+  Result<Json> Get(const std::string& key);
+
+  /// Stores `value` under `key` in both tiers. Disk failures degrade to
+  /// memory-only (logged, counted) — the daemon never fails a request
+  /// because its cache directory did.
+  Status Put(const std::string& key, const Json& value);
+
+  /// Drops `key` from both tiers (used when a cached entry turns out to
+  /// be stale against the loaded model artifacts).
+  void Evict(const std::string& key);
+
+  /// The on-disk path `key` maps to ("" for a memory-only cache). Keys
+  /// are sanitized into filenames with an appended digest so distinct
+  /// keys never collide.
+  std::string PathForKey(const std::string& key) const;
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  const Options& options() const { return options_; }
+
+  /// Parses + verifies one entry file. Exposed for tests and repair
+  /// tooling: truncation, header damage, and payload corruption all
+  /// return kParseError with a byte-offset diagnostic.
+  static Result<Json> LoadEntryFile(const std::string& path);
+
+  /// Atomically writes `payload` (already serialized) with a checksummed
+  /// header: temp file in the target directory, then rename.
+  static Status WriteEntryFile(const std::string& path,
+                               const std::string& payload);
+
+ private:
+  /// Memory-tier insert; caller holds `mu_`.
+  void PutMemoryLocked(const std::string& key, Json value);
+
+  Options options_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  /// LRU list front = most recent; map points into the list.
+  std::list<std::pair<std::string, Json>> lru_;
+  std::map<std::string, std::list<std::pair<std::string, Json>>::iterator>
+      memory_;
+};
+
+}  // namespace kgpip::serve
+
+#endif  // KGPIP_SERVE_CACHE_H_

@@ -1,0 +1,614 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgpip::serve {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  double value = 0.0;
+  return ParseDouble(raw, &value) ? value : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  int64_t value = 0;
+  return ParseInt64(raw, &value) ? value : fallback;
+}
+
+std::string EnvStr(const char* name, std::string fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+obs::Counter* ServeCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::FromEnv() {
+  ServeOptions o;
+  o.num_workers = static_cast<int>(
+      EnvInt("KGPIP_SERVE_WORKERS", o.num_workers));
+  o.max_queue_depth = static_cast<size_t>(std::max<int64_t>(
+      1, EnvInt("KGPIP_SERVE_QUEUE_DEPTH",
+                static_cast<int64_t>(o.max_queue_depth))));
+  o.default_deadline_seconds =
+      EnvDouble("KGPIP_SERVE_DEADLINE_SECONDS", o.default_deadline_seconds);
+  o.grace_seconds = EnvDouble("KGPIP_SERVE_GRACE_SECONDS", o.grace_seconds);
+  o.tenant_tokens_per_second =
+      EnvDouble("KGPIP_SERVE_TENANT_RATE", o.tenant_tokens_per_second);
+  o.tenant_burst_tokens =
+      EnvDouble("KGPIP_SERVE_TENANT_BURST", o.tenant_burst_tokens);
+  o.breaker_threshold = static_cast<int>(
+      EnvInt("KGPIP_SERVE_BREAKER_THRESHOLD", o.breaker_threshold));
+  o.breaker_cooldown_seconds =
+      EnvDouble("KGPIP_SERVE_BREAKER_COOLDOWN", o.breaker_cooldown_seconds);
+  o.degrade_queue_depth = static_cast<size_t>(std::max<int64_t>(
+      1, EnvInt("KGPIP_SERVE_DEGRADE_DEPTH",
+                static_cast<int64_t>(o.degrade_queue_depth))));
+  o.max_trials =
+      static_cast<int>(EnvInt("KGPIP_SERVE_MAX_TRIALS", o.max_trials));
+  o.cache_dir = EnvStr("KGPIP_SERVE_CACHE_DIR", o.cache_dir);
+  o.cache_memory_entries = static_cast<size_t>(std::max<int64_t>(
+      1, EnvInt("KGPIP_SERVE_CACHE_ENTRIES",
+                static_cast<int64_t>(o.cache_memory_entries))));
+  return o;
+}
+
+Json SpecToJson(const ml::PipelineSpec& spec) {
+  Json out = Json::Object();
+  Json pre = Json::Array();
+  for (const std::string& p : spec.preprocessors) pre.Append(p);
+  out.Set("preprocessors", std::move(pre));
+  out.Set("learner", spec.learner);
+  Json num = Json::Object();
+  for (const auto& [k, v] : spec.params.numeric()) num.Set(k, v);
+  out.Set("params_num", std::move(num));
+  Json str = Json::Object();
+  for (const auto& [k, v] : spec.params.strings()) str.Set(k, v);
+  out.Set("params_str", std::move(str));
+  return out;
+}
+
+Result<ml::PipelineSpec> SpecFromJson(const Json& json) {
+  if (!json.is_object() || !json.Get("learner").is_string()) {
+    return Status::ParseError("pipeline spec JSON lacks a learner");
+  }
+  ml::PipelineSpec spec;
+  spec.learner = json.Get("learner").AsString();
+  for (const Json& p : json.Get("preprocessors").items()) {
+    if (!p.is_string()) {
+      return Status::ParseError("non-string preprocessor in spec JSON");
+    }
+    spec.preprocessors.push_back(p.AsString());
+  }
+  for (const auto& [k, v] : json.Get("params_num").members()) {
+    if (!v.is_number()) {
+      return Status::ParseError("non-numeric hyper-parameter '" + k + "'");
+    }
+    spec.params.SetNum(k, v.AsDouble());
+  }
+  for (const auto& [k, v] : json.Get("params_str").members()) {
+    if (!v.is_string()) {
+      return Status::ParseError("non-string hyper-parameter '" + k + "'");
+    }
+    spec.params.SetStr(k, v.AsString());
+  }
+  return spec;
+}
+
+std::string Server::ResultCacheKey(uint64_t digest, TaskType task,
+                                   int max_trials) {
+  return StrFormat("result-%016llx-%s-t%d",
+                   static_cast<unsigned long long>(digest),
+                   TaskTypeName(task), max_trials);
+}
+
+std::string Server::QueryCacheKey(uint64_t digest) {
+  return StrFormat("query-%016llx", static_cast<unsigned long long>(digest));
+}
+
+Server::Server(const core::Kgpip* model, ServeOptions options)
+    : model_(model),
+      options_(options),
+      cache_(ArtifactCache::Options{options.cache_dir,
+                                    options.cache_memory_entries}) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (model_ == nullptr || !model_->trained()) {
+    return Status::FailedPrecondition(
+        "kgpip-serve needs a trained model (Train or LoadFile first)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  started_ = true;
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+  return Status::Ok();
+}
+
+void Server::Respond(const std::shared_ptr<Pending>& pending,
+                     ServeResponse response) {
+  // Worker and watchdog can race to resolve one request; first wins.
+  if (pending->responded.exchange(true, std::memory_order_acq_rel)) return;
+  response.latency_seconds = pending->admitted.ElapsedSeconds();
+  pending->state.store(RequestState::kDone, std::memory_order_release);
+  pending->promise.set_value(std::move(response));
+}
+
+Status Server::AdmitLocked(const FitRequest& request) {
+  if (draining_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server is draining; not admitting");
+  }
+  TenantState& tenant = tenants_[request.tenant];
+
+  if (tenant.breaker_open) {
+    if (tenant.breaker_opened.ElapsedSeconds() <
+        options_.breaker_cooldown_seconds) {
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant +
+          "' circuit breaker is open (cooling down)");
+    }
+    // Half-open: admit one probe. One more failure re-opens immediately.
+    tenant.breaker_open = false;
+    tenant.consecutive_failures = std::max(0, options_.breaker_threshold - 1);
+  }
+
+  if (options_.tenant_tokens_per_second > 0.0) {
+    if (!tenant.bucket_started) {
+      tenant.bucket_started = true;
+      tenant.tokens = options_.tenant_burst_tokens;
+      tenant.since_refill.Reset();
+    }
+    tenant.tokens = std::min(
+        options_.tenant_burst_tokens,
+        tenant.tokens + tenant.since_refill.ElapsedSeconds() *
+                            options_.tenant_tokens_per_second);
+    tenant.since_refill.Reset();
+    if (tenant.tokens < 1.0) {
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant + "' is over its request budget");
+    }
+    tenant.tokens -= 1.0;
+  }
+
+  if (queue_.size() >= options_.max_queue_depth) {
+    return Status::ResourceExhausted(StrFormat(
+        "request queue is full (%d queued); load shed",
+        static_cast<int>(queue_.size())));
+  }
+  return Status::Ok();
+}
+
+std::future<ServeResponse> Server::Submit(FitRequest request) {
+  static obs::Counter* submitted = ServeCounter("serve.requests");
+  static obs::Counter* sheds = ServeCounter("serve.sheds");
+  static obs::Gauge* depth =
+      obs::MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  submitted->Increment();
+
+  auto pending = std::make_shared<Pending>();
+  pending->deadline_seconds = request.deadline_seconds > 0.0
+                                  ? request.deadline_seconds
+                                  : options_.default_deadline_seconds;
+  pending->request = std::move(request);
+  std::future<ServeResponse> future = pending->promise.get_future();
+
+  Status admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = AdmitLocked(pending->request);
+    if (admitted.ok()) {
+      queue_.push_back(pending);
+      depth->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      sheds->Increment();
+    }
+    ServeResponse refused;
+    refused.status = admitted;
+    Respond(pending, std::move(refused));
+    return future;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Server::WorkerLoop(int worker_index) {
+  static obs::Counter* ok_count = ServeCounter("serve.responses_ok");
+  static obs::Counter* failed = ServeCounter("serve.responses_error");
+  static obs::Counter* degraded = ServeCounter("serve.degraded_requests");
+  static obs::Gauge* depth =
+      obs::MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  (void)worker_index;
+
+  for (;;) {
+    std::shared_ptr<Pending> pending;
+    int rung = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire) ||
+               (draining_.load(std::memory_order_acquire) && queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire) ||
+            draining_.load(std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+      depth->Set(static_cast<double>(queue_.size()));
+      // The queue depth *behind* this request decides the degradation
+      // rung: a deep backlog means every queued caller is burning its
+      // deadline, so each request gets a cheaper treatment.
+      if (queue_.size() >= 2 * options_.degrade_queue_depth) {
+        rung = 2;
+      } else if (queue_.size() >= options_.degrade_queue_depth) {
+        rung = 1;
+      }
+      if (pending->state.load(std::memory_order_acquire) ==
+          RequestState::kDone) {
+        continue;  // watchdog already failed it while queued
+      }
+      pending->state.store(RequestState::kRunning, std::memory_order_release);
+      inflight_.push_back(pending);
+    }
+
+    ServeResponse response;
+    if (pending->cancel.cancelled() ||
+        pending->admitted.ElapsedSeconds() >= pending->deadline_seconds) {
+      response.status = Status::ResourceExhausted(
+          "deadline expired before the request left the queue");
+    } else {
+      response = Execute(*pending, rung);
+    }
+    if (rung > 0 && response.status.ok() && !response.cache_hit) {
+      degraded->Increment();
+    }
+    const bool succeeded = response.status.ok();
+    (succeeded ? ok_count : failed)->Increment();
+    const std::string tenant = pending->request.tenant;
+    const double latency = pending->admitted.ElapsedSeconds();
+    // Breaker state must advance before the caller's future resolves:
+    // a client that observes failure N and immediately resubmits has to
+    // hit an already-open breaker, not a stale one.
+    RecordOutcomeForTenant(tenant, succeeded);
+    Respond(pending, std::move(response));
+
+    obs::MetricsRegistry::Global()
+        .GetHistogram("serve.latency_seconds." + tenant)
+        ->Record(latency);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), pending),
+                      inflight_.end());
+      if (queue_.empty() && inflight_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+void Server::RecordOutcomeForTenant(const std::string& tenant, bool ok) {
+  static obs::Counter* trips = ServeCounter("serve.breaker_trips");
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  if (ok) {
+    state.consecutive_failures = 0;
+    return;
+  }
+  ++state.consecutive_failures;
+  if (!state.breaker_open && options_.breaker_threshold > 0 &&
+      state.consecutive_failures >= options_.breaker_threshold) {
+    state.breaker_open = true;
+    state.breaker_opened.Reset();
+    trips->Increment();
+    KGPIP_LOG(Warning) << "serve: circuit breaker opened for tenant '"
+                       << tenant << "' after " << state.consecutive_failures
+                       << " consecutive failures";
+  }
+}
+
+void Server::WatchdogLoop() {
+  static obs::Counter* cancels = ServeCounter("serve.deadline_cancels");
+  const auto period = std::chrono::duration<double>(
+      std::max(0.001, options_.watchdog_period_seconds));
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    std::vector<std::shared_ptr<Pending>> expired_queued;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& pending : queue_) {
+        if (pending->state.load(std::memory_order_acquire) ==
+                RequestState::kQueued &&
+            pending->admitted.ElapsedSeconds() >= pending->deadline_seconds) {
+          expired_queued.push_back(pending);
+        }
+      }
+      for (const auto& pending : inflight_) {
+        if (pending->admitted.ElapsedSeconds() >= pending->deadline_seconds &&
+            !pending->cancel.cancelled()) {
+          // Cooperative cancel: SimIndex scans and the optimizer loop
+          // poll this token, so the request unwinds with best-so-far
+          // (or kResourceExhausted) well inside the grace window.
+          pending->cancel.Cancel();
+          cancels->Increment();
+        }
+      }
+    }
+    for (const auto& pending : expired_queued) {
+      // Fail still-queued expired requests directly — they must not wait
+      // for a worker to notice them.
+      ServeResponse response;
+      response.status = Status::ResourceExhausted(
+          "deadline exceeded while queued");
+      cancels->Increment();
+      Respond(pending, std::move(response));
+    }
+  }
+}
+
+ServeResponse Server::ZeroShot(Pending& pending) {
+  KGPIP_TRACE_SPAN("serve.zero_shot");
+  static obs::Counter* zero_shots = ServeCounter("serve.zero_shot_fits");
+  zero_shots->Increment();
+  const FitRequest& req = pending.request;
+  ServeResponse response;
+  response.degradation_level = 2;
+
+  // No embedding, no SimIndex, no HPO: cached nearest-neighbour skeletons
+  // if this digest was seen before, else the static fallback portfolio.
+  std::vector<gen::ScoredSkeleton> skeletons;
+  Result<Json> query = cache_.Get(QueryCacheKey(TableDigest(req.table)));
+  if (query.ok() && query->Get("nearest_key").is_string()) {
+    auto predicted = model_->PredictSkeletonsFromNearest(
+        query->Get("nearest_key").AsString(), req.task, req.seed);
+    if (predicted.ok()) skeletons = std::move(*predicted);
+  }
+  if (skeletons.empty()) {
+    skeletons = core::FallbackPortfolio(req.task, 1);
+  }
+  if (skeletons.empty()) {
+    response.status = Status::Internal("no zero-shot skeleton available");
+    return response;
+  }
+
+  automl::AutoMlResult result;
+  result.best_spec = skeletons.front().spec;
+  result.report.degradation_level = 2;
+  result.report.notes =
+      "zero-shot: overload degradation served the top-1 skeleton with "
+      "default hyper-parameters (no HPO)";
+  Status finalized = automl::FinalizeResult(result.best_spec, req.table,
+                                            req.task, req.seed, &result);
+  if (!finalized.ok()) {
+    response.status = finalized;
+    return response;
+  }
+  response.result = std::move(result);
+  return response;
+}
+
+ServeResponse Server::Execute(Pending& pending, int degradation_level) {
+  KGPIP_TRACE_SPAN("serve.request");
+  static obs::Counter* cache_hits = ServeCounter("serve.cache_hits");
+  static obs::Counter* query_hits = ServeCounter("serve.query_cache_hits");
+
+  const FitRequest& req = pending.request;
+  ServeResponse response;
+  response.degradation_level = degradation_level;
+
+  const uint64_t digest = TableDigest(req.table);
+  int trials = std::min(std::max(1, req.max_trials),
+                        std::max(1, options_.max_trials));
+  const std::string result_key = ResultCacheKey(digest, req.task, trials);
+
+  // Tier 1: a completed result for this exact table content. A hit skips
+  // embedding, SimIndex, and the whole search — only the final refit runs.
+  {
+    Result<Json> entry = cache_.Get(result_key);
+    if (entry.ok()) {
+      Result<ml::PipelineSpec> spec = SpecFromJson(entry->Get("spec"));
+      if (spec.ok()) {
+        automl::AutoMlResult result;
+        result.best_spec = *spec;
+        result.validation_score = entry->Get("validation_score").AsDouble();
+        result.trials = static_cast<int>(entry->Get("trials").AsInt());
+        result.report.cache_hit = true;
+        result.report.notes = "served from content-hash cache";
+        Status finalized = automl::FinalizeResult(
+            result.best_spec, req.table, req.task, req.seed, &result);
+        if (finalized.ok()) {
+          cache_hits->Increment();
+          response.cache_hit = true;
+          response.degradation_level = 0;
+          response.result = std::move(result);
+          return response;
+        }
+      }
+      // Entry parsed as JSON but is semantically unusable (e.g. written
+      // by an older artifact generation): heal by eviction + rebuild.
+      cache_.Evict(result_key);
+    }
+  }
+
+  if (degradation_level >= 2) return ZeroShot(pending);
+
+  // Tier 2: skeleton prediction. The query cache maps this digest to its
+  // nearest training dataset, so repeats skip embedding + SimIndex and
+  // re-enter at the generation tail.
+  std::vector<gen::ScoredSkeleton> skeletons;
+  bool used_fallback = false;
+  std::string fallback_reason;
+  const std::string query_key = QueryCacheKey(digest);
+  Result<Json> cached_query = cache_.Get(query_key);
+  if (cached_query.ok() && cached_query->Get("nearest_key").is_string()) {
+    auto predicted = model_->PredictSkeletonsFromNearest(
+        cached_query->Get("nearest_key").AsString(), req.task, req.seed);
+    if (predicted.ok()) {
+      query_hits->Increment();
+      skeletons = std::move(*predicted);
+    } else {
+      // Stale key (older artifacts): evict and fall through to the full
+      // embed + SimIndex path below.
+      cache_.Evict(query_key);
+    }
+  }
+  if (skeletons.empty()) {
+    auto nearest = model_->NearestDataset(req.table, &pending.cancel);
+    if (nearest.ok()) {
+      Json entry = Json::Object();
+      entry.Set("nearest_key", nearest->key);
+      entry.Set("similarity", nearest->similarity);
+      cache_.Put(query_key, entry);
+      auto predicted = model_->PredictSkeletonsFromNearest(
+          nearest->key, req.task, req.seed);
+      if (predicted.ok()) skeletons = std::move(*predicted);
+    } else if (pending.cancel.cancelled()) {
+      response.status = Status::ResourceExhausted(
+          "deadline exceeded during similarity search");
+      return response;
+    }
+    if (skeletons.empty()) {
+      used_fallback = true;
+      fallback_reason = nearest.ok()
+                            ? "skeleton generation produced no candidates"
+                            : nearest.status().ToString();
+      skeletons = core::FallbackPortfolio(
+          req.task, std::max(1, model_->config().top_k));
+      if (skeletons.empty()) {
+        response.status =
+            Status::Internal("no candidate skeletons available");
+        return response;
+      }
+    }
+  }
+
+  if (degradation_level == 1) {
+    // Rung 1: keep the cheapest viable search — top-1 skeleton, half the
+    // trial budget.
+    skeletons.resize(1);
+    trials = std::max(1, trials / 2);
+  }
+
+  // Deadline propagation: the remaining request time bounds both the
+  // whole search (hpo::Budget wall-clock) and each trial (guard
+  // override); the cancel token covers everything in between.
+  const double remaining = std::max(
+      0.1, pending.deadline_seconds - pending.admitted.ElapsedSeconds());
+  hpo::TrialGuardOptions guard = model_->config().guard;
+  if (guard.trial_deadline_seconds <= 0.0 ||
+      guard.trial_deadline_seconds > remaining) {
+    guard.trial_deadline_seconds = remaining;
+  }
+  core::FitOverrides overrides;
+  overrides.guard = &guard;
+  overrides.cancel = &pending.cancel;
+
+  Result<automl::AutoMlResult> fitted = [&]() {
+    KGPIP_TRACE_SPAN("serve.fit");
+    return model_->FitWithSkeletons(std::move(skeletons), req.table,
+                                    req.task, hpo::Budget(trials, remaining),
+                                    req.seed, overrides);
+  }();
+  if (!fitted.ok()) {
+    response.status = fitted.status();
+    return response;
+  }
+  fitted->report.degradation_level = degradation_level;
+  if (used_fallback) {
+    fitted->report.fallback_portfolio = true;
+    if (!fitted->report.notes.empty()) fitted->report.notes += "; ";
+    fitted->report.notes += "serve fallback portfolio: " + fallback_reason;
+  }
+
+  // Only a full-quality answer may seed the result cache — a degraded or
+  // cancelled search must not masquerade as rung 0 for future callers.
+  if (degradation_level == 0 && !pending.cancel.cancelled() &&
+      !fitted->report.returned_best_so_far) {
+    Json entry = Json::Object();
+    entry.Set("spec", SpecToJson(fitted->best_spec));
+    entry.Set("validation_score", fitted->validation_score);
+    entry.Set("trials", fitted->trials);
+    cache_.Put(result_key, entry);
+  }
+  response.result = std::move(*fitted);
+  return response;
+}
+
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t Server::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+void Server::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+bool Server::AwaitDrained(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return drained_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return queue_.empty() && inflight_.empty(); });
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  draining_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+
+  // Workers are gone; anything still queued gets a definite refusal.
+  std::deque<std::shared_ptr<Pending>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    started_ = false;
+    workers_.clear();
+    drained_cv_.notify_all();
+  }
+  for (const auto& pending : leftover) {
+    ServeResponse response;
+    response.status =
+        Status::FailedPrecondition("server stopped before execution");
+    Respond(pending, std::move(response));
+  }
+}
+
+}  // namespace kgpip::serve

@@ -1,0 +1,233 @@
+#ifndef KGPIP_SERVE_SERVER_H_
+#define KGPIP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automl/system.h"
+#include "core/kgpip.h"
+#include "data/table.h"
+#include "hpo/trial_guard.h"
+#include "serve/cache.h"
+#include "util/cancel.h"
+#include "util/stopwatch.h"
+
+namespace kgpip::serve {
+
+/// Daemon configuration. Every knob has a `KGPIP_SERVE_*` environment
+/// override (see FromEnv) so the deployed binary is tuned without a
+/// rebuild.
+struct ServeOptions {
+  /// Worker threads executing requests. Heavy per-request math still
+  /// fans out on the shared util::ThreadPool, so this bounds *request*
+  /// concurrency, not core usage.       env: KGPIP_SERVE_WORKERS
+  int num_workers = 2;
+  /// Queued-request bound; admissions past it are shed with
+  /// kResourceExhausted.               env: KGPIP_SERVE_QUEUE_DEPTH
+  size_t max_queue_depth = 16;
+  /// Deadline applied to requests that do not carry one.
+  ///                                   env: KGPIP_SERVE_DEADLINE_SECONDS
+  double default_deadline_seconds = 30.0;
+  /// Extra wall-clock a deadline-cancelled request gets to unwind and
+  /// report before the soak harness calls it stuck.
+  ///                                   env: KGPIP_SERVE_GRACE_SECONDS
+  double grace_seconds = 5.0;
+  /// Per-tenant token bucket: sustained admissions/second and burst
+  /// capacity. <= 0 rate disables the bucket.
+  ///                                   env: KGPIP_SERVE_TENANT_RATE
+  double tenant_tokens_per_second = 0.0;
+  ///                                   env: KGPIP_SERVE_TENANT_BURST
+  double tenant_burst_tokens = 8.0;
+  /// Consecutive request failures that open a tenant's circuit breaker;
+  /// <= 0 disables breaking.           env: KGPIP_SERVE_BREAKER_THRESHOLD
+  int breaker_threshold = 5;
+  /// Seconds an open tenant breaker sheds before the next request is let
+  /// through as a half-open probe.     env: KGPIP_SERVE_BREAKER_COOLDOWN
+  double breaker_cooldown_seconds = 2.0;
+  /// Queue depth (sampled at dequeue) at which the degradation ladder
+  /// steps down one rung; 2x this depth steps down two.
+  ///                                   env: KGPIP_SERVE_DEGRADE_DEPTH
+  size_t degrade_queue_depth = 8;
+  /// Trial cap per request (requests may ask for less, never more).
+  ///                                   env: KGPIP_SERVE_MAX_TRIALS
+  int max_trials = 12;
+  /// On-disk cache directory; empty = memory-only.
+  ///                                   env: KGPIP_SERVE_CACHE_DIR
+  std::string cache_dir;
+  size_t cache_memory_entries = 256;  // env: KGPIP_SERVE_CACHE_ENTRIES
+  /// Watchdog scan period.
+  double watchdog_period_seconds = 0.02;
+
+  /// Defaults overlaid with any KGPIP_SERVE_* environment variables.
+  static ServeOptions FromEnv();
+};
+
+/// One fit request. The table is copied in (requests outlive the
+/// submitting scope once queued).
+struct FitRequest {
+  std::string tenant = "default";
+  Table table;
+  TaskType task = TaskType::kBinaryClassification;
+  /// Trial budget; clamped to ServeOptions::max_trials.
+  int max_trials = 8;
+  /// Wall-clock deadline; <= 0 uses ServeOptions::default_deadline_seconds.
+  double deadline_seconds = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Terminal outcome of a request. Exactly one is delivered per accepted
+/// submission — the daemon never drops a request silently.
+struct ServeResponse {
+  Status status;
+  /// Valid only when status.ok().
+  automl::AutoMlResult result;
+  /// True when the answer came from the content-hash cache (embedding,
+  /// SimIndex, and HPO all skipped).
+  bool cache_hit = false;
+  /// Degradation rung served at (mirrors result.report.degradation_level).
+  int degradation_level = 0;
+  double latency_seconds = 0.0;
+
+  ServeResponse() : status(Status::Ok()) {}
+};
+
+/// Long-lived serving daemon over one trained (const, thread-safe) Kgpip
+/// instance. Robustness model:
+///
+///   * Admission control: bounded queue + per-tenant token buckets +
+///     per-tenant circuit breakers. Overload is shed *at the door* with
+///     kResourceExhausted; a draining server refuses with
+///     kFailedPrecondition.
+///   * Deadlines: each request carries one; a watchdog thread fails
+///     still-queued expired requests directly and cooperatively cancels
+///     running ones (CancelToken polled inside SimIndex scans and the
+///     optimizer loop; the per-trial deadline comes from the request's
+///     remaining time via hpo::TrialGuardOptions).
+///   * Degradation ladder, sampled from queue depth at dequeue:
+///     rung 0 full fit, rung 1 cached-skeleton fit (reduced budget,
+///     top-1 skeleton), rung 2 zero-shot top-1 skeleton (no HPO).
+///   * Crash-safe caching: results and nearest-neighbour query answers
+///     keyed by dataset content digest in an ArtifactCache; a repeated
+///     fit of an identical table is a cache hit that skips embedding +
+///     SimIndex + HPO entirely. Corrupt entries are evicted and rebuilt.
+///
+/// Lifecycle: construct -> Start() -> Submit()* -> BeginDrain() ->
+/// AwaitDrained() -> Stop(). Stop() without a drain cancels in-flight
+/// work. The destructor calls Stop().
+class Server {
+ public:
+  Server(const core::Kgpip* model, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns workers + watchdog. Fails if the model is not trained.
+  Status Start();
+
+  /// Admits or sheds `request`. The returned future always becomes ready
+  /// with a definite ServeResponse — immediately (shed/drain refusals
+  /// carry the rejection status) or when the request completes, is
+  /// cancelled by the watchdog, or fails.
+  std::future<ServeResponse> Submit(FitRequest request);
+
+  /// Stops admitting (new Submits get kFailedPrecondition) while letting
+  /// queued + running requests finish. SIGTERM handler entry point.
+  void BeginDrain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Blocks until the queue and all in-flight requests are done, or
+  /// `timeout_seconds` elapse. Returns true when fully drained.
+  bool AwaitDrained(double timeout_seconds);
+
+  /// Drains admission, wakes everything, joins workers + watchdog.
+  /// Requests still pending are failed (kFailedPrecondition), never left
+  /// unresolved. Idempotent.
+  void Stop();
+
+  size_t queue_depth() const;
+  size_t inflight() const;
+  const ArtifactCache& cache() const { return cache_; }
+  ArtifactCache& mutable_cache() { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Cache key helpers (exposed for tests and repair tooling).
+  static std::string ResultCacheKey(uint64_t digest, TaskType task,
+                                    int max_trials);
+  static std::string QueryCacheKey(uint64_t digest);
+
+ private:
+  enum class RequestState { kQueued, kRunning, kDone };
+
+  struct Pending {
+    FitRequest request;
+    std::promise<ServeResponse> promise;
+    /// Guards the one-shot promise across worker/watchdog races.
+    std::atomic<bool> responded{false};
+    std::atomic<RequestState> state{RequestState::kQueued};
+    util::CancelToken cancel;
+    Stopwatch admitted;
+    double deadline_seconds = 0.0;
+  };
+
+  struct TenantState {
+    double tokens = 0.0;
+    bool bucket_started = false;
+    Stopwatch since_refill;
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    Stopwatch breaker_opened;
+  };
+
+  /// Fulfils the promise exactly once; later calls are no-ops.
+  static void Respond(const std::shared_ptr<Pending>& pending,
+                      ServeResponse response);
+
+  void WorkerLoop(int worker_index);
+  void WatchdogLoop();
+
+  /// Admission check under `mu_`; returns a shed/refusal status or OK.
+  Status AdmitLocked(const FitRequest& request);
+  void RecordOutcomeForTenant(const std::string& tenant, bool ok);
+
+  /// Executes one request end to end (cache probe, degradation ladder,
+  /// fit, cache fill). Never throws; always returns a definite response.
+  ServeResponse Execute(Pending& pending, int degradation_level);
+
+  /// Rung 2: top-1 skeleton with default params, refit once, no HPO.
+  ServeResponse ZeroShot(Pending& pending);
+
+  const core::Kgpip* model_;
+  ServeOptions options_;
+  ArtifactCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::vector<std::shared_ptr<Pending>> inflight_;
+  std::map<std::string, TenantState> tenants_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+/// Serializes a pipeline spec for cache entries (numeric and string
+/// hyper-parameters kept apart so the round trip is lossless).
+Json SpecToJson(const ml::PipelineSpec& spec);
+Result<ml::PipelineSpec> SpecFromJson(const Json& json);
+
+}  // namespace kgpip::serve
+
+#endif  // KGPIP_SERVE_SERVER_H_

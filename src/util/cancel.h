@@ -1,0 +1,40 @@
+#ifndef KGPIP_UTIL_CANCEL_H_
+#define KGPIP_UTIL_CANCEL_H_
+
+#include <atomic>
+
+namespace kgpip::util {
+
+/// Cooperative cancellation flag shared between a request's executor and
+/// whoever decides the request is no longer worth finishing (the serve
+/// watchdog, a drain sequence, a test). Long-running loops poll
+/// `cancelled()` at block boundaries and bail out with a definite Status
+/// instead of finishing a doomed scan.
+///
+/// The flag is one relaxed atomic bool: setting it is idempotent and
+/// polling it from pool lanes is race-free. There is no reset — a token
+/// represents one request's lifetime; make a new one per request.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// True when `token` is non-null and has been cancelled — the common
+/// poll in code where cancellation is optional.
+inline bool Cancelled(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace kgpip::util
+
+#endif  // KGPIP_UTIL_CANCEL_H_

@@ -7,7 +7,9 @@ namespace kgpip::util {
 
 namespace {
 
-FaultInjector* g_active = nullptr;
+/// Published atomically: pool-lane fault sites read it while the scope's
+/// owning thread installs/clears it.
+std::atomic<FaultInjector*> g_active{nullptr};
 
 /// Site identifiers feeding the decision hash; stable across runs.
 enum Site {
@@ -27,7 +29,9 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
-FaultInjector* FaultInjector::Active() { return g_active; }
+FaultInjector* FaultInjector::Active() {
+  return g_active.load(std::memory_order_acquire);
+}
 
 bool FaultInjector::Roll(int site, const std::string& key, double rate) {
   if (rate <= 0.0) return false;
@@ -40,6 +44,7 @@ bool FaultInjector::Roll(int site, const std::string& key, double rate) {
 
 std::optional<Status> FaultInjector::EvaluatorFault(
     const std::string& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.fail_learners.count(learner) > 0) {
     ++counters_.evaluator_errors;
     return Status::Internal("injected: learner '" + learner +
@@ -60,6 +65,7 @@ std::optional<Status> FaultInjector::EvaluatorFault(
 }
 
 bool FaultInjector::InjectNanScore(const std::string& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (Roll(kSiteNanScore, learner, config_.nan_score_rate)) {
     ++counters_.nan_scores;
     return true;
@@ -68,6 +74,7 @@ bool FaultInjector::InjectNanScore(const std::string& learner) {
 }
 
 double FaultInjector::InjectedDelaySeconds(const std::string& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (Roll(kSiteSlowTrial, learner, config_.slow_trial_rate)) {
     ++counters_.slow_trials;
     return config_.slow_trial_seconds;
@@ -76,6 +83,7 @@ double FaultInjector::InjectedDelaySeconds(const std::string& learner) {
 }
 
 void FaultInjector::CorruptArtifact(std::string* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.corrupt_byte_stride <= 0 || payload->empty()) return;
   for (size_t i = 0; i < payload->size();
        i += static_cast<size_t>(config_.corrupt_byte_stride)) {
@@ -86,11 +94,13 @@ void FaultInjector::CorruptArtifact(std::string* payload) {
 
 ScopedFaultInjection::ScopedFaultInjection(FaultConfig config)
     : injector_(std::move(config)) {
-  KGPIP_CHECK(g_active == nullptr)
+  KGPIP_CHECK(g_active.load(std::memory_order_acquire) == nullptr)
       << "nested ScopedFaultInjection scopes are not supported";
-  g_active = &injector_;
+  g_active.store(&injector_, std::memory_order_release);
 }
 
-ScopedFaultInjection::~ScopedFaultInjection() { g_active = nullptr; }
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active.store(nullptr, std::memory_order_release);
+}
 
 }  // namespace kgpip::util

@@ -1,8 +1,10 @@
 #ifndef KGPIP_UTIL_FAULT_H_
 #define KGPIP_UTIL_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -51,6 +53,15 @@ struct FaultCounters {
 /// The process-wide fault injector. Production code consults
 /// `FaultInjector::Active()` at its fault sites; when no `ScopedFaultInjection`
 /// is live the pointer is null and every site is a no-op branch.
+///
+/// Thread-safety: the active injector is published through an atomic
+/// pointer and all decision state (per-site call indices, counters) is
+/// mutex-guarded, so fault sites inside `ThreadPool` lanes — `ParallelFor`
+/// bodies, serve workers — observe the scope installed by the submitting
+/// thread and draw from one shared, coherent call sequence. Per
+/// (site, key) the sequence of decisions is still the fixed function of
+/// the seed; under parallelism only the *assignment* of call indices to
+/// racing callers varies, never the multiset of decisions.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
@@ -73,13 +84,20 @@ class FaultInjector {
   void CorruptArtifact(std::string* payload);
 
   const FaultConfig& config() const { return config_; }
-  const FaultCounters& counters() const { return counters_; }
+  /// Snapshot of the counters (copied under the lock so a reader racing
+  /// pool-lane injections sees a coherent set).
+  FaultCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
 
  private:
-  /// Deterministic Bernoulli draw for (site, key, call index).
+  /// Deterministic Bernoulli draw for (site, key, call index). Callers
+  /// must hold `mu_`.
   bool Roll(int site, const std::string& key, double rate);
 
   FaultConfig config_;
+  mutable std::mutex mu_;
   FaultCounters counters_;
   /// Per-(site, key) call indices; the only mutable decision state.
   std::map<std::pair<int, std::string>, uint64_t> calls_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "ml/learner.h"
 #include "util/fault.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip {
 namespace {
@@ -88,6 +90,62 @@ TEST(FaultInjectorTest, CorruptsArtifactBytes) {
   injector.CorruptArtifact(&payload);
   EXPECT_NE(payload, original);
   EXPECT_EQ(injector.counters().corrupted_bytes, 4);
+}
+
+TEST(FaultInjectorTest, ScopeIsVisibleInsideThreadPoolLanes) {
+  // Fault sites inside ParallelFor bodies run on pool worker threads;
+  // they must observe the scope installed by the submitting thread, and
+  // the shared decision state must stay coherent under that parallelism.
+  util::FaultConfig config;
+  config.seed = 23;
+  config.nan_score_rate = 1.0;
+  util::ScopedFaultInjection scope(config);
+
+  constexpr size_t kItems = 512;
+  std::atomic<int> seen_active{0};
+  std::atomic<int> injected{0};
+  util::ThreadPool::Global().ParallelFor(kItems, [&](size_t /*item*/) {
+    util::FaultInjector* active = util::FaultInjector::Active();
+    if (active == nullptr) return;
+    seen_active.fetch_add(1, std::memory_order_relaxed);
+    if (active->InjectNanScore("pool_lane")) {
+      injected.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(seen_active.load(), static_cast<int>(kItems))
+      << "a pool lane failed to observe the active injection scope";
+  EXPECT_EQ(injected.load(), static_cast<int>(kItems));
+  EXPECT_EQ(scope.injector().counters().nan_scores,
+            static_cast<int>(kItems));
+}
+
+TEST(FaultInjectorTest, ParallelDecisionMultisetMatchesSerial) {
+  // Under races only the assignment of call indices to callers may vary
+  // — the multiset of decisions for a (site, key) is fixed by the seed.
+  util::FaultConfig config;
+  config.seed = 31;
+  config.nan_score_rate = 0.5;
+  constexpr size_t kItems = 256;
+
+  int serial_hits = 0;
+  {
+    util::FaultInjector injector(config);
+    for (size_t i = 0; i < kItems; ++i) {
+      if (injector.InjectNanScore("k")) ++serial_hits;
+    }
+  }
+  std::atomic<int> parallel_hits{0};
+  {
+    util::ScopedFaultInjection scope(config);
+    util::ThreadPool::Global().ParallelFor(kItems, [&](size_t /*item*/) {
+      if (util::FaultInjector::Active()->InjectNanScore("k")) {
+        parallel_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  EXPECT_EQ(parallel_hits.load(), serial_hits);
+  EXPECT_NE(serial_hits, 0);
+  EXPECT_NE(serial_hits, static_cast<int>(kItems));
 }
 
 // ---------------------------------------------------------------------------

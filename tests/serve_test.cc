@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/kgpip.h"
+#include "data/benchmark_registry.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "serve/soak_harness.h"
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace kgpip::serve {
+namespace {
+
+Table MakeTable(uint64_t seed, int rows = 120) {
+  DatasetSpec spec;
+  spec.name = "serve_ds";
+  spec.family = ConceptFamily::kLinear;
+  spec.rows = rows;
+  spec.num_numeric = 5;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+std::string TempDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    StrFormat("kgpip_serve_test_%s_%d", tag,
+                              static_cast<int>(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// TableDigest
+
+TEST(TableDigestTest, IdenticalContentDigestsEqual) {
+  EXPECT_EQ(TableDigest(MakeTable(5)), TableDigest(MakeTable(5)));
+}
+
+TEST(TableDigestTest, AnyContentChangeChangesTheDigest) {
+  Table a = MakeTable(5);
+  EXPECT_NE(TableDigest(a), TableDigest(MakeTable(6)));
+
+  Table b = MakeTable(5);
+  b.mutable_column(0).mutable_numeric_values()[0] += 1.0;
+  EXPECT_NE(TableDigest(a), TableDigest(b));
+
+  Table c = MakeTable(5);
+  c.mutable_column(0).set_name("renamed");
+  EXPECT_NE(TableDigest(a), TableDigest(c));
+
+  Table d = MakeTable(5);
+  d.mutable_column(0).SetMissing(0, true);
+  EXPECT_NE(TableDigest(a), TableDigest(d));
+}
+
+// ---------------------------------------------------------------------------
+// Spec serialization
+
+TEST(SpecJsonTest, RoundTripsNumericAndStringParams) {
+  ml::PipelineSpec spec;
+  spec.preprocessors = {"standard_scaler", "pca"};
+  spec.learner = "random_forest";
+  spec.params.SetNum("n_estimators", 120);
+  spec.params.SetNum("max_depth", 7);
+  spec.params.SetStr("criterion", "gini");
+
+  auto back = SpecFromJson(SpecToJson(spec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->preprocessors, spec.preprocessors);
+  EXPECT_EQ(back->learner, spec.learner);
+  EXPECT_EQ(back->params.GetNum("n_estimators", 0), 120);
+  EXPECT_EQ(back->params.GetStr("criterion", ""), "gini");
+}
+
+TEST(SpecJsonTest, RejectsSpecWithoutLearner) {
+  EXPECT_EQ(SpecFromJson(Json::Object()).status().code(),
+            StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactCache
+
+TEST(ArtifactCacheTest, MemoryTierRoundTrip) {
+  ArtifactCache cache(ArtifactCache::Options{"", 4});
+  Json value = Json::Object();
+  value.Set("answer", 42);
+  ASSERT_TRUE(cache.Put("k1", value).ok());
+  auto got = cache.Get("k1");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->Get("answer").AsInt(), 42);
+  EXPECT_EQ(cache.Get("absent").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArtifactCacheTest, MemoryTierEvictsLeastRecentlyUsed) {
+  ArtifactCache cache(ArtifactCache::Options{"", 2});
+  Json v = Json::Object();
+  ASSERT_TRUE(cache.Put("a", v).ok());
+  ASSERT_TRUE(cache.Put("b", v).ok());
+  ASSERT_TRUE(cache.Get("a").ok());   // touch: b is now LRU
+  ASSERT_TRUE(cache.Put("c", v).ok());  // evicts b
+  EXPECT_TRUE(cache.Get("a").ok());
+  EXPECT_TRUE(cache.Get("c").ok());
+  EXPECT_EQ(cache.Get("b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArtifactCacheTest, DiskTierSurvivesRestart) {
+  const std::string dir = TempDir("restart");
+  Json value = Json::Object();
+  value.Set("score", 0.75);
+  {
+    ArtifactCache cache(ArtifactCache::Options{dir, 8});
+    ASSERT_TRUE(cache.Put("model-x", value).ok());
+  }
+  // A fresh instance (cold memory tier) reads the entry back from disk.
+  ArtifactCache reborn(ArtifactCache::Options{dir, 8});
+  auto got = reborn.Get("model-x");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_DOUBLE_EQ(got->Get("score").AsDouble(), 0.75);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheTest, TruncatedEntryIsAParseErrorWithByteOffsets) {
+  const std::string dir = TempDir("trunc");
+  ArtifactCache cache(ArtifactCache::Options{dir, 8});
+  Json value = Json::Object();
+  value.Set("payload", std::string(256, 'x'));
+  ASSERT_TRUE(cache.Put("victim", value).ok());
+  const std::string path = cache.PathForKey("victim");
+
+  // Truncate the file mid-payload.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  auto loaded = ArtifactCache::LoadEntryFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("byte offset"),
+            std::string::npos)
+      << loaded.status().message();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheTest, BitFlippedEntryIsEvictedAndRebuilt) {
+  const std::string dir = TempDir("bitflip");
+  ArtifactCache cache(ArtifactCache::Options{dir, 8});
+  Json value = Json::Object();
+  value.Set("score", 0.9);
+  ASSERT_TRUE(cache.Put("victim", value).ok());
+  const std::string path = cache.PathForKey("victim");
+
+  // Flip a payload bit on disk.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  contents[contents.size() - 3] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  // Checksum mismatch reports the damaged byte range...
+  auto loaded = ArtifactCache::LoadEntryFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+
+  // ...and a cold-cache Get never serves it: evicted, reported missing.
+  ArtifactCache reborn(ArtifactCache::Options{dir, 8});
+  EXPECT_EQ(reborn.Get("victim").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reborn.stats().corrupt_evictions, 1);
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // The rebuild (re-Put) heals the entry.
+  ASSERT_TRUE(reborn.Put("victim", value).ok());
+  auto healed = reborn.Get("victim");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_DOUBLE_EQ(healed->Get("score").AsDouble(), 0.9);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCacheTest, InjectedCorruptionIsCaughtAtReadTime) {
+  const std::string dir = TempDir("inject");
+  ArtifactCache cache(ArtifactCache::Options{dir, 8});
+  Json value = Json::Object();
+  value.Set("blob", std::string(128, 'y'));
+  {
+    util::FaultConfig config;
+    config.corrupt_byte_stride = 16;
+    util::ScopedFaultInjection scope(config);
+    cache.Put("victim", value);
+    EXPECT_GT(scope.injector().counters().corrupted_bytes, 0);
+  }
+  // Memory tier still has the good copy; force the disk read.
+  ArtifactCache reborn(ArtifactCache::Options{dir, 8});
+  EXPECT_EQ(reborn.Get("victim").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reborn.stats().corrupt_evictions, 1);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Server (shares one trained model across all fixture tests)
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BenchmarkRegistry registry;
+    auto specs = registry.TrainingSpecs();
+    std::vector<DatasetSpec> chosen;
+    for (const auto& spec : specs) {
+      if (spec.task == TaskType::kRegression) continue;
+      chosen.push_back(spec);
+      if (chosen.size() >= 12) break;
+    }
+    core::KgpipConfig config;
+    config.top_k = 3;
+    config.generator_epochs = 10;
+    model_ = new core::Kgpip(config);
+    codegraph::CorpusOptions corpus;
+    corpus.pipelines_per_dataset = 6;
+    auto status = model_->Train(chosen, corpus, 11);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static ServeOptions FastOptions() {
+    ServeOptions options;
+    options.num_workers = 2;
+    options.default_deadline_seconds = 20.0;
+    options.grace_seconds = 2.0;
+    options.max_trials = 4;
+    return options;
+  }
+
+  static core::Kgpip* model_;
+};
+
+core::Kgpip* ServeFixture::model_ = nullptr;
+
+TEST_F(ServeFixture, StartRequiresATrainedModel) {
+  core::Kgpip untrained;
+  Server server(&untrained, FastOptions());
+  EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, ServesAFitRequest) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FitRequest request;
+  request.table = MakeTable(21);
+  request.max_trials = 4;
+  ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.result.best_spec.learner.empty());
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_EQ(response.result.report.degradation_level, 0);
+  server.Stop();
+}
+
+TEST_F(ServeFixture, RepeatedIdenticalFitIsACacheHitThatSkipsEmbedding) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter* cache_hits = metrics.GetCounter("serve.cache_hits");
+
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  FitRequest first;
+  first.table = MakeTable(33);
+  ServeResponse cold = server.Submit(std::move(first)).get();
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  ASSERT_FALSE(cold.cache_hit);
+
+  const int64_t hits_before = cache_hits->value();
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().Enable();
+  FitRequest second;
+  second.table = MakeTable(33);  // identical content -> identical digest
+  ServeResponse warm = server.Submit(std::move(second)).get();
+  obs::Tracer::Global().Disable();
+
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(warm.result.report.cache_hit);
+  EXPECT_EQ(cache_hits->value(), hits_before + 1);
+  // Same answer as the cold path.
+  EXPECT_EQ(warm.result.best_spec.learner, cold.result.best_spec.learner);
+
+  // The embedding + SimIndex head must not have run: no embed.* span.
+  for (const auto& span : obs::Tracer::Global().Snapshot()) {
+    EXPECT_FALSE(StartsWith(span.name, "embed."))
+        << "cache hit still ran " << span.name;
+  }
+  obs::Tracer::Global().Clear();
+  server.Stop();
+}
+
+TEST_F(ServeFixture, QueueFullShedsWithResourceExhausted) {
+  ServeOptions options = FastOptions();
+  options.max_queue_depth = 0;  // everything sheds at the door
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+  FitRequest request;
+  request.table = MakeTable(44);
+  ServeResponse response = server.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  server.Stop();
+}
+
+TEST_F(ServeFixture, TokenBucketLimitsPerTenantAdmissions) {
+  ServeOptions options = FastOptions();
+  options.tenant_tokens_per_second = 0.001;  // effectively no refill
+  options.tenant_burst_tokens = 2.0;
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    FitRequest request;
+    request.tenant = "greedy";
+    request.table = MakeTable(33);  // cached from earlier fixture tests
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  int shed = 0;
+  for (auto& future : futures) {
+    ServeResponse response = future.get();
+    if (response.status.code() == StatusCode::kResourceExhausted) ++shed;
+  }
+  EXPECT_EQ(shed, 2) << "burst of 2 admits exactly 2 of 4";
+  server.Stop();
+}
+
+TEST_F(ServeFixture, DrainRefusesNewWorkAndFinishesQueuedWork) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FitRequest queued;
+  queued.table = MakeTable(55);
+  std::future<ServeResponse> inflight = server.Submit(std::move(queued));
+
+  server.BeginDrain();
+  FitRequest refused_request;
+  refused_request.table = MakeTable(56);
+  ServeResponse refused = server.Submit(std::move(refused_request)).get();
+  EXPECT_EQ(refused.status.code(), StatusCode::kFailedPrecondition);
+
+  // The request admitted before the drain still completes.
+  ServeResponse finished = inflight.get();
+  EXPECT_TRUE(finished.status.ok()) << finished.status.ToString();
+  EXPECT_TRUE(server.AwaitDrained(30.0));
+  server.Stop();
+}
+
+TEST_F(ServeFixture, ExpiredDeadlineProducesResourceExhausted) {
+  ServeOptions options = FastOptions();
+  options.num_workers = 1;
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the single worker with a real fit, then submit a request
+  // whose deadline can only expire in the queue.
+  FitRequest slow;
+  slow.table = MakeTable(66);
+  slow.max_trials = 4;
+  std::future<ServeResponse> slow_future = server.Submit(std::move(slow));
+
+  FitRequest doomed;
+  doomed.table = MakeTable(67);
+  doomed.deadline_seconds = 0.001;
+  ServeResponse response = server.Submit(std::move(doomed)).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(slow_future.get().status.ok());
+  server.Stop();
+}
+
+TEST_F(ServeFixture, TenantCircuitBreakerOpensAndHalfOpens) {
+  ServeOptions options = FastOptions();
+  options.breaker_threshold = 2;
+  // Generous cooldown: the shed check below must land while the breaker
+  // is still cooling even if this thread is descheduled for a while.
+  options.breaker_cooldown_seconds = 0.5;
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A table with no target column fails every fit.
+  Table poison = MakeTable(77);
+  poison.set_target_name("");
+
+  for (int i = 0; i < 2; ++i) {
+    FitRequest bad;
+    bad.tenant = "flaky";
+    bad.table = poison;
+    ServeResponse response = server.Submit(std::move(bad)).get();
+    EXPECT_FALSE(response.status.ok());
+    EXPECT_NE(response.status.code(), StatusCode::kResourceExhausted)
+        << "failures before the threshold must be real errors, not sheds";
+  }
+
+  // Breaker open: the next request is shed at the door.
+  FitRequest shed;
+  shed.tenant = "flaky";
+  shed.table = MakeTable(33);
+  ServeResponse rejected = server.Submit(std::move(shed)).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+
+  // Other tenants are unaffected.
+  FitRequest other;
+  other.tenant = "healthy";
+  other.table = MakeTable(33);
+  EXPECT_TRUE(server.Submit(std::move(other)).get().status.ok());
+
+  // After the cooldown a half-open probe goes through.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  FitRequest probe;
+  probe.tenant = "flaky";
+  probe.table = MakeTable(33);
+  EXPECT_TRUE(server.Submit(std::move(probe)).get().status.ok());
+  server.Stop();
+}
+
+TEST_F(ServeFixture, OverloadDegradesToZeroShot) {
+  ServeOptions options = FastOptions();
+  options.degrade_queue_depth = 0;  // force rung 2 on every request
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+  FitRequest request;
+  request.table = MakeTable(88);  // fresh digest: no cached result
+  ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.degradation_level, 2);
+  EXPECT_EQ(response.result.report.degradation_level, 2);
+  EXPECT_EQ(response.result.trials, 0) << "zero-shot must not run HPO";
+  EXPECT_FALSE(response.result.best_spec.learner.empty());
+  server.Stop();
+}
+
+TEST_F(ServeFixture, CorruptResultEntryIsRebuiltByTheDaemon) {
+  const std::string dir = TempDir("serve_corrupt");
+  ServeOptions options = FastOptions();
+  options.cache_dir = dir;
+  std::string path;
+  {
+    Server server(model_, options);
+    ASSERT_TRUE(server.Start().ok());
+    FitRequest request;
+    request.table = MakeTable(99);
+    request.max_trials = 4;
+    ASSERT_TRUE(server.Submit(std::move(request)).get().status.ok());
+    path = server.cache().PathForKey(Server::ResultCacheKey(
+        TableDigest(MakeTable(99)), TaskType::kBinaryClassification, 4));
+    ASSERT_TRUE(std::filesystem::exists(path));
+    server.Stop();
+  }
+  {
+    // Bit-flip the stored result on disk.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-4, std::ios::end);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte ^= 0x40;
+    file.seekp(-4, std::ios::end);
+    file.write(&byte, 1);
+  }
+  // A restarted daemon (cold memory tier) must detect the damage, evict,
+  // re-run the fit, and heal the disk entry.
+  Server reborn(model_, options);
+  ASSERT_TRUE(reborn.Start().ok());
+  FitRequest request;
+  request.table = MakeTable(99);
+  request.max_trials = 4;
+  ServeResponse response = reborn.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.cache_hit) << "a corrupt entry must not be served";
+  EXPECT_GE(reborn.cache().stats().corrupt_evictions, 1);
+  auto healed = ArtifactCache::LoadEntryFile(path);
+  EXPECT_TRUE(healed.ok()) << "rebuild should have rewritten the entry: "
+                           << healed.status().ToString();
+  reborn.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeFixture, SoakEveryRequestTerminatesDefinitively) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  SoakOptions soak;
+  soak.num_tenants = 3;
+  soak.duration_seconds = 1.5;
+  soak.request_deadline_seconds = 10.0;
+  soak.poison_fraction = 0.1;
+  SoakHarness harness(&server, soak);
+  auto summary = harness.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->stuck, 0);
+  EXPECT_GT(summary->submitted, 0);
+  EXPECT_GT(summary->ok, 0);
+  EXPECT_GT(summary->cache_hits, 0);
+  server.Stop();
+}
+
+TEST_F(ServeFixture, SoakUnderInjectedFaultsStaysDefinitive) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  SoakOptions soak;
+  soak.num_tenants = 2;
+  soak.duration_seconds = 1.0;
+  soak.request_deadline_seconds = 10.0;
+  soak.inject_faults = true;
+  soak.fault_config.seed = 17;
+  soak.fault_config.evaluator_error_rate = 0.2;
+  soak.fault_config.nan_score_rate = 0.1;
+  soak.fault_config.resource_exhausted_rate = 0.1;
+  SoakHarness harness(&server, soak);
+  auto summary = harness.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->stuck, 0);
+  EXPECT_GT(summary->submitted, 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace kgpip::serve
