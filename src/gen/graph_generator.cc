@@ -22,6 +22,8 @@ GraphGenerator::~GraphGenerator() = default;
 GraphGenerator::GraphGenerator(const GeneratorConfig& config, uint64_t seed)
     : config_(config), init_rng_(seed) {
   KGPIP_CHECK(config_.vocab_size > 0);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- construction-time getenv on
+  // a read-only environment.
   if (std::getenv("KGPIP_GEN_CROSSCHECK") != nullptr) {
     config_.cross_check = true;
   }
@@ -349,7 +351,7 @@ GeneratedGraph GraphGenerator::GenerateTape(
 
 std::unique_ptr<InferenceEngine> GraphGenerator::AcquireEngine() const {
   {
-    std::lock_guard<std::mutex> lock(engines_mu_);
+    util::MutexLock lock(engines_mu_);
     if (!engines_.empty()) {
       std::unique_ptr<InferenceEngine> engine = std::move(engines_.back());
       engines_.pop_back();
@@ -363,7 +365,7 @@ std::unique_ptr<InferenceEngine> GraphGenerator::AcquireEngine() const {
 
 void GraphGenerator::ReleaseEngine(
     std::unique_ptr<InferenceEngine> engine) const {
-  std::lock_guard<std::mutex> lock(engines_mu_);
+  util::MutexLock lock(engines_mu_);
   engines_.push_back(std::move(engine));
 }
 

@@ -2,11 +2,11 @@
 #define KGPIP_GEN_GRAPH_GENERATOR_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "graph4ml/vocab.h"
 #include "nn/layers.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -165,8 +165,10 @@ class GraphGenerator {
   /// Free list of inference engines (mutable decode scratch), guarded
   /// by engines_mu_. Grows lazily to the peak number of concurrent
   /// decodes and keeps warmed-up caches across calls.
-  mutable std::mutex engines_mu_;
-  mutable std::vector<std::unique_ptr<InferenceEngine>> engines_;
+  mutable util::Mutex engines_mu_{util::LockRank::kGenEngines,
+                                  "gen.engines"};
+  mutable std::vector<std::unique_ptr<InferenceEngine>> engines_
+      KGPIP_GUARDED_BY(engines_mu_);
 
   nn::Var type_embedding_;  // (vocab) x hidden
   nn::Linear init_node_;    // hidden + hidden -> hidden (type emb + hG)

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace kgpip::obs {
@@ -136,10 +136,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_{util::LockRank::kObsMetrics, "obs.metrics"};
+  /// Name->metric maps are mu_-guarded; the *metrics themselves* are
+  /// lock-free and updated through stable pointers without it.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      KGPIP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      KGPIP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      KGPIP_GUARDED_BY(mu_);
 };
 
 }  // namespace kgpip::obs

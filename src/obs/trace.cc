@@ -33,6 +33,8 @@ void ExportAtExit();
 /// the library honors the toggle without code changes.
 struct TraceEnvInit {
   TraceEnvInit() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- static-init-time getenv,
+    // before any thread exists; the environment is never mutated.
     const char* path = std::getenv("KGPIP_TRACE");
     if (path != nullptr && *path != '\0') {
       Tracer::Global().EnableWithExportPath(path);
@@ -43,6 +45,8 @@ TraceEnvInit g_trace_env_init;
 
 void ExportAtExit() {
   Tracer& tracer = Tracer::Global();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- atexit-time getenv; worker
+  // threads are joined before exit and the environment is read-only.
   const char* path = std::getenv("KGPIP_TRACE");
   if (path == nullptr || *path == '\0') return;
   Status status = tracer.WriteChromeTrace(path);
@@ -61,7 +65,7 @@ Tracer& Tracer::Global() {
 
 void Tracer::EnableWithExportPath(std::string path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     export_path_ = std::move(path);
   }
   Enable();
@@ -80,7 +84,7 @@ double Tracer::NowMicros() {
 }
 
 void Tracer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -89,33 +93,33 @@ void Tracer::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_;
 }
 
 size_t Tracer::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_.size();
 }
 
 size_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return dropped_;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 void Tracer::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = capacity;
 }
 
 Json Tracer::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Json trace_events = Json::Array();
   for (const TraceEvent& event : events_) {
     Json e = Json::Object();

@@ -2,12 +2,12 @@
 #define KGPIP_OBS_TRACE_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace kgpip::obs {
@@ -76,11 +76,11 @@ class Tracer {
  private:
   Tracer() = default;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  size_t capacity_ = 1u << 20;
-  size_t dropped_ = 0;
-  std::string export_path_;
+  mutable util::Mutex mu_{util::LockRank::kObsTrace, "obs.trace"};
+  std::vector<TraceEvent> events_ KGPIP_GUARDED_BY(mu_);
+  size_t capacity_ KGPIP_GUARDED_BY(mu_) = 1u << 20;
+  size_t dropped_ KGPIP_GUARDED_BY(mu_) = 0;
+  std::string export_path_ KGPIP_GUARDED_BY(mu_);
 };
 
 /// RAII span. When tracing is disabled the constructor is a relaxed

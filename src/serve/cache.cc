@@ -207,7 +207,7 @@ Result<Json> ArtifactCache::Get(const std::string& key) {
   static obs::Counter* corrupt = obs::MetricsRegistry::Global().GetCounter(
       "serve.cache.corrupt_evictions");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       // Touch: move to the LRU front.
@@ -221,7 +221,7 @@ Result<Json> ArtifactCache::Get(const std::string& key) {
   if (!path.empty()) {
     Result<Json> loaded = LoadEntryFile(path);
     if (loaded.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       PutMemoryLocked(key, Json(*loaded));
       ++stats_.hits;
       hits->Increment();
@@ -233,13 +233,13 @@ Result<Json> ArtifactCache::Get(const std::string& key) {
       KGPIP_LOG(Warning) << "evicting corrupt cache entry: "
                          << loaded.status().ToString();
       std::remove(path.c_str());
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++stats_.corrupt_evictions;
       corrupt->Increment();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.misses;
   }
   misses->Increment();
@@ -250,7 +250,7 @@ Status ArtifactCache::Put(const std::string& key, const Json& value) {
   static obs::Counter* writes =
       obs::MetricsRegistry::Global().GetCounter("serve.cache.writes");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     PutMemoryLocked(key, Json(value));
     ++stats_.writes;
   }
@@ -269,7 +269,7 @@ Status ArtifactCache::Put(const std::string& key, const Json& value) {
 
 void ArtifactCache::Evict(const std::string& key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       lru_.erase(it->second);

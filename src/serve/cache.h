@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "data/table.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace kgpip::serve {
@@ -73,7 +73,7 @@ class ArtifactCache {
   std::string PathForKey(const std::string& key) const;
 
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return stats_;
   }
   const Options& options() const { return options_; }
@@ -90,15 +90,18 @@ class ArtifactCache {
 
  private:
   /// Memory-tier insert; caller holds `mu_`.
-  void PutMemoryLocked(const std::string& key, Json value);
+  void PutMemoryLocked(const std::string& key, Json value)
+      KGPIP_REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  /// Guards the memory tier + stats only; disk I/O runs outside it so a
+  /// slow filesystem never blocks the steady-state hit path.
+  mutable util::Mutex mu_{util::LockRank::kServeCache, "serve.cache"};
+  Stats stats_ KGPIP_GUARDED_BY(mu_);
   /// LRU list front = most recent; map points into the list.
-  std::list<std::pair<std::string, Json>> lru_;
+  std::list<std::pair<std::string, Json>> lru_ KGPIP_GUARDED_BY(mu_);
   std::map<std::string, std::list<std::pair<std::string, Json>>::iterator>
-      memory_;
+      memory_ KGPIP_GUARDED_BY(mu_);
 };
 
 }  // namespace kgpip::serve

@@ -13,7 +13,10 @@ namespace kgpip::serve {
 
 namespace {
 
+// The three Env readers below run once, from FromEnv() at daemon startup
+// before any worker thread exists, and the environment is never mutated.
 double EnvDouble(const char* name, double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- startup-time getenv, see above.
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
   double value = 0.0;
@@ -21,6 +24,7 @@ double EnvDouble(const char* name, double fallback) {
 }
 
 int64_t EnvInt(const char* name, int64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- startup-time getenv, see above.
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
   int64_t value = 0;
@@ -28,6 +32,7 @@ int64_t EnvInt(const char* name, int64_t fallback) {
 }
 
 std::string EnvStr(const char* name, std::string fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- startup-time getenv, see above.
   const char* raw = std::getenv(name);
   return raw == nullptr ? fallback : std::string(raw);
 }
@@ -134,7 +139,7 @@ Status Server::Start() {
     return Status::FailedPrecondition(
         "kgpip-serve needs a trained model (Train or LoadFile first)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (started_) return Status::FailedPrecondition("server already started");
   started_ = true;
   const int workers = std::max(1, options_.num_workers);
@@ -216,7 +221,7 @@ std::future<ServeResponse> Server::Submit(FitRequest request) {
 
   Status admitted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     admitted = AdmitLocked(pending->request);
     if (admitted.ok()) {
       queue_.push_back(pending);
@@ -232,7 +237,7 @@ std::future<ServeResponse> Server::Submit(FitRequest request) {
     Respond(pending, std::move(refused));
     return future;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -248,8 +253,11 @@ void Server::WorkerLoop(int worker_index) {
     std::shared_ptr<Pending> pending;
     int rung = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
+      util::MutexLock lock(mu_);
+      // Thread-safety analysis cannot see that Wait runs the predicate
+      // with mu_ held (the lock lives inside CondVar), so the lambda is
+      // exempted rather than the loop.
+      cv_.Wait(mu_, [this]() KGPIP_NO_THREAD_SAFETY_ANALYSIS {
         return !queue_.empty() || stopping_.load(std::memory_order_acquire) ||
                (draining_.load(std::memory_order_acquire) && queue_.empty());
       });
@@ -304,17 +312,17 @@ void Server::WorkerLoop(int worker_index) {
         .GetHistogram("serve.latency_seconds." + tenant)
         ->Record(latency);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), pending),
                       inflight_.end());
-      if (queue_.empty() && inflight_.empty()) drained_cv_.notify_all();
+      if (queue_.empty() && inflight_.empty()) drained_cv_.NotifyAll();
     }
   }
 }
 
 void Server::RecordOutcomeForTenant(const std::string& tenant, bool ok) {
   static obs::Counter* trips = ServeCounter("serve.breaker_trips");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   TenantState& state = tenants_[tenant];
   if (ok) {
     state.consecutive_failures = 0;
@@ -340,7 +348,7 @@ void Server::WatchdogLoop() {
     std::this_thread::sleep_for(period);
     std::vector<std::shared_ptr<Pending>> expired_queued;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (const auto& pending : queue_) {
         if (pending->state.load(std::memory_order_acquire) ==
                 RequestState::kQueued &&
@@ -560,49 +568,69 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
 }
 
 size_t Server::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
 size_t Server::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return inflight_.size();
 }
 
 void Server::BeginDrain() {
-  draining_.store(true, std::memory_order_release);
-  cv_.notify_all();
+  {
+    // The store must land under mu_: a worker evaluates its wait
+    // predicate with mu_ held, so holding mu_ here forces this store to
+    // sequence either before that evaluation (predicate sees draining)
+    // or after the worker has blocked (the notify below wakes it).
+    // Storing without the lock left a window — predicate false, store +
+    // notify, then block — that lost the wakeup and hung the drain.
+    util::MutexLock lock(mu_);
+    draining_.store(true, std::memory_order_release);
+  }
+  cv_.NotifyAll();
 }
 
 bool Server::AwaitDrained(double timeout_seconds) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return drained_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds),
-      [this] { return queue_.empty() && inflight_.empty(); });
+  util::MutexLock lock(mu_);
+  // Predicate runs with mu_ held inside WaitFor; analysis can't see
+  // through the CondVar, so the lambda is exempted.
+  return drained_cv_.WaitFor(
+      mu_, timeout_seconds, [this]() KGPIP_NO_THREAD_SAFETY_ANALYSIS {
+        return queue_.empty() && inflight_.empty();
+      });
 }
 
 void Server::Stop() {
+  std::vector<std::thread> workers;
+  std::thread watchdog;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!started_) return;
+    // Same lost-wakeup discipline as BeginDrain: the stores workers wait
+    // on must happen under mu_ or a worker can block right past them and
+    // the joins below deadlock.
+    draining_.store(true, std::memory_order_release);
+    stopping_.store(true, std::memory_order_release);
+    // Swap the handles out so the joins run without mu_ (a worker's last
+    // act is to reacquire mu_ to deregister from inflight_).
+    workers.swap(workers_);
+    watchdog.swap(watchdog_);
   }
-  draining_.store(true, std::memory_order_release);
-  stopping_.store(true, std::memory_order_release);
-  cv_.notify_all();
-  for (std::thread& worker : workers_) {
+  cv_.NotifyAll();
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  if (watchdog_.joinable()) watchdog_.join();
+  if (watchdog.joinable()) watchdog.join();
 
   // Workers are gone; anything still queued gets a definite refusal.
   std::deque<std::shared_ptr<Pending>> leftover;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     leftover.swap(queue_);
     started_ = false;
-    workers_.clear();
-    drained_cv_.notify_all();
   }
+  drained_cv_.NotifyAll();
   for (const auto& pending : leftover) {
     ServeResponse response;
     response.status =

@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +17,7 @@
 #include "hpo/trial_guard.h"
 #include "serve/cache.h"
 #include "util/cancel.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace kgpip::serve {
@@ -196,8 +195,9 @@ class Server {
   void WatchdogLoop();
 
   /// Admission check under `mu_`; returns a shed/refusal status or OK.
-  Status AdmitLocked(const FitRequest& request);
-  void RecordOutcomeForTenant(const std::string& tenant, bool ok);
+  Status AdmitLocked(const FitRequest& request) KGPIP_REQUIRES(mu_);
+  void RecordOutcomeForTenant(const std::string& tenant, bool ok)
+      KGPIP_EXCLUDES(mu_);
 
   /// Executes one request end to end (cache probe, degradation ladder,
   /// fit, cache fill). Never throws; always returns a definite response.
@@ -210,17 +210,24 @@ class Server {
   ServeOptions options_;
   ArtifactCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::deque<std::shared_ptr<Pending>> queue_;
-  std::vector<std::shared_ptr<Pending>> inflight_;
-  std::map<std::string, TenantState> tenants_;
-  std::vector<std::thread> workers_;
-  std::thread watchdog_;
+  /// The daemon's outermost lock (LockRank::kServeServer): admission
+  /// queue, tenant state, in-flight set, lifecycle flags. Request
+  /// execution (cache, model, pool) always runs with it released.
+  mutable util::Mutex mu_{util::LockRank::kServeServer, "serve.server"};
+  util::CondVar cv_;
+  util::CondVar drained_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_ KGPIP_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Pending>> inflight_ KGPIP_GUARDED_BY(mu_);
+  std::map<std::string, TenantState> tenants_ KGPIP_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ KGPIP_GUARDED_BY(mu_);
+  std::thread watchdog_ KGPIP_GUARDED_BY(mu_);
+  /// Atomics, not mu_-guarded: read on hot admission/worker paths, but
+  /// every store happens WITH mu_ held so a cv waiter between its
+  /// predicate check and its block (which owns mu_) can never miss the
+  /// transition (see BeginDrain/Stop).
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  bool started_ KGPIP_GUARDED_BY(mu_) = false;
 };
 
 /// Serializes a pipeline spec for cache entries (numeric and string

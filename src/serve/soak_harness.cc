@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "data/synthetic.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace kgpip::serve {
@@ -97,7 +97,13 @@ Result<SoakSummary> SoakHarness::Run() {
 
   const double wait_budget_seconds = options_.request_deadline_seconds +
                                      server_->options().grace_seconds + 2.0;
-  std::mutex mu;
+  // kClient: tenant threads hold it only around summary bookkeeping and
+  // never while calling into the server, but Submit() does take the
+  // server's locks, so the harness lock ranks above everything in-daemon.
+  // Audited for lost wakeups: tenant threads block on a std::future, not
+  // on this mutex, and every wait_for carries deadline + grace — no
+  // wait here depends on a notify racing a predicate.
+  util::Mutex mu(util::LockRank::kClient, "soak.summary");
   SoakSummary summary;
   std::vector<double> latencies;
 
@@ -128,7 +134,7 @@ Result<SoakSummary> SoakHarness::Run() {
         std::future<ServeResponse> future =
             server_->Submit(std::move(request));
         {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(mu);
           ++summary.submitted;
         }
         const auto wait = std::chrono::duration<double>(wait_budget_seconds);
@@ -136,13 +142,13 @@ Result<SoakSummary> SoakHarness::Run() {
           // Contract violation: the request neither completed nor was
           // shed/cancelled inside deadline + grace. Leave the future
           // unread (the promise may still fire) and record the breach.
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(mu);
           ++summary.stuck;
           continue;
         }
         ServeResponse response = future.get();
         {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(mu);
           if (response.status.ok()) {
             ++summary.ok;
             if (response.cache_hit) ++summary.cache_hits;

@@ -44,7 +44,7 @@ bool FaultInjector::Roll(int site, const std::string& key, double rate) {
 
 std::optional<Status> FaultInjector::EvaluatorFault(
     const std::string& learner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.fail_learners.count(learner) > 0) {
     ++counters_.evaluator_errors;
     return Status::Internal("injected: learner '" + learner +
@@ -65,7 +65,7 @@ std::optional<Status> FaultInjector::EvaluatorFault(
 }
 
 bool FaultInjector::InjectNanScore(const std::string& learner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Roll(kSiteNanScore, learner, config_.nan_score_rate)) {
     ++counters_.nan_scores;
     return true;
@@ -74,7 +74,7 @@ bool FaultInjector::InjectNanScore(const std::string& learner) {
 }
 
 double FaultInjector::InjectedDelaySeconds(const std::string& learner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Roll(kSiteSlowTrial, learner, config_.slow_trial_rate)) {
     ++counters_.slow_trials;
     return config_.slow_trial_seconds;
@@ -83,7 +83,7 @@ double FaultInjector::InjectedDelaySeconds(const std::string& learner) {
 }
 
 void FaultInjector::CorruptArtifact(std::string* payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.corrupt_byte_stride <= 0 || payload->empty()) return;
   for (size_t i = 0; i < payload->size();
        i += static_cast<size_t>(config_.corrupt_byte_stride)) {

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace kgpip::util {
@@ -87,20 +87,21 @@ class FaultInjector {
   /// Snapshot of the counters (copied under the lock so a reader racing
   /// pool-lane injections sees a coherent set).
   FaultCounters counters() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_;
   }
 
  private:
-  /// Deterministic Bernoulli draw for (site, key, call index). Callers
-  /// must hold `mu_`.
-  bool Roll(int site, const std::string& key, double rate);
+  /// Deterministic Bernoulli draw for (site, key, call index).
+  bool Roll(int site, const std::string& key, double rate)
+      KGPIP_REQUIRES(mu_);
 
   FaultConfig config_;
-  mutable std::mutex mu_;
-  FaultCounters counters_;
+  mutable Mutex mu_{LockRank::kFault, "fault"};
+  FaultCounters counters_ KGPIP_GUARDED_BY(mu_);
   /// Per-(site, key) call indices; the only mutable decision state.
-  std::map<std::pair<int, std::string>, uint64_t> calls_;
+  std::map<std::pair<int, std::string>, uint64_t> calls_
+      KGPIP_GUARDED_BY(mu_);
 };
 
 /// RAII installation of a fault injector. Scopes may not nest (the inner

@@ -54,6 +54,8 @@ bool ParseLogLevel(const char* text, LogLevel* out) {
 /// SetLogLevel always wins over the environment.
 void ApplyEnvLogLevelOnce() {
   static const bool applied = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- once-only getenv behind a
+    // static initializer; the environment is never mutated.
     const char* env = std::getenv("KGPIP_LOG_LEVEL");
     LogLevel level;
     if (env != nullptr && ParseLogLevel(env, &level) &&

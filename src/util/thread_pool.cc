@@ -2,19 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace kgpip::util {
@@ -26,6 +25,8 @@ namespace {
 thread_local int t_lane = -1;
 
 int EnvThreads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only getenv; the
+  // process never mutates its environment after startup.
   const char* env = std::getenv("KGPIP_THREADS");
   if (env == nullptr || *env == '\0') return 0;
   char* end = nullptr;
@@ -55,12 +56,13 @@ struct ForLoop {
   size_t n = 0;
   const std::function<void(size_t, size_t)>* body = nullptr;
   std::atomic<size_t> chunks_left{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu{LockRank::kPoolLoop, "pool.loop"};
+  CondVar done_cv;
   /// Lowest item index whose body threw, and its exception. Picking the
   /// minimum makes the surfaced error independent of scheduling.
-  size_t first_error_item = std::numeric_limits<size_t>::max();
-  std::exception_ptr first_error;
+  size_t first_error_item KGPIP_GUARDED_BY(mu) =
+      std::numeric_limits<size_t>::max();
+  std::exception_ptr first_error KGPIP_GUARDED_BY(mu);
 };
 
 /// A contiguous [begin, end) slice of one loop's items.
@@ -76,22 +78,22 @@ struct Chunk {
 /// lock-free protocol — chunks are coarse, and this keeps the pool
 /// trivially TSan-clean.
 struct StealDeque {
-  std::mutex mu;
-  std::deque<Chunk> chunks;
+  Mutex mu{LockRank::kPoolDeque, "pool.deque"};
+  std::deque<Chunk> chunks KGPIP_GUARDED_BY(mu);
 
   void PushBottom(Chunk c) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     chunks.push_back(c);
   }
   bool PopBottom(Chunk* out) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (chunks.empty()) return false;
     *out = chunks.back();
     chunks.pop_back();
     return true;
   }
   bool StealTop(Chunk* out) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (chunks.empty()) return false;
     *out = chunks.front();
     chunks.pop_front();
@@ -103,8 +105,8 @@ struct ThreadPool::Impl {
   std::vector<std::thread> threads;
   /// One deque per lane: workers 0..W-1 plus the caller lane W.
   std::vector<std::unique_ptr<StealDeque>> deques;
-  std::mutex wake_mu;
-  std::condition_variable wake_cv;
+  Mutex wake_mu{LockRank::kPoolWake, "pool.wake"};
+  CondVar wake_cv;
   std::atomic<bool> shutdown{false};
   /// Bumped on every submission so sleeping workers re-scan the deques.
   std::atomic<uint64_t> epoch{0};
@@ -131,7 +133,7 @@ struct ThreadPool::Impl {
       try {
         (*loop->body)(i, static_cast<size_t>(t_lane));
       } catch (...) {
-        std::lock_guard<std::mutex> lock(loop->mu);
+        MutexLock lock(loop->mu);
         if (i < loop->first_error_item) {
           loop->first_error_item = i;
           loop->first_error = std::current_exception();
@@ -143,9 +145,9 @@ struct ThreadPool::Impl {
     // Decrement + notify under the loop mutex: the waiter also inspects
     // chunks_left under it, so the ForLoop cannot be destroyed between
     // our decrement and the notify (no use-after-free window).
-    std::lock_guard<std::mutex> lock(loop->mu);
+    MutexLock lock(loop->mu);
     if (loop->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      loop->done_cv.notify_all();
+      loop->done_cv.NotifyAll();
     }
   }
 
@@ -173,13 +175,17 @@ struct ThreadPool::Impl {
         RunChunk(chunk);
         continue;
       }
-      std::unique_lock<std::mutex> lock(wake_mu);
+      MutexLock lock(wake_mu);
       if (shutdown.load(std::memory_order_acquire)) return;
       if (epoch.load(std::memory_order_acquire) != seen_epoch) {
         seen_epoch = epoch.load(std::memory_order_acquire);
         continue;  // new work arrived while we were scanning
       }
-      wake_cv.wait(lock, [&] {
+      // Predicate-based wait: shutdown/epoch publications happen under
+      // wake_mu (see ParallelFor and ~ThreadPool), so a store cannot
+      // land between this predicate check and the block — no lost
+      // wakeup — and spurious wakeups simply re-check.
+      wake_cv.Wait(wake_mu, [&] {
         return shutdown.load(std::memory_order_acquire) ||
                epoch.load(std::memory_order_acquire) != seen_epoch;
       });
@@ -203,10 +209,10 @@ ThreadPool::ThreadPool(int num_threads) : impl_(new Impl()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->wake_mu);
+    MutexLock lock(impl_->wake_mu);
     impl_->shutdown.store(true, std::memory_order_release);
   }
-  impl_->wake_cv.notify_all();
+  impl_->wake_cv.NotifyAll();
   for (std::thread& t : impl_->threads) t.join();
   delete impl_;
 }
@@ -250,10 +256,10 @@ void ThreadPool::ParallelFor(
     impl_->deques[c % lanes]->PushBottom(chunk);
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->wake_mu);
+    MutexLock lock(impl_->wake_mu);
     impl_->epoch.fetch_add(1, std::memory_order_acq_rel);
   }
-  impl_->wake_cv.notify_all();
+  impl_->wake_cv.NotifyAll();
 
   // The submitting thread works lane `workers` until the loop drains.
   t_lane = static_cast<int>(workers);
@@ -263,14 +269,17 @@ void ThreadPool::ParallelFor(
     impl_->RunChunk(chunk);
   }
   t_lane = -1;
+  std::exception_ptr first_error;
   {
-    std::unique_lock<std::mutex> lock(loop.mu);
-    loop.done_cv.wait(lock, [&] {
+    MutexLock lock(loop.mu);
+    loop.done_cv.Wait(loop.mu, [&] {
       return loop.chunks_left.load(std::memory_order_acquire) == 0;
     });
+    // Copy the error out under the lock (it is mu-guarded state).
+    first_error = loop.first_error;
   }
   impl_->queue_depth->Set(0.0);
-  if (loop.first_error) std::rethrow_exception(loop.first_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -280,14 +289,15 @@ void ThreadPool::ParallelFor(size_t n,
 
 namespace {
 
-std::mutex g_pool_mu;
-ThreadPool* g_pool = nullptr;
-int g_configured_threads = 0;  // 0 = use KGPIP_THREADS / hardware
+Mutex g_pool_mu{LockRank::kPoolRegistry, "pool.registry"};
+ThreadPool* g_pool KGPIP_GUARDED_BY(g_pool_mu) = nullptr;
+int g_configured_threads KGPIP_GUARDED_BY(g_pool_mu) =
+    0;  // 0 = use KGPIP_THREADS / hardware
 
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (g_pool == nullptr) {
     int threads = g_configured_threads > 0 ? g_configured_threads
                                            : EnvThreads();
@@ -297,7 +307,7 @@ ThreadPool& ThreadPool::Global() {
 }
 
 int ThreadPool::PlannedThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (g_pool != nullptr) return g_pool->num_lanes();
   int threads = g_configured_threads > 0 ? g_configured_threads
                                          : EnvThreads();
@@ -307,9 +317,9 @@ int ThreadPool::PlannedThreads() {
 void ThreadPool::Configure(int num_threads) {
   KGPIP_CHECK(t_lane < 0)
       << "ThreadPool::Configure called from inside a pool task";
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   g_configured_threads = num_threads;
-  delete g_pool;  // joins workers
+  delete g_pool;  // joins workers; pool.registry > pool.wake in the table
   g_pool = nullptr;
 }
 

@@ -1,0 +1,83 @@
+#ifndef KGPIP_UTIL_TS_ANNOTATIONS_H_
+#define KGPIP_UTIL_TS_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros.
+///
+/// When the tree is compiled with `clang++ -Wthread-safety` (the CI
+/// `thread-safety` job adds `-Werror`), these expand to the attributes
+/// that let the compiler prove lock discipline statically: every access
+/// to a `KGPIP_GUARDED_BY(mu)` field must happen while `mu` is held,
+/// every `KGPIP_REQUIRES(mu)` function must be called with `mu` held,
+/// and a `KGPIP_SCOPED_CAPABILITY` RAII type is known to release on
+/// destruction. On every other compiler (the container's g++ included)
+/// they expand to nothing, so the annotations are free documentation.
+///
+/// The analysis is flow-sensitive but purely static; what it cannot see
+/// (locks handed across threads, aliased capabilities) is covered by the
+/// runtime lock-rank checker in util/mutex.h. Escape hatches
+/// (`KGPIP_NO_THREAD_SAFETY_ANALYSIS`) are allowed only with a rationale
+/// comment at the use site.
+#if defined(__clang__) && !defined(SWIG)
+#define KGPIP_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define KGPIP_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances are lockable capabilities ("mutex").
+#define KGPIP_CAPABILITY(x) KGPIP_TS_ATTRIBUTE(capability(x))
+
+/// Class attribute: RAII type that acquires in its constructor and
+/// releases in its destructor (std::lock_guard shape).
+#define KGPIP_SCOPED_CAPABILITY KGPIP_TS_ATTRIBUTE(scoped_lockable)
+
+/// Data member attribute: reads and writes require holding `x`.
+#define KGPIP_GUARDED_BY(x) KGPIP_TS_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member attribute: the pointed-to data requires holding `x`
+/// (the pointer itself is unguarded).
+#define KGPIP_PT_GUARDED_BY(x) KGPIP_TS_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function attribute: acquires the listed capabilities (exclusive).
+#define KGPIP_ACQUIRE(...) \
+  KGPIP_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities.
+#define KGPIP_RELEASE(...) \
+  KGPIP_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires iff the return value equals the first
+/// argument (e.g. KGPIP_TRY_ACQUIRE(true)).
+#define KGPIP_TRY_ACQUIRE(...) \
+  KGPIP_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must already hold the capabilities.
+#define KGPIP_REQUIRES(...) \
+  KGPIP_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the capabilities
+/// (catches self-deadlock on non-recursive mutexes).
+#define KGPIP_EXCLUDES(...) \
+  KGPIP_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declaration-order hints for the static lock-order check.
+#define KGPIP_ACQUIRED_BEFORE(...) \
+  KGPIP_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define KGPIP_ACQUIRED_AFTER(...) \
+  KGPIP_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the capability guarding
+/// the returned data.
+#define KGPIP_RETURN_CAPABILITY(x) KGPIP_TS_ATTRIBUTE(lock_returned(x))
+
+/// Runtime assertion visible to the analysis: from here on, treat the
+/// capability as held.
+#define KGPIP_ASSERT_CAPABILITY(x) \
+  KGPIP_TS_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a comment explaining why the analysis cannot model the code
+/// (see DESIGN.md "Concurrency correctness & lock discipline").
+#define KGPIP_NO_THREAD_SAFETY_ANALYSIS \
+  KGPIP_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // KGPIP_UTIL_TS_ANNOTATIONS_H_

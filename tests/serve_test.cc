@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +21,7 @@
 #include "serve/server.h"
 #include "serve/soak_harness.h"
 #include "util/fault.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace kgpip::serve {
@@ -377,6 +379,46 @@ TEST_F(ServeFixture, DrainRefusesNewWorkAndFinishesQueuedWork) {
   server.Stop();
 }
 
+TEST_F(ServeFixture, AwaitDrainedTimesOutEarlyAndSucceedsLate) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    FitRequest request;
+    request.table = MakeTable(900 + static_cast<uint64_t>(i));
+    request.max_trials = 2;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.BeginDrain();
+  // Early: a zero-budget wait reports "not drained yet" while work
+  // remains — it must neither block nor claim success.
+  EXPECT_FALSE(server.AwaitDrained(0.0));
+  // Late: the same call with budget observes the drain completing.
+  EXPECT_TRUE(server.AwaitDrained(30.0));
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.inflight(), 0u);
+  for (std::future<ServeResponse>& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  server.Stop();
+}
+
+TEST_F(ServeFixture, DrainOfAnIdleServerNeverLosesTheWakeup) {
+  // Regression: BeginDrain/Stop once stored their flags and notified
+  // without holding mu_, so a worker sitting between its wait-predicate
+  // check and its block could miss the only notify — hanging the drain
+  // and the Stop join. Freshly started idle servers spend their time in
+  // exactly that window; cycling them presses on it.
+  for (int round = 0; round < 25; ++round) {
+    Server server(model_, FastOptions());
+    ASSERT_TRUE(server.Start().ok());
+    server.BeginDrain();
+    EXPECT_TRUE(server.AwaitDrained(10.0)) << "round " << round;
+    server.Stop();
+  }
+}
+
 TEST_F(ServeFixture, ExpiredDeadlineProducesResourceExhausted) {
   ServeOptions options = FastOptions();
   options.num_workers = 1;
@@ -542,6 +584,47 @@ TEST_F(ServeFixture, SoakUnderInjectedFaultsStaysDefinitive) {
   EXPECT_EQ(summary->stuck, 0);
   EXPECT_GT(summary->submitted, 0);
   server.Stop();
+}
+
+std::atomic<int> g_soak_rank_violations{0};
+
+void RecordSoakRankViolation(const char* acquiring, int acquiring_rank,
+                             const char* held, int held_rank) {
+  g_soak_rank_violations.fetch_add(1);
+  ADD_FAILURE() << "lock-rank violation: acquiring '" << acquiring
+                << "' (rank " << acquiring_rank << ") while holding '"
+                << held << "' (rank " << held_rank << ")";
+}
+
+TEST_F(ServeFixture, SoakIsCleanUnderLockRankChecking) {
+  if (!util::LockRankCheckingCompiled()) {
+    GTEST_SKIP() << "built with KGPIP_NO_LOCK_RANK";
+  }
+  // The whole daemon — admission, workers, watchdog, cache, generator
+  // engines, pool, metrics — under the runtime rank checker: any lock
+  // acquired against the documented order fails the test via the handler
+  // (equivalent to running the soak with KGPIP_CHECK_LOCKS=1, but with a
+  // recording handler instead of the aborting default).
+  g_soak_rank_violations.store(0);
+  util::SetLockRankCheckingEnabled(true);
+  util::SetLockRankViolationHandler(&RecordSoakRankViolation);
+
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  SoakOptions soak;
+  soak.num_tenants = 2;
+  soak.duration_seconds = 1.0;
+  soak.request_deadline_seconds = 10.0;
+  SoakHarness harness(&server, soak);
+  auto summary = harness.Run();
+  server.Stop();
+
+  util::SetLockRankViolationHandler(nullptr);
+  util::SetLockRankCheckingEnabled(false);
+
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_GT(summary->submitted, 0);
+  EXPECT_EQ(g_soak_rank_violations.load(), 0);
 }
 
 }  // namespace
