@@ -13,15 +13,19 @@
 // soak audit + cache statistics.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/kgpip.h"
 #include "data/benchmark_registry.h"
 #include "serve/server.h"
 #include "serve/soak_harness.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 using namespace kgpip;  // NOLINT — example brevity
@@ -29,8 +33,37 @@ using namespace kgpip;  // NOLINT — example brevity
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_statusz_requests{0};
 
 void HandleSignal(int) { g_shutdown.store(true); }
+
+// SIGUSR1 = "show me what you are doing right now". The handler only
+// bumps a counter; a poller thread does the actual DebugStatus dump
+// (signal handlers must not take locks).
+void HandleStatuszSignal(int) {
+  g_statusz_requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Writes the statusz JSON atomically (temp + rename) so a reader polling
+// the path never sees a torn document.
+void WriteStatuszFile(const std::string& path, const Json& status) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "kgpip-serve: cannot write statusz to '%s'\n",
+                 temp.c_str());
+    return;
+  }
+  const std::string body = status.Dump(2);
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "kgpip-serve: statusz rename to '%s' failed\n",
+                 path.c_str());
+    std::remove(temp.c_str());
+  }
+}
 
 double EnvSeconds(const char* name, double fallback) {
   const char* raw = std::getenv(name);
@@ -87,17 +120,44 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
+  // 3. Signals, installed BEFORE the readiness line is printed so an
+  //    operator (or CI) reacting to it can immediately signal us:
+  //    SIGTERM/SIGINT begin a drain; SIGUSR1 requests a statusz dump.
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGUSR1, HandleStatuszSignal);
+
+  // Statusz poller: on each SIGUSR1 it prints DebugStatusText to stderr
+  // and, when KGPIP_SERVE_STATUSZ names a file, atomically rewrites that
+  // file with the full DebugStatus JSON.
+  const char* statusz_env = std::getenv("KGPIP_SERVE_STATUSZ");
+  const std::string statusz_path = statusz_env != nullptr ? statusz_env : "";
+  std::atomic<bool> statusz_done{false};
+  std::thread statusz_poller([&server, &statusz_path, &statusz_done] {
+    int seen = 0;
+    while (!statusz_done.load(std::memory_order_acquire)) {
+      const int requested = g_statusz_requests.load(std::memory_order_relaxed);
+      if (requested != seen) {
+        seen = requested;
+        const Json status = server.DebugStatus();
+        std::fprintf(stderr, "%s", server.DebugStatusText().c_str());
+        if (!statusz_path.empty()) {
+          WriteStatuszFile(statusz_path, status);
+          std::fprintf(stderr, "kgpip-serve: statusz written to %s\n",
+                       statusz_path.c_str());
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
   std::printf(
       "kgpip-serve: up (%d workers, queue depth %zu, deadline %.1fs, "
       "cache %s)\n",
       options.num_workers, options.max_queue_depth,
       options.default_deadline_seconds,
       options.cache_dir.empty() ? "memory-only" : options.cache_dir.c_str());
-
-  // 3. Graceful shutdown: SIGTERM/SIGINT begin a drain — no new
-  //    admissions, queued + running requests finish.
-  std::signal(SIGTERM, HandleSignal);
-  std::signal(SIGINT, HandleSignal);
+  std::fflush(stdout);
 
   // 4. Demo workload: synthetic tenants in soak rounds until a signal
   //    arrives (KGPIP_SOAK_SECONDS bounds each round; KGPIP_SOAK_ROUNDS
@@ -125,6 +185,10 @@ int main(int argc, char** argv) {
     if (!summary.ok()) {
       std::fprintf(stderr, "kgpip-serve: soak round %d FAILED: %s\n", round,
                    summary.status().ToString().c_str());
+      std::fprintf(stderr, "kgpip-serve: statusz at failure:\n%s",
+                   server.DebugStatusText().c_str());
+      statusz_done.store(true, std::memory_order_release);
+      statusz_poller.join();
       server.Stop();
       return 1;
     }
@@ -139,6 +203,18 @@ int main(int argc, char** argv) {
   server.BeginDrain();
   const bool drained = server.AwaitDrained(
       options.default_deadline_seconds + options.grace_seconds);
+  if (!drained) {
+    // The single most useful artifact for a stuck drain: what was still
+    // queued/in flight, at which stage, and for how long.
+    std::fprintf(stderr,
+                 "kgpip-serve: drain timed out; statusz at timeout:\n%s",
+                 server.DebugStatusText().c_str());
+  }
+  statusz_done.store(true, std::memory_order_release);
+  statusz_poller.join();
+  if (!statusz_path.empty()) {
+    WriteStatuszFile(statusz_path, server.DebugStatus());
+  }
   server.Stop();
   const serve::ArtifactCache::Stats cache = server.cache().stats();
   std::printf(

@@ -228,7 +228,13 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletonsFromNearest(
 Result<automl::AutoMlResult> Kgpip::Fit(const Table& train, TaskType task,
                                         hpo::Budget budget,
                                         uint64_t seed) const {
-  KGPIP_TRACE_SPAN("kgpip.fit");
+  // Named span (not the macro) so the dataset's shape lands in the
+  // args: a per-request trace group read in Perfetto identifies its
+  // dataset without cross-referencing the audit log.
+  obs::TraceSpan fit_span("kgpip.fit");
+  fit_span.SetAttr("rows", static_cast<int64_t>(train.num_rows()));
+  fit_span.SetAttr("columns", static_cast<int64_t>(train.num_columns()));
+  fit_span.SetAttr("max_trials", static_cast<int64_t>(budget.max_trials()));
   Stopwatch fit_watch;
   obs::StageProfile profile;
   bool used_fallback = false;

@@ -1,8 +1,13 @@
 #include "obs/metrics.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
+#include <thread>
+
+#include "obs/sliding_window.h"
 
 namespace kgpip::obs {
 
@@ -96,6 +101,11 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+// Out of line so the unique_ptr maps over the forward-declared
+// sliding-window types instantiate their deleters with complete types.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   util::MutexLock lock(mu_);
   auto it = counters_.find(name);
@@ -129,6 +139,50 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return it->second.get();
 }
 
+SlidingWindowHistogram* MetricsRegistry::GetSlidingHistogram(
+    const std::string& name) {
+  SlidingWindowHistogram::Options defaults;
+  return GetSlidingHistogram(name, defaults.window_seconds,
+                             defaults.num_slices);
+}
+
+SlidingWindowHistogram* MetricsRegistry::GetSlidingHistogram(
+    const std::string& name, double window_seconds, int num_slices) {
+  util::MutexLock lock(mu_);
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    SlidingWindowHistogram::Options options;
+    options.window_seconds = window_seconds;
+    options.num_slices = num_slices;
+    it = windows_
+             .emplace(name, std::make_unique<SlidingWindowHistogram>(options))
+             .first;
+  }
+  return it->second.get();
+}
+
+SlidingWindowCounter* MetricsRegistry::GetSlidingCounter(
+    const std::string& name) {
+  SlidingWindowCounter::Options defaults;
+  return GetSlidingCounter(name, defaults.window_seconds,
+                           defaults.num_slices);
+}
+
+SlidingWindowCounter* MetricsRegistry::GetSlidingCounter(
+    const std::string& name, double window_seconds, int num_slices) {
+  util::MutexLock lock(mu_);
+  auto it = window_counters_.find(name);
+  if (it == window_counters_.end()) {
+    SlidingWindowCounter::Options options;
+    options.window_seconds = window_seconds;
+    options.num_slices = num_slices;
+    it = window_counters_
+             .emplace(name, std::make_unique<SlidingWindowCounter>(options))
+             .first;
+  }
+  return it->second.get();
+}
+
 Json MetricsRegistry::ToJson() const {
   util::MutexLock lock(mu_);
   Json out = Json::Object();
@@ -147,14 +201,45 @@ Json MetricsRegistry::ToJson() const {
     histograms.Set(name, histogram->ToJson());
   }
   out.Set("histograms", std::move(histograms));
+  // Window locks (kObsWindow) sit below the registry lock held here, so
+  // snapshotting them one at a time is in rank order.
+  Json windows = Json::Object();
+  for (const auto& [name, window] : windows_) {
+    windows.Set(name, window->GetSnapshot().ToJson());
+  }
+  for (const auto& [name, counter] : window_counters_) {
+    Json c = Json::Object();
+    c.Set("count", counter->WindowedCount());
+    c.Set("rate_per_second", counter->RatePerSecond());
+    c.Set("window_seconds", counter->options().window_seconds);
+    windows.Set(name, std::move(c));
+  }
+  out.Set("windows", std::move(windows));
   return out;
 }
 
 Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for write");
-  out << ToJson().Dump(2) << "\n";
-  if (!out) return Status::IoError("write failed for '" + path + "'");
+  // Write-temp-then-rename (the serve::ArtifactCache discipline): the
+  // final name either holds the previous complete snapshot or the new
+  // one, never a torn write from a crash mid-dump. The temp name carries
+  // the thread id so concurrent dumpers of one path cannot collide.
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  const std::string tmp = path + ".tmp." + tid.str();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "' for write");
+    out << ToJson().Dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed for '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
   return Status::Ok();
 }
 
@@ -163,6 +248,8 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, window] : windows_) window->Reset();
+  for (auto& [name, counter] : window_counters_) counter->Reset();
 }
 
 }  // namespace kgpip::obs

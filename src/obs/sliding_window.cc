@@ -1,0 +1,233 @@
+#include "obs/sliding_window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace kgpip::obs {
+
+namespace {
+
+int64_t EpochFor(double now_seconds, double slice_seconds) {
+  return static_cast<int64_t>(std::floor(now_seconds / slice_seconds));
+}
+
+}  // namespace
+
+double WindowClockSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+SlidingWindowHistogram::SlidingWindowHistogram()
+    : SlidingWindowHistogram(Options()) {}
+
+SlidingWindowHistogram::SlidingWindowHistogram(Options options)
+    : options_(options), shape_(options.layout) {
+  options_.num_slices = std::max(1, options_.num_slices);
+  options_.window_seconds = std::max(1e-9, options_.window_seconds);
+  util::MutexLock lock(mu_);
+  slices_.resize(static_cast<size_t>(options_.num_slices));
+  for (Slice& slice : slices_) {
+    slice.buckets.assign(static_cast<size_t>(shape_.num_buckets()), 0);
+  }
+}
+
+void SlidingWindowHistogram::Record(double value) {
+  RecordAt(value, WindowClockSeconds());
+}
+
+void SlidingWindowHistogram::RecordAt(double value, double now_seconds) {
+  const int64_t epoch = EpochFor(now_seconds, slice_seconds());
+  const size_t idx =
+      static_cast<size_t>(epoch % options_.num_slices +
+                          (epoch % options_.num_slices < 0
+                               ? options_.num_slices
+                               : 0));
+  const int bucket = shape_.BucketIndex(value);
+  util::MutexLock lock(mu_);
+  Slice& slice = slices_[idx];
+  if (slice.epoch != epoch) {
+    // This slot last held an older (or never-used) slice; it has aged
+    // out of the window by construction, so recycle it in place.
+    slice.epoch = epoch;
+    slice.count = 0;
+    slice.sum = 0.0;
+    std::fill(slice.buckets.begin(), slice.buckets.end(), 0);
+  }
+  ++slice.count;
+  slice.buckets[static_cast<size_t>(bucket)]++;
+  if (std::isfinite(value)) {
+    slice.sum += value;
+    if (slice.count == 1 || value < slice.min) slice.min = value;
+    if (slice.count == 1 || value > slice.max) slice.max = value;
+  }
+}
+
+SlidingWindowHistogram::Snapshot SlidingWindowHistogram::GetSnapshot() const {
+  return SnapshotAt(WindowClockSeconds());
+}
+
+SlidingWindowHistogram::Snapshot SlidingWindowHistogram::SnapshotAt(
+    double now_seconds) const {
+  Snapshot snap;
+  snap.window_seconds = options_.window_seconds;
+  snap.layout = options_.layout;
+  snap.buckets.assign(static_cast<size_t>(shape_.num_buckets()), 0);
+  const int64_t now_epoch = EpochFor(now_seconds, slice_seconds());
+  // Live slices: epochs (now_epoch - num_slices, now_epoch]. Anything
+  // older is stale data awaiting recycling and must not be reported.
+  const int64_t oldest = now_epoch - options_.num_slices + 1;
+  bool first = true;
+  util::MutexLock lock(mu_);
+  for (const Slice& slice : slices_) {
+    if (slice.epoch < oldest || slice.epoch > now_epoch) continue;
+    if (slice.count == 0) continue;
+    snap.count += slice.count;
+    snap.sum += slice.sum;
+    if (first || slice.min < snap.min) snap.min = slice.min;
+    if (first || slice.max > snap.max) snap.max = slice.max;
+    first = false;
+    for (size_t b = 0; b < slice.buckets.size(); ++b) {
+      snap.buckets[b] += slice.buckets[b];
+    }
+  }
+  return snap;
+}
+
+void SlidingWindowHistogram::Reset() {
+  util::MutexLock lock(mu_);
+  for (Slice& slice : slices_) {
+    slice.epoch = -1;
+    slice.count = 0;
+    slice.sum = 0.0;
+    slice.min = 0.0;
+    slice.max = 0.0;
+    std::fill(slice.buckets.begin(), slice.buckets.end(), 0);
+  }
+}
+
+double SlidingWindowHistogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk the cumulative bucket
+  // counts to find the bucket it lands in.
+  const double rank = q * static_cast<double>(count);
+  Histogram shape(layout);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const int i = static_cast<int>(b);
+    const double upper = shape.BucketUpperBound(i);
+    const double lower = i == 0 ? 0.0 : shape.BucketUpperBound(i - 1);
+    if (std::isinf(upper)) return std::min(max, std::max(lower, min));
+    // Linear interpolation on rank within the bucket, clamped to the
+    // observed extremes so tiny windows don't report beyond min/max.
+    const double frac =
+        (rank - static_cast<double>(before)) /
+        static_cast<double>(buckets[b]);
+    double value = lower + frac * (upper - lower);
+    value = std::max(value, min);
+    value = std::min(value, max);
+    return value;
+  }
+  return max;
+}
+
+double SlidingWindowHistogram::Snapshot::FractionAbove(
+    double threshold) const {
+  if (count <= 0) return 0.0;
+  Histogram shape(layout);
+  double above = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const int i = static_cast<int>(b);
+    const double upper = shape.BucketUpperBound(i);
+    const double lower = i == 0 ? 0.0 : shape.BucketUpperBound(i - 1);
+    if (lower >= threshold) {
+      above += static_cast<double>(buckets[b]);
+    } else if (upper > threshold && !std::isinf(upper)) {
+      // Bucket straddles the threshold: assume uniform within it.
+      above += static_cast<double>(buckets[b]) * (upper - threshold) /
+               (upper - lower);
+    } else if (std::isinf(upper) && threshold < std::max(lower, max)) {
+      above += static_cast<double>(buckets[b]);
+    }
+  }
+  return std::clamp(above / static_cast<double>(count), 0.0, 1.0);
+}
+
+Json SlidingWindowHistogram::Snapshot::ToJson() const {
+  Json out = Json::Object();
+  out.Set("count", count);
+  out.Set("sum", sum);
+  out.Set("window_seconds", window_seconds);
+  if (count > 0) {
+    out.Set("min", min);
+    out.Set("max", max);
+    out.Set("p50", Quantile(0.50));
+    out.Set("p90", Quantile(0.90));
+    out.Set("p99", Quantile(0.99));
+  }
+  return out;
+}
+
+SlidingWindowCounter::SlidingWindowCounter()
+    : SlidingWindowCounter(Options()) {}
+
+SlidingWindowCounter::SlidingWindowCounter(Options options)
+    : options_(options) {
+  options_.num_slices = std::max(1, options_.num_slices);
+  options_.window_seconds = std::max(1e-9, options_.window_seconds);
+  util::MutexLock lock(mu_);
+  slices_.resize(static_cast<size_t>(options_.num_slices));
+}
+
+void SlidingWindowCounter::Add(int64_t n) { AddAt(n, WindowClockSeconds()); }
+
+void SlidingWindowCounter::AddAt(int64_t n, double now_seconds) {
+  const int64_t epoch = EpochFor(now_seconds, slice_seconds());
+  const size_t idx =
+      static_cast<size_t>(epoch % options_.num_slices +
+                          (epoch % options_.num_slices < 0
+                               ? options_.num_slices
+                               : 0));
+  util::MutexLock lock(mu_);
+  Slice& slice = slices_[idx];
+  if (slice.epoch != epoch) {
+    slice.epoch = epoch;
+    slice.count = 0;
+  }
+  slice.count += n;
+}
+
+int64_t SlidingWindowCounter::WindowedCount() const {
+  return WindowedCountAt(WindowClockSeconds());
+}
+
+int64_t SlidingWindowCounter::WindowedCountAt(double now_seconds) const {
+  const int64_t now_epoch = EpochFor(now_seconds, slice_seconds());
+  const int64_t oldest = now_epoch - options_.num_slices + 1;
+  int64_t total = 0;
+  util::MutexLock lock(mu_);
+  for (const Slice& slice : slices_) {
+    if (slice.epoch < oldest || slice.epoch > now_epoch) continue;
+    total += slice.count;
+  }
+  return total;
+}
+
+void SlidingWindowCounter::Reset() {
+  util::MutexLock lock(mu_);
+  for (Slice& slice : slices_) {
+    slice.epoch = -1;
+    slice.count = 0;
+  }
+}
+
+}  // namespace kgpip::obs

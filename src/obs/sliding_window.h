@@ -1,0 +1,153 @@
+#ifndef KGPIP_OBS_SLIDING_WINDOW_H_
+#define KGPIP_OBS_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/mutex.h"
+
+namespace kgpip::obs {
+
+/// Time-decaying variant of obs::Histogram: samples land in one of
+/// `num_slices` rotating slices of `window_seconds / num_slices` each;
+/// a snapshot merges only the slices that fall inside the trailing
+/// window, so p50/p99 (and rates) reflect the last ~window_seconds of
+/// traffic instead of process lifetime. The serving watchdog reads these
+/// to export per-tenant SLO burn.
+///
+/// Rotation is driven by the clock of whoever touches the window next: a
+/// Record (or Snapshot) whose slice epoch has moved on resets the stale
+/// slices it displaces. An idle window therefore keeps stale slice
+/// contents in memory, but snapshots filter by epoch, so they are never
+/// *reported* — correctness does not depend on a background sweeper.
+///
+/// All methods are thread-safe behind one mutex (LockRank::kObsWindow).
+/// Unlike obs::Histogram this is not lock-free: windowed metrics are
+/// recorded once per *request* (not per trial/task), so a short critical
+/// section is fine.
+///
+/// The *At overloads take an explicit `now_seconds` (any monotonic
+/// origin) so tests drive rotation deterministically; the clockless
+/// forms use the process-wide steady clock.
+class SlidingWindowHistogram {
+ public:
+  struct Options {
+    double window_seconds = 60.0;
+    int num_slices = 6;
+    /// Bucket layout shared by every slice (defaults: 1 µs base, ×2
+    /// growth, 48 buckets — same as obs::Histogram).
+    Histogram::Options layout;
+  };
+
+  /// Merged view of the live slices at snapshot time.
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // meaningful only when count > 0
+    double max = 0.0;
+    double window_seconds = 0.0;
+    std::vector<int64_t> buckets;
+    Histogram::Options layout;
+
+    /// Approximate quantile (q in [0,1]) by linear interpolation inside
+    /// the exponential bucket the target rank lands in. 0 when empty.
+    double Quantile(double q) const;
+    /// Approximate fraction of windowed samples strictly above
+    /// `threshold` (the SLO-burn numerator). 0 when empty.
+    double FractionAbove(double threshold) const;
+    /// Samples per second over the window.
+    double RatePerSecond() const {
+      return window_seconds > 0.0 ? static_cast<double>(count) /
+                                        window_seconds
+                                  : 0.0;
+    }
+
+    /// {"count","sum","min","max","window_seconds","p50","p90","p99"}.
+    Json ToJson() const;
+  };
+
+  SlidingWindowHistogram();
+  explicit SlidingWindowHistogram(Options options);
+
+  void Record(double value);
+  void RecordAt(double value, double now_seconds);
+
+  Snapshot GetSnapshot() const;
+  Snapshot SnapshotAt(double now_seconds) const;
+
+  const Options& options() const { return options_; }
+
+  void Reset();
+
+ private:
+  struct Slice {
+    int64_t epoch = -1;  // floor(now / slice_seconds); -1 = never used
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<int64_t> buckets;
+  };
+
+  double slice_seconds() const {
+    return options_.window_seconds / options_.num_slices;
+  }
+
+  Options options_;
+  /// Reference layout for bucket math (BucketIndex/BucketUpperBound);
+  /// never Record()ed into.
+  Histogram shape_;
+  mutable util::Mutex mu_{util::LockRank::kObsWindow, "obs.window"};
+  std::vector<Slice> slices_ KGPIP_GUARDED_BY(mu_);
+};
+
+/// Windowed event counter (shed/hit rates): Add() stamps events into the
+/// same rotating-slice scheme; WindowedCount/RatePerSecond report the
+/// trailing window only. Thread-safe (LockRank::kObsWindow).
+class SlidingWindowCounter {
+ public:
+  struct Options {
+    double window_seconds = 60.0;
+    int num_slices = 6;
+  };
+
+  SlidingWindowCounter();
+  explicit SlidingWindowCounter(Options options);
+
+  void Add(int64_t n = 1);
+  void AddAt(int64_t n, double now_seconds);
+
+  int64_t WindowedCount() const;
+  int64_t WindowedCountAt(double now_seconds) const;
+  double RatePerSecond() const {
+    return static_cast<double>(WindowedCount()) / options_.window_seconds;
+  }
+
+  const Options& options() const { return options_; }
+
+  void Reset();
+
+ private:
+  struct Slice {
+    int64_t epoch = -1;
+    int64_t count = 0;
+  };
+
+  double slice_seconds() const {
+    return options_.window_seconds / options_.num_slices;
+  }
+
+  Options options_;
+  mutable util::Mutex mu_{util::LockRank::kObsWindow, "obs.window"};
+  std::vector<Slice> slices_ KGPIP_GUARDED_BY(mu_);
+};
+
+/// Seconds on the process-wide steady clock (same origin for every
+/// window, so cross-metric snapshots line up).
+double WindowClockSeconds();
+
+}  // namespace kgpip::obs
+
+#endif  // KGPIP_OBS_SLIDING_WINDOW_H_

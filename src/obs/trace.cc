@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 
+#include "obs/metrics.h"
+#include "util/request_context.h"
 #include "util/string_util.h"
 
 namespace kgpip::obs {
@@ -84,9 +87,15 @@ double Tracer::NowMicros() {
 }
 
 void Tracer::Record(TraceEvent event) {
+  // Resolve the drop counter BEFORE taking mu_: GetCounter locks the
+  // metrics registry (rank kObsMetrics, above kObsTrace), so fetching it
+  // under mu_ would be an out-of-order acquisition.
+  static Counter* dropped_spans =
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans");
   util::MutexLock lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
+    dropped_spans->Increment();
     return;
   }
   events_.push_back(std::move(event));
@@ -120,18 +129,58 @@ void Tracer::set_capacity(size_t capacity) {
 
 Json Tracer::ToChromeJson() const {
   util::MutexLock lock(mu_);
+  // One virtual process per request (first-appearance order keeps pids
+  // stable across exports of the same buffer); pid 1 holds everything
+  // recorded outside a request context.
+  constexpr int kProcessPid = 1;
+  std::map<uint64_t, int> request_pids;
   Json trace_events = Json::Array();
+  {
+    Json process_meta = Json::Object();
+    process_meta.Set("name", "process_name");
+    process_meta.Set("ph", "M");
+    process_meta.Set("pid", kProcessPid);
+    Json meta_args = Json::Object();
+    meta_args.Set("name", "kgpip");
+    process_meta.Set("args", std::move(meta_args));
+    trace_events.Append(std::move(process_meta));
+  }
   for (const TraceEvent& event : events_) {
+    int pid = kProcessPid;
+    if (event.request_id != 0) {
+      auto [it, inserted] = request_pids.emplace(
+          event.request_id,
+          kProcessPid + 1 + static_cast<int>(request_pids.size()));
+      pid = it->second;
+      if (inserted) {
+        Json meta = Json::Object();
+        meta.Set("name", "process_name");
+        meta.Set("ph", "M");
+        meta.Set("pid", pid);
+        Json meta_args = Json::Object();
+        meta_args.Set("name",
+                      StrFormat("request %llu [%s]",
+                                static_cast<unsigned long long>(
+                                    event.request_id),
+                                event.tenant.c_str()));
+        meta.Set("args", std::move(meta_args));
+        trace_events.Append(std::move(meta));
+      }
+    }
     Json e = Json::Object();
     e.Set("name", event.name);
     e.Set("cat", "kgpip");
     e.Set("ph", "X");
     e.Set("ts", event.start_us);
     e.Set("dur", event.dur_us);
-    e.Set("pid", 1);
+    e.Set("pid", pid);
     e.Set("tid", event.tid);
     Json args = Json::Object();
     args.Set("depth", event.depth);
+    if (event.request_id != 0) {
+      args.Set("request_id", static_cast<int64_t>(event.request_id));
+      args.Set("tenant", event.tenant);
+    }
     for (const auto& [key, value] : event.args) {
       args.Set(key, value);
     }
@@ -141,7 +190,8 @@ Json Tracer::ToChromeJson() const {
   Json out = Json::Object();
   out.Set("displayTimeUnit", "ms");
   out.Set("traceEvents", std::move(trace_events));
-  if (dropped_ > 0) out.Set("kgpipDroppedEvents", dropped_);
+  // Always present (0 = complete capture) so consumers can assert on it.
+  out.Set("kgpipDroppedEvents", static_cast<int64_t>(dropped_));
   return out;
 }
 
@@ -157,6 +207,12 @@ void TraceSpan::Begin(std::string name) {
   active_ = true;
   name_ = std::move(name);
   depth_ = ++ThisThreadDepth();
+  // Captured at Begin: the span belongs to whatever request the thread
+  // was working for when it opened, even if a pool chunk swaps the
+  // thread's context before the destructor runs.
+  const util::RequestContext& ctx = util::CurrentRequestContext();
+  request_id_ = ctx.request_id;
+  if (ctx.active()) tenant_ = ctx.tenant;
   start_us_ = Tracer::NowMicros();
 }
 
@@ -168,6 +224,8 @@ void TraceSpan::End() {
   event.dur_us = end_us - start_us_;
   event.tid = ThisThreadTid();
   event.depth = depth_;
+  event.request_id = request_id_;
+  event.tenant = std::move(tenant_);
   event.args = std::move(args_);
   --ThisThreadDepth();
   Tracer::Global().Record(std::move(event));

@@ -28,6 +28,11 @@ struct TraceEvent {
   double dur_us = 0.0;
   int tid = 0;    // per-process dense thread id, assigned on first span
   int depth = 0;  // nesting depth within the thread (1 = top level)
+  /// Serve-request identity captured from util::CurrentRequestContext()
+  /// when the span began; 0 / empty outside any request. The Chrome
+  /// export groups spans into one virtual process per request on these.
+  uint64_t request_id = 0;
+  std::string tenant;
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -69,7 +74,15 @@ class Tracer {
   void set_capacity(size_t capacity);
 
   /// {"displayTimeUnit": "ms", "traceEvents": [{"name", "cat", "ph": "X",
-  ///  "ts", "dur", "pid", "tid", "args"}, ...]}
+  ///  "ts", "dur", "pid", "tid", "args"}, ...],
+  ///  "kgpipDroppedEvents": <n>} — the footer is always present so a
+  /// consumer can assert completeness without guessing.
+  ///
+  /// Spans that carry a request context are grouped into one virtual
+  /// process per request (named via "M" process_name metadata events,
+  /// e.g. "request 42 [tenant-1]"); context-free spans stay on pid 1
+  /// ("kgpip"). Perfetto/chrome://tracing then shows each request's spans
+  /// as one collapsible track group even when workers interleave.
   Json ToChromeJson() const;
   Status WriteChromeTrace(const std::string& path) const;
 
@@ -121,6 +134,8 @@ class TraceSpan {
   std::string name_;
   double start_us_ = 0.0;
   int depth_ = 0;
+  uint64_t request_id_ = 0;
+  std::string tenant_;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

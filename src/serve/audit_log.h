@@ -1,0 +1,102 @@
+#ifndef KGPIP_SERVE_AUDIT_LOG_H_
+#define KGPIP_SERVE_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace kgpip::serve {
+
+/// The wide event: one record summarizing a finished request's whole
+/// life. The server emits exactly one per submitted request — the emit
+/// site is fused with the promise-resolution winner (Server::Respond),
+/// which is already exactly-once across the worker/watchdog/shed races.
+struct AuditRecord {
+  uint64_t request_id = 0;
+  std::string tenant;
+  /// Content digest of the request table (0 when the request was refused
+  /// before the table was hashed — never happens today; Submit digests
+  /// up front precisely so refusals are attributable to a dataset).
+  uint64_t table_digest = 0;
+  int64_t queue_wait_micros = 0;
+  int64_t run_micros = 0;
+  int64_t total_micros = 0;
+  /// Degradation rung the request was served at (0 full fit, 1 skeleton
+  /// budget cut, 2 zero-shot).
+  int degradation_level = 0;
+  /// Which cache answered: "result" (tier 1), "query" (tier 2), "none".
+  std::string cache_tier = "none";
+  /// Tenant breaker/bucket state observed at admission, under the server
+  /// lock: was this a half-open probe, and how many tokens remained
+  /// after paying for admission (-1 = bucket disabled).
+  bool breaker_half_open = false;
+  double bucket_tokens = -1.0;
+  /// Trial retries spent (hpo::RunReport::total_retries); 0 for refusals
+  /// and cache hits.
+  int retries = 0;
+  StatusCode outcome = StatusCode::kOk;
+  /// Status message for non-OK outcomes ("" for OK).
+  std::string detail;
+
+  Json ToJson() const;
+};
+
+/// Append-only wide-event sink: one JSON line per record (JSONL), built
+/// fully in memory and handed to the OS as a single O_APPEND write, so a
+/// crash can tear at most the final line and concurrent appenders never
+/// interleave. The file rotates to `<path>.1` when it would exceed
+/// `max_bytes` (one generation is enough: the audit trail is a flight
+/// recorder, not an archive). A bounded in-memory ring keeps the most
+/// recent records for statusz tail inspection without touching disk.
+///
+/// With an empty path the ring still works — tests and memory-only
+/// deployments get tail inspection for free.
+class AuditLog {
+ public:
+  struct Options {
+    std::string path;             // empty = in-memory ring only
+    size_t max_bytes = 8u << 20;  // rotate threshold
+    size_t ring_capacity = 256;   // tail entries kept in memory
+  };
+
+  explicit AuditLog(Options options);
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Appends one record (single write + flush). Errors are counted and
+  /// logged once, never surfaced to the request path: the daemon does
+  /// not fail requests because its flight recorder did.
+  void Append(const AuditRecord& record);
+
+  /// Most recent `n` records, oldest first.
+  std::vector<Json> Tail(size_t n) const;
+
+  int64_t records_written() const;
+  int64_t write_errors() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void OpenLocked() KGPIP_REQUIRES(mu_);
+  void RotateLocked() KGPIP_REQUIRES(mu_);
+
+  Options options_;
+  mutable util::Mutex mu_{util::LockRank::kServeAudit, "serve.audit"};
+  std::FILE* file_ KGPIP_GUARDED_BY(mu_) = nullptr;
+  size_t bytes_ KGPIP_GUARDED_BY(mu_) = 0;
+  int64_t written_ KGPIP_GUARDED_BY(mu_) = 0;
+  int64_t errors_ KGPIP_GUARDED_BY(mu_) = 0;
+  bool error_logged_ KGPIP_GUARDED_BY(mu_) = false;
+  std::deque<Json> ring_ KGPIP_GUARDED_BY(mu_);
+};
+
+}  // namespace kgpip::serve
+
+#endif  // KGPIP_SERVE_AUDIT_LOG_H_

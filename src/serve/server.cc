@@ -5,9 +5,12 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/sliding_window.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/request_context.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip::serve {
 
@@ -41,6 +44,19 @@ obs::Counter* ServeCounter(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name);
 }
 
+constexpr int kWindowSlices = 6;
+
+const char* CacheTierName(int tier) {
+  switch (tier) {
+    case 1:
+      return "result";
+    case 2:
+      return "query";
+    default:
+      return "none";
+  }
+}
+
 }  // namespace
 
 ServeOptions ServeOptions::FromEnv() {
@@ -70,6 +86,17 @@ ServeOptions ServeOptions::FromEnv() {
   o.cache_memory_entries = static_cast<size_t>(std::max<int64_t>(
       1, EnvInt("KGPIP_SERVE_CACHE_ENTRIES",
                 static_cast<int64_t>(o.cache_memory_entries))));
+  o.audit_log_path = EnvStr("KGPIP_SERVE_AUDIT_LOG", o.audit_log_path);
+  o.audit_max_bytes = static_cast<size_t>(std::max<int64_t>(
+      1024, EnvInt("KGPIP_SERVE_AUDIT_MAX_BYTES",
+                   static_cast<int64_t>(o.audit_max_bytes))));
+  o.audit_ring_entries = static_cast<size_t>(std::max<int64_t>(
+      1, EnvInt("KGPIP_SERVE_AUDIT_RING",
+                static_cast<int64_t>(o.audit_ring_entries))));
+  o.window_seconds =
+      std::max(0.1, EnvDouble("KGPIP_SERVE_WINDOW_SECONDS", o.window_seconds));
+  o.slo_target_seconds =
+      std::max(0.0, EnvDouble("KGPIP_SERVE_SLO_TARGET", o.slo_target_seconds));
   return o;
 }
 
@@ -130,7 +157,10 @@ Server::Server(const core::Kgpip* model, ServeOptions options)
     : model_(model),
       options_(options),
       cache_(ArtifactCache::Options{options.cache_dir,
-                                    options.cache_memory_entries}) {}
+                                    options.cache_memory_entries}),
+      audit_(AuditLog::Options{options.audit_log_path,
+                               options.audit_max_bytes,
+                               options.audit_ring_entries}) {}
 
 Server::~Server() { Stop(); }
 
@@ -156,11 +186,66 @@ void Server::Respond(const std::shared_ptr<Pending>& pending,
   // Worker and watchdog can race to resolve one request; first wins.
   if (pending->responded.exchange(true, std::memory_order_acq_rel)) return;
   response.latency_seconds = pending->admitted.ElapsedSeconds();
+  response.request_id = pending->id;
   pending->state.store(RequestState::kDone, std::memory_order_release);
+
+  // The winner writes the request's life story — audit line + windowed
+  // samples — BEFORE resolving the promise, so a caller that observes
+  // its future ready also observes its own audit record. No server lock
+  // is held here; audit (rank 95) and window (rank 15) locks are leaves
+  // from this path.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const double latency = response.latency_seconds;
+  const int64_t total_micros = static_cast<int64_t>(latency * 1e6);
+  const int64_t queued_micros =
+      pending->queue_wait_micros.load(std::memory_order_acquire);
+
+  AuditRecord record;
+  record.request_id = pending->id;
+  record.tenant = pending->request.tenant;
+  record.table_digest = pending->digest;
+  // A request that never reached a worker spent its whole life queued.
+  record.queue_wait_micros = queued_micros >= 0 ? queued_micros : total_micros;
+  record.run_micros = std::max<int64_t>(0, total_micros -
+                                               record.queue_wait_micros);
+  record.total_micros = total_micros;
+  record.degradation_level = response.degradation_level;
+  record.cache_tier =
+      CacheTierName(pending->cache_tier.load(std::memory_order_acquire));
+  record.breaker_half_open = pending->breaker_half_open;
+  record.bucket_tokens = pending->bucket_tokens;
+  record.retries = response.status.ok() ? response.result.report.total_retries
+                                        : 0;
+  record.outcome = response.status.code();
+  if (!response.status.ok()) record.detail = response.status.message();
+  audit_.Append(record);
+
+  metrics
+      .GetSlidingHistogram("serve.window.latency_seconds." + record.tenant,
+                           options_.window_seconds, kWindowSlices)
+      ->Record(latency);
+  metrics
+      .GetSlidingCounter("serve.window.requests", options_.window_seconds,
+                         kWindowSlices)
+      ->Add(1);
+  if (response.status.code() == StatusCode::kResourceExhausted) {
+    metrics
+        .GetSlidingCounter("serve.window.sheds", options_.window_seconds,
+                           kWindowSlices)
+        ->Add(1);
+  }
+  if (response.cache_hit) {
+    metrics
+        .GetSlidingCounter("serve.window.cache_hits", options_.window_seconds,
+                           kWindowSlices)
+        ->Add(1);
+  }
+
   pending->promise.set_value(std::move(response));
 }
 
-Status Server::AdmitLocked(const FitRequest& request) {
+Status Server::AdmitLocked(Pending& pending) {
+  const FitRequest& request = pending.request;
   if (draining_.load(std::memory_order_acquire) ||
       stopping_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server is draining; not admitting");
@@ -177,6 +262,7 @@ Status Server::AdmitLocked(const FitRequest& request) {
     // Half-open: admit one probe. One more failure re-opens immediately.
     tenant.breaker_open = false;
     tenant.consecutive_failures = std::max(0, options_.breaker_threshold - 1);
+    pending.breaker_half_open = true;
   }
 
   if (options_.tenant_tokens_per_second > 0.0) {
@@ -191,10 +277,12 @@ Status Server::AdmitLocked(const FitRequest& request) {
                             options_.tenant_tokens_per_second);
     tenant.since_refill.Reset();
     if (tenant.tokens < 1.0) {
+      pending.bucket_tokens = tenant.tokens;
       return Status::ResourceExhausted(
           "tenant '" + request.tenant + "' is over its request budget");
     }
     tenant.tokens -= 1.0;
+    pending.bucket_tokens = tenant.tokens;  // balance after paying admission
   }
 
   if (queue_.size() >= options_.max_queue_depth) {
@@ -217,12 +305,16 @@ std::future<ServeResponse> Server::Submit(FitRequest request) {
                                   ? request.deadline_seconds
                                   : options_.default_deadline_seconds;
   pending->request = std::move(request);
+  pending->id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // Digest up front (outside mu_): the audit line attributes even a
+  // refusal to a dataset, and the cache probes in Execute reuse it.
+  pending->digest = TableDigest(pending->request.table);
   std::future<ServeResponse> future = pending->promise.get_future();
 
   Status admitted;
   {
     util::MutexLock lock(mu_);
-    admitted = AdmitLocked(pending->request);
+    admitted = AdmitLocked(*pending);
     if (admitted.ok()) {
       queue_.push_back(pending);
       depth->Set(static_cast<double>(queue_.size()));
@@ -286,7 +378,14 @@ void Server::WorkerLoop(int worker_index) {
       pending->state.store(RequestState::kRunning, std::memory_order_release);
       inflight_.push_back(pending);
     }
+    pending->queue_wait_micros.store(
+        static_cast<int64_t>(pending->admitted.ElapsedSeconds() * 1e6),
+        std::memory_order_release);
 
+    // Everything this request does from here — spans, log records, pool
+    // chunks fanned out inside Fit — carries its id/tenant.
+    util::ScopedRequestContext request_scope(pending->id,
+                                             pending->request.tenant);
     ServeResponse response;
     if (pending->cancel.cancelled() ||
         pending->admitted.ElapsedSeconds() >= pending->deadline_seconds) {
@@ -340,12 +439,62 @@ void Server::RecordOutcomeForTenant(const std::string& tenant, bool ok) {
   }
 }
 
+void Server::ExportWindowGauges() {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::vector<std::string> tenants;
+  {
+    util::MutexLock lock(mu_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) tenants.push_back(name);
+  }
+  for (const std::string& tenant : tenants) {
+    const obs::SlidingWindowHistogram::Snapshot window =
+        metrics
+            .GetSlidingHistogram("serve.window.latency_seconds." + tenant,
+                                 options_.window_seconds, kWindowSlices)
+            ->GetSnapshot();
+    metrics.GetGauge("serve.window.p50_seconds." + tenant)
+        ->Set(window.Quantile(0.50));
+    metrics.GetGauge("serve.window.p99_seconds." + tenant)
+        ->Set(window.Quantile(0.99));
+    // SLO burn: the fraction of this tenant's windowed requests slower
+    // than the target. 1.0 = every recent request blew the SLO.
+    metrics.GetGauge("serve.slo_burn." + tenant)
+        ->Set(window.FractionAbove(options_.slo_target_seconds));
+  }
+  const int64_t requests =
+      metrics
+          .GetSlidingCounter("serve.window.requests", options_.window_seconds,
+                             kWindowSlices)
+          ->WindowedCount();
+  const int64_t sheds =
+      metrics
+          .GetSlidingCounter("serve.window.sheds", options_.window_seconds,
+                             kWindowSlices)
+          ->WindowedCount();
+  const int64_t hits =
+      metrics
+          .GetSlidingCounter("serve.window.cache_hits",
+                             options_.window_seconds, kWindowSlices)
+          ->WindowedCount();
+  const double denom = requests > 0 ? static_cast<double>(requests) : 1.0;
+  metrics.GetGauge("serve.window.shed_rate")
+      ->Set(static_cast<double>(sheds) / denom);
+  metrics.GetGauge("serve.window.cache_hit_rate")
+      ->Set(static_cast<double>(hits) / denom);
+}
+
 void Server::WatchdogLoop() {
   static obs::Counter* cancels = ServeCounter("serve.deadline_cancels");
   const auto period = std::chrono::duration<double>(
       std::max(0.001, options_.watchdog_period_seconds));
+  Stopwatch since_gauge_export;
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(period);
+    if (since_gauge_export.ElapsedSeconds() >= 1.0) {
+      since_gauge_export.Reset();
+      ExportWindowGauges();
+    }
     std::vector<std::shared_ptr<Pending>> expired_queued;
     {
       util::MutexLock lock(mu_);
@@ -383,6 +532,7 @@ ServeResponse Server::ZeroShot(Pending& pending) {
   KGPIP_TRACE_SPAN("serve.zero_shot");
   static obs::Counter* zero_shots = ServeCounter("serve.zero_shot_fits");
   zero_shots->Increment();
+  pending.stage.store("zero_shot", std::memory_order_release);
   const FitRequest& req = pending.request;
   ServeResponse response;
   response.degradation_level = 2;
@@ -390,11 +540,14 @@ ServeResponse Server::ZeroShot(Pending& pending) {
   // No embedding, no SimIndex, no HPO: cached nearest-neighbour skeletons
   // if this digest was seen before, else the static fallback portfolio.
   std::vector<gen::ScoredSkeleton> skeletons;
-  Result<Json> query = cache_.Get(QueryCacheKey(TableDigest(req.table)));
+  Result<Json> query = cache_.Get(QueryCacheKey(pending.digest));
   if (query.ok() && query->Get("nearest_key").is_string()) {
     auto predicted = model_->PredictSkeletonsFromNearest(
         query->Get("nearest_key").AsString(), req.task, req.seed);
-    if (predicted.ok()) skeletons = std::move(*predicted);
+    if (predicted.ok()) {
+      skeletons = std::move(*predicted);
+      pending.cache_tier.store(2, std::memory_order_release);
+    }
   }
   if (skeletons.empty()) {
     skeletons = core::FallbackPortfolio(req.task, 1);
@@ -429,10 +582,11 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
   ServeResponse response;
   response.degradation_level = degradation_level;
 
-  const uint64_t digest = TableDigest(req.table);
+  const uint64_t digest = pending.digest;  // computed once at Submit
   int trials = std::min(std::max(1, req.max_trials),
                         std::max(1, options_.max_trials));
   const std::string result_key = ResultCacheKey(digest, req.task, trials);
+  pending.stage.store("cache_probe", std::memory_order_release);
 
   // Tier 1: a completed result for this exact table content. A hit skips
   // embedding, SimIndex, and the whole search — only the final refit runs.
@@ -451,6 +605,7 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
             result.best_spec, req.table, req.task, req.seed, &result);
         if (finalized.ok()) {
           cache_hits->Increment();
+          pending.cache_tier.store(1, std::memory_order_release);
           response.cache_hit = true;
           response.degradation_level = 0;
           response.result = std::move(result);
@@ -478,6 +633,7 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
         cached_query->Get("nearest_key").AsString(), req.task, req.seed);
     if (predicted.ok()) {
       query_hits->Increment();
+      pending.cache_tier.store(2, std::memory_order_release);
       skeletons = std::move(*predicted);
     } else {
       // Stale key (older artifacts): evict and fall through to the full
@@ -486,6 +642,7 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
     }
   }
   if (skeletons.empty()) {
+    pending.stage.store("embed_query", std::memory_order_release);
     auto nearest = model_->NearestDataset(req.table, &pending.cancel);
     if (nearest.ok()) {
       Json entry = Json::Object();
@@ -536,6 +693,7 @@ ServeResponse Server::Execute(Pending& pending, int degradation_level) {
   overrides.guard = &guard;
   overrides.cancel = &pending.cancel;
 
+  pending.stage.store("fit", std::memory_order_release);
   Result<automl::AutoMlResult> fitted = [&]() {
     KGPIP_TRACE_SPAN("serve.fit");
     return model_->FitWithSkeletons(std::move(skeletons), req.table,
@@ -575,6 +733,251 @@ size_t Server::queue_depth() const {
 size_t Server::inflight() const {
   util::MutexLock lock(mu_);
   return inflight_.size();
+}
+
+Json Server::DebugStatus() const {
+  // Phase 1: copy queue/in-flight/tenant state under mu_ into plain
+  // structs, then release. Every later sample (cache, audit, metrics)
+  // takes only locks that rank BELOW kServeServer, so this is safe to
+  // call concurrently with a soak under the rank checker.
+  struct QueueEntry {
+    uint64_t id;
+    std::string tenant;
+    double age_seconds;
+    double deadline_seconds;
+  };
+  struct FlightEntry {
+    uint64_t id;
+    std::string tenant;
+    const char* stage;
+    double elapsed_seconds;
+    double deadline_seconds;
+    bool cancelled;
+  };
+  struct TenantEntry {
+    std::string name;
+    double tokens;
+    bool bucket_started;
+    int consecutive_failures;
+    bool breaker_open;
+    double breaker_open_seconds;
+  };
+  std::vector<QueueEntry> queued;
+  std::vector<FlightEntry> running;
+  std::vector<TenantEntry> tenants;
+  bool draining = false;
+  bool stopping = false;
+  {
+    util::MutexLock lock(mu_);
+    queued.reserve(queue_.size());
+    for (const auto& pending : queue_) {
+      queued.push_back({pending->id, pending->request.tenant,
+                        pending->admitted.ElapsedSeconds(),
+                        pending->deadline_seconds});
+    }
+    running.reserve(inflight_.size());
+    for (const auto& pending : inflight_) {
+      running.push_back({pending->id, pending->request.tenant,
+                         pending->stage.load(std::memory_order_acquire),
+                         pending->admitted.ElapsedSeconds(),
+                         pending->deadline_seconds,
+                         pending->cancel.cancelled()});
+    }
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) {
+      tenants.push_back({name, state.tokens, state.bucket_started,
+                         state.consecutive_failures, state.breaker_open,
+                         state.breaker_open
+                             ? state.breaker_opened.ElapsedSeconds()
+                             : 0.0});
+    }
+    draining = draining_.load(std::memory_order_acquire);
+    stopping = stopping_.load(std::memory_order_acquire);
+  }
+
+  Json out = Json::Object();
+  out.Set("draining", draining);
+  out.Set("stopping", stopping);
+
+  Json queue = Json::Array();
+  for (const QueueEntry& entry : queued) {
+    Json e = Json::Object();
+    e.Set("id", static_cast<int64_t>(entry.id));
+    e.Set("tenant", entry.tenant);
+    e.Set("age_seconds", entry.age_seconds);
+    e.Set("deadline_seconds", entry.deadline_seconds);
+    queue.Append(std::move(e));
+  }
+  out.Set("queue", std::move(queue));
+
+  Json inflight = Json::Array();
+  for (const FlightEntry& entry : running) {
+    Json e = Json::Object();
+    e.Set("id", static_cast<int64_t>(entry.id));
+    e.Set("tenant", entry.tenant);
+    e.Set("stage", entry.stage);
+    e.Set("elapsed_seconds", entry.elapsed_seconds);
+    e.Set("deadline_seconds", entry.deadline_seconds);
+    e.Set("cancelled", entry.cancelled);
+    inflight.Append(std::move(e));
+  }
+  out.Set("inflight", std::move(inflight));
+
+  Json tenant_states = Json::Object();
+  for (const TenantEntry& entry : tenants) {
+    Json t = Json::Object();
+    t.Set("tokens", entry.tokens);
+    t.Set("bucket_started", entry.bucket_started);
+    t.Set("consecutive_failures", entry.consecutive_failures);
+    t.Set("breaker_open", entry.breaker_open);
+    if (entry.breaker_open) {
+      t.Set("breaker_open_seconds", entry.breaker_open_seconds);
+    }
+    tenant_states.Set(entry.name, std::move(t));
+  }
+  out.Set("tenants", std::move(tenant_states));
+
+  {
+    const ArtifactCache::Stats stats = cache_.stats();
+    Json c = Json::Object();
+    c.Set("hits", stats.hits);
+    c.Set("misses", stats.misses);
+    c.Set("writes", stats.writes);
+    c.Set("corrupt_evictions", stats.corrupt_evictions);
+    c.Set("dir", options_.cache_dir.empty() ? "memory-only"
+                                            : options_.cache_dir);
+    out.Set("cache", std::move(c));
+  }
+
+  {
+    Json a = Json::Object();
+    a.Set("records_written", audit_.records_written());
+    a.Set("write_errors", audit_.write_errors());
+    a.Set("path", options_.audit_log_path.empty() ? "ring-only"
+                                                  : options_.audit_log_path);
+    Json tail = Json::Array();
+    for (Json& record : audit_.Tail(8)) tail.Append(std::move(record));
+    a.Set("tail", std::move(tail));
+    out.Set("audit", std::move(a));
+  }
+
+  // Metrics (registry lock rank 30, window locks 15 — both below any
+  // lock this thread still holds, i.e. none).
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  {
+    Json counters = Json::Object();
+    for (const char* name :
+         {"serve.requests", "serve.sheds", "serve.responses_ok",
+          "serve.responses_error", "serve.degraded_requests",
+          "serve.cache_hits", "serve.query_cache_hits",
+          "serve.zero_shot_fits", "serve.deadline_cancels",
+          "serve.breaker_trips", "obs.trace.dropped_spans"}) {
+      counters.Set(name, metrics.GetCounter(name)->value());
+    }
+    out.Set("counters", std::move(counters));
+  }
+  {
+    Json windows = Json::Object();
+    for (const TenantEntry& entry : tenants) {
+      windows.Set("latency_seconds." + entry.name,
+                  metrics
+                      .GetSlidingHistogram(
+                          "serve.window.latency_seconds." + entry.name,
+                          options_.window_seconds, kWindowSlices)
+                      ->GetSnapshot()
+                      .ToJson());
+    }
+    windows.Set("shed_rate",
+                metrics.GetGauge("serve.window.shed_rate")->value());
+    windows.Set("cache_hit_rate",
+                metrics.GetGauge("serve.window.cache_hit_rate")->value());
+    out.Set("windows", std::move(windows));
+  }
+  {
+    Json pool = Json::Object();
+    pool.Set("planned_threads", util::ThreadPool::PlannedThreads());
+    pool.Set("tasks_executed",
+             metrics.GetCounter("pool.tasks_executed")->value());
+    pool.Set("steals", metrics.GetCounter("pool.steals")->value());
+    pool.Set("parallel_fors",
+             metrics.GetCounter("pool.parallel_fors")->value());
+    out.Set("pool", std::move(pool));
+  }
+  {
+    Json locks = Json::Object();
+    locks.Set("rank_checking_compiled", util::LockRankCheckingCompiled());
+    locks.Set("rank_checking_enabled", util::LockRankCheckingEnabled());
+    out.Set("locks", std::move(locks));
+  }
+  {
+    Json opts = Json::Object();
+    opts.Set("num_workers", options_.num_workers);
+    opts.Set("max_queue_depth", options_.max_queue_depth);
+    opts.Set("default_deadline_seconds", options_.default_deadline_seconds);
+    opts.Set("degrade_queue_depth", options_.degrade_queue_depth);
+    opts.Set("window_seconds", options_.window_seconds);
+    opts.Set("slo_target_seconds", options_.slo_target_seconds);
+    out.Set("options", std::move(opts));
+  }
+  return out;
+}
+
+std::string Server::DebugStatusText() const {
+  const Json status = DebugStatus();
+  std::string text;
+  text += StrFormat("kgpip-serve statusz  draining=%d stopping=%d\n",
+                    status.Get("draining").AsBool() ? 1 : 0,
+                    status.Get("stopping").AsBool() ? 1 : 0);
+  const Json& queue = status.Get("queue");
+  text += StrFormat("queue (%d):\n", static_cast<int>(queue.size()));
+  for (const Json& e : queue.items()) {
+    text += StrFormat("  #%lld %s  age %.2fs / deadline %.1fs\n",
+                      static_cast<long long>(e.Get("id").AsInt()),
+                      e.Get("tenant").AsString().c_str(),
+                      e.Get("age_seconds").AsDouble(),
+                      e.Get("deadline_seconds").AsDouble());
+  }
+  const Json& inflight = status.Get("inflight");
+  text += StrFormat("inflight (%d):\n", static_cast<int>(inflight.size()));
+  for (const Json& e : inflight.items()) {
+    text += StrFormat("  #%lld %s  stage=%s  %.2fs / %.1fs%s\n",
+                      static_cast<long long>(e.Get("id").AsInt()),
+                      e.Get("tenant").AsString().c_str(),
+                      e.Get("stage").AsString().c_str(),
+                      e.Get("elapsed_seconds").AsDouble(),
+                      e.Get("deadline_seconds").AsDouble(),
+                      e.Get("cancelled").AsBool() ? "  CANCELLED" : "");
+  }
+  text += "tenants:\n";
+  for (const auto& [name, t] : status.Get("tenants").members()) {
+    text += StrFormat(
+        "  %s  tokens=%.1f  consecutive_failures=%lld  breaker=%s\n",
+        name.c_str(), t.Get("tokens").AsDouble(),
+        static_cast<long long>(t.Get("consecutive_failures").AsInt()),
+        t.Get("breaker_open").AsBool() ? "OPEN" : "closed");
+  }
+  const Json& cache = status.Get("cache");
+  text += StrFormat("cache: %lld hits / %lld misses / %lld writes (%s)\n",
+                    static_cast<long long>(cache.Get("hits").AsInt()),
+                    static_cast<long long>(cache.Get("misses").AsInt()),
+                    static_cast<long long>(cache.Get("writes").AsInt()),
+                    cache.Get("dir").AsString().c_str());
+  const Json& audit = status.Get("audit");
+  text += StrFormat("audit: %lld records (%lld errors) -> %s\n",
+                    static_cast<long long>(
+                        audit.Get("records_written").AsInt()),
+                    static_cast<long long>(audit.Get("write_errors").AsInt()),
+                    audit.Get("path").AsString().c_str());
+  text += StrFormat("windows: shed_rate=%.3f cache_hit_rate=%.3f\n",
+                    status.Get("windows").Get("shed_rate").AsDouble(),
+                    status.Get("windows").Get("cache_hit_rate").AsDouble());
+  for (const auto& [name, w] : status.Get("windows").members()) {
+    if (!w.is_object()) continue;
+    text += StrFormat("  %s  n=%lld p50=%.3fs p99=%.3fs\n", name.c_str(),
+                      static_cast<long long>(w.Get("count").AsInt()),
+                      w.Get("p50").AsDouble(), w.Get("p99").AsDouble());
+  }
+  return text;
 }
 
 void Server::BeginDrain() {

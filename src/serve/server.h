@@ -15,6 +15,7 @@
 #include "core/kgpip.h"
 #include "data/table.h"
 #include "hpo/trial_guard.h"
+#include "serve/audit_log.h"
 #include "serve/cache.h"
 #include "util/cancel.h"
 #include "util/mutex.h"
@@ -65,6 +66,24 @@ struct ServeOptions {
   size_t cache_memory_entries = 256;  // env: KGPIP_SERVE_CACHE_ENTRIES
   /// Watchdog scan period.
   double watchdog_period_seconds = 0.02;
+  /// Wide-event audit log (one JSON line per finished request); empty
+  /// path keeps the in-memory tail ring only.
+  ///                                   env: KGPIP_SERVE_AUDIT_LOG
+  std::string audit_log_path;
+  /// Size at which the audit file rotates to `<path>.1`.
+  ///                                   env: KGPIP_SERVE_AUDIT_MAX_BYTES
+  size_t audit_max_bytes = 8u << 20;
+  /// Recent audit records kept in memory for statusz tail inspection.
+  ///                                   env: KGPIP_SERVE_AUDIT_RING
+  size_t audit_ring_entries = 256;
+  /// Horizon of the sliding-window serve metrics (per-tenant p50/p99,
+  /// shed/hit rates): "the last ~window_seconds", not process lifetime.
+  ///                                   env: KGPIP_SERVE_WINDOW_SECONDS
+  double window_seconds = 60.0;
+  /// Latency target for per-tenant SLO burn gauges: the fraction of a
+  /// tenant's windowed requests slower than this.
+  ///                                   env: KGPIP_SERVE_SLO_TARGET
+  double slo_target_seconds = 5.0;
 
   /// Defaults overlaid with any KGPIP_SERVE_* environment variables.
   static ServeOptions FromEnv();
@@ -95,6 +114,9 @@ struct ServeResponse {
   /// Degradation rung served at (mirrors result.report.degradation_level).
   int degradation_level = 0;
   double latency_seconds = 0.0;
+  /// Process-unique id assigned at Submit — the correlation key across
+  /// trace spans, log records, and the audit line for this request.
+  uint64_t request_id = 0;
 
   ServeResponse() : status(Status::Ok()) {}
 };
@@ -157,7 +179,23 @@ class Server {
   size_t inflight() const;
   const ArtifactCache& cache() const { return cache_; }
   ArtifactCache& mutable_cache() { return cache_; }
+  const AuditLog& audit_log() const { return audit_; }
   const ServeOptions& options() const { return options_; }
+
+  /// Live introspection snapshot — the daemon's statusz. Safe to call
+  /// from any thread at any time, including mid-soak: the server lock is
+  /// held only while copying queue/in-flight/tenant state, then each
+  /// subsystem (cache, audit ring, windows, pool, lock-rank info) is
+  /// sampled in rank order with it released.
+  ///
+  /// {"queue": [{id,tenant,age_seconds,deadline_seconds}...],
+  ///  "inflight": [{id,tenant,stage,elapsed_seconds,cancelled}...],
+  ///  "tenants": {name: {tokens,breaker_open,consecutive_failures}...},
+  ///  "cache": {...}, "audit": {...tail...}, "windows": {...},
+  ///  "counters": {...}, "pool": {...}, "locks": {...}, "options": {...}}
+  Json DebugStatus() const;
+  /// The same snapshot rendered for a terminal / SIGUSR1 dump.
+  std::string DebugStatusText() const;
 
   /// Cache key helpers (exposed for tests and repair tooling).
   static std::string ResultCacheKey(uint64_t digest, TaskType task,
@@ -176,6 +214,24 @@ class Server {
     util::CancelToken cancel;
     Stopwatch admitted;
     double deadline_seconds = 0.0;
+    /// Process-unique request id, assigned in Submit before admission so
+    /// even refusals are attributable.
+    uint64_t id = 0;
+    /// Table content digest, computed once in Submit and reused by the
+    /// cache probes (the request is immutable after admission).
+    uint64_t digest = 0;
+    /// Admission-time tenant state (written once under mu_ before the
+    /// request is published; read only after it finished).
+    bool breaker_half_open = false;
+    double bucket_tokens = -1.0;  // post-admission balance; -1 = no bucket
+    /// Execution checkpoints for statusz ("queued", "cache_probe",
+    /// "fit", ...). Static strings only; updated lock-free by the worker,
+    /// read by DebugStatus.
+    std::atomic<const char*> stage{"queued"};
+    /// Microseconds spent queued (set at dequeue; -1 = never dequeued).
+    std::atomic<int64_t> queue_wait_micros{-1};
+    /// Cache tier that answered: 0 none, 1 result, 2 query.
+    std::atomic<int> cache_tier{0};
   };
 
   struct TenantState {
@@ -187,15 +243,26 @@ class Server {
     Stopwatch breaker_opened;
   };
 
-  /// Fulfils the promise exactly once; later calls are no-ops.
-  static void Respond(const std::shared_ptr<Pending>& pending,
-                      ServeResponse response);
+  /// Fulfils the promise exactly once; later calls are no-ops. The
+  /// winning call also emits the request's wide-event audit line and its
+  /// sliding-window samples — fusing those with the promise race is what
+  /// makes "exactly one audit line per submitted request" hold across
+  /// worker/watchdog/shed/stop outcomes. Must be called with mu_
+  /// released (audit + window locks rank below it).
+  void Respond(const std::shared_ptr<Pending>& pending,
+               ServeResponse response) KGPIP_EXCLUDES(mu_);
 
   void WorkerLoop(int worker_index);
   void WatchdogLoop();
 
+  /// Publishes per-tenant windowed p50/p99 + SLO burn gauges and global
+  /// shed/hit rates (called from the watchdog about once a second).
+  void ExportWindowGauges() KGPIP_EXCLUDES(mu_);
+
   /// Admission check under `mu_`; returns a shed/refusal status or OK.
-  Status AdmitLocked(const FitRequest& request) KGPIP_REQUIRES(mu_);
+  /// Stamps the admission-time breaker/bucket observations into
+  /// `pending` for the audit line.
+  Status AdmitLocked(Pending& pending) KGPIP_REQUIRES(mu_);
   void RecordOutcomeForTenant(const std::string& tenant, bool ok)
       KGPIP_EXCLUDES(mu_);
 
@@ -209,6 +276,8 @@ class Server {
   const core::Kgpip* model_;
   ServeOptions options_;
   ArtifactCache cache_;
+  AuditLog audit_;
+  std::atomic<uint64_t> next_request_id_{1};
 
   /// The daemon's outermost lock (LockRank::kServeServer): admission
   /// queue, tenant state, in-flight set, lifecycle flags. Request

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <string>
 
+#include "util/request_context.h"
+
 namespace kgpip {
 
 namespace {
@@ -84,6 +86,13 @@ namespace internal_logging {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  // Serving threads carry the id of the request they are working for;
+  // prefixing it makes every log record greppable by request/tenant (the
+  // same ids the trace spans and audit log carry).
+  const util::RequestContext& ctx = util::CurrentRequestContext();
+  if (ctx.active()) {
+    stream_ << "[req " << ctx.request_id << " tenant " << ctx.tenant << "] ";
+  }
 }
 
 LogMessage::~LogMessage() {

@@ -13,6 +13,8 @@ const char* LockRankName(LockRank rank) {
       return "client";
     case LockRank::kServeServer:
       return "serve.server";
+    case LockRank::kServeAudit:
+      return "serve.audit";
     case LockRank::kServeCache:
       return "serve.cache";
     case LockRank::kPoolRegistry:
@@ -31,6 +33,8 @@ const char* LockRankName(LockRank rank) {
       return "obs.metrics";
     case LockRank::kObsTrace:
       return "obs.trace";
+    case LockRank::kObsWindow:
+      return "obs.window";
     case LockRank::kLogging:
       return "logging";
     case LockRank::kLeaf:

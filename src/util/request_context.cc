@@ -1,0 +1,25 @@
+#include "util/request_context.h"
+
+#include <utility>
+
+namespace kgpip::util {
+
+namespace {
+
+RequestContext& ThisThreadContext() {
+  thread_local RequestContext context;
+  return context;
+}
+
+}  // namespace
+
+const RequestContext& CurrentRequestContext() { return ThisThreadContext(); }
+
+RequestContext ExchangeRequestContext(RequestContext context) {
+  RequestContext& current = ThisThreadContext();
+  RequestContext previous = std::move(current);
+  current = std::move(context);
+  return previous;
+}
+
+}  // namespace kgpip::util

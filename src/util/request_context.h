@@ -1,0 +1,55 @@
+#ifndef KGPIP_UTIL_REQUEST_CONTEXT_H_
+#define KGPIP_UTIL_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kgpip::util {
+
+/// Identity of the serve request the calling thread is currently working
+/// for. The serving daemon assigns each admitted request a process-unique
+/// id and installs a context on the worker executing it; the thread pool
+/// re-installs the submitting thread's context on every lane that runs a
+/// chunk of one of its ParallelFor bodies, so spans and log records
+/// emitted deep inside Fit / HPO trials / GenerateTopK carry the ids of
+/// the request that caused them — even when pool lanes interleave chunks
+/// from concurrent requests.
+///
+/// `request_id == 0` means "no request" (startup, tests, bench mains).
+struct RequestContext {
+  uint64_t request_id = 0;
+  std::string tenant;
+
+  bool active() const { return request_id != 0; }
+};
+
+/// The calling thread's current context (inactive default when none is
+/// installed). The reference is to a thread_local: do not hold it across
+/// a ScopedRequestContext boundary.
+const RequestContext& CurrentRequestContext();
+
+/// Replaces the calling thread's context, returning the previous one.
+/// Prefer ScopedRequestContext; this exists for the thread pool, which
+/// installs/restores around each chunk it runs for a foreign loop.
+RequestContext ExchangeRequestContext(RequestContext context);
+
+/// RAII context installer; restores the previous context on destruction,
+/// so nested scopes (a worker briefly answering from cache inside another
+/// request's unwind, tests) compose.
+class ScopedRequestContext {
+ public:
+  ScopedRequestContext(uint64_t request_id, std::string tenant)
+      : saved_(ExchangeRequestContext(
+            RequestContext{request_id, std::move(tenant)})) {}
+  ~ScopedRequestContext() { ExchangeRequestContext(std::move(saved_)); }
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace kgpip::util
+
+#endif  // KGPIP_UTIL_REQUEST_CONTEXT_H_

@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/mutex.h"
+#include "util/request_context.h"
 #include "util/stopwatch.h"
 
 namespace kgpip::util {
@@ -55,6 +56,11 @@ int ResolveThreads(int requested) {
 struct ForLoop {
   size_t n = 0;
   const std::function<void(size_t, size_t)>* body = nullptr;
+  /// The submitting thread's request context, re-installed on every lane
+  /// that runs one of this loop's chunks: spans/logs emitted inside the
+  /// body carry the ids of the request that submitted the loop, even when
+  /// a worker interleaves chunks from concurrent requests.
+  RequestContext ctx;
   std::atomic<size_t> chunks_left{0};
   Mutex mu{LockRank::kPoolLoop, "pool.loop"};
   CondVar done_cv;
@@ -129,6 +135,10 @@ struct ThreadPool::Impl {
   void RunChunk(const Chunk& chunk) {
     Stopwatch watch;
     ForLoop* loop = chunk.loop;
+    // Run the chunk under the loop's request context, restoring this
+    // lane's own context afterwards (a steal may execute a chunk for a
+    // different request than the one the lane last worked).
+    RequestContext saved = ExchangeRequestContext(loop->ctx);
     for (size_t i = chunk.begin; i < chunk.end; ++i) {
       try {
         (*loop->body)(i, static_cast<size_t>(t_lane));
@@ -140,6 +150,7 @@ struct ThreadPool::Impl {
         }
       }
     }
+    ExchangeRequestContext(std::move(saved));
     tasks_executed->Increment();
     task_seconds->Record(watch.ElapsedSeconds());
     // Decrement + notify under the loop mutex: the waiter also inspects
@@ -237,6 +248,7 @@ void ThreadPool::ParallelFor(
   ForLoop loop;
   loop.n = n;
   loop.body = &body;
+  loop.ctx = CurrentRequestContext();
   // ~4 chunks per lane bounds steal traffic while leaving enough slack
   // for stealing to rebalance skewed item costs.
   const size_t lanes = workers + 1;

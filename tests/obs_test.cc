@@ -3,20 +3,28 @@
 // budget-attribution invariant Kgpip::Fit promises (stage seconds sum to
 // roughly the fit wall time).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/kgpip.h"
 #include "data/synthetic.h"
 #include "obs/metrics.h"
+#include "obs/sliding_window.h"
 #include "obs/stage_profile.h"
 #include "obs/trace.h"
+#include "util/request_context.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgpip {
 namespace {
@@ -157,6 +165,183 @@ TEST(MetricsRegistryTest, SnapshotListsAllThreeKinds) {
 }
 
 // ---------------------------------------------------------------------
+// Sliding windows
+// ---------------------------------------------------------------------
+
+obs::SlidingWindowHistogram::Options SmallWindow() {
+  obs::SlidingWindowHistogram::Options options;
+  options.window_seconds = 60.0;  // 6 slices of 10 s each
+  options.num_slices = 6;
+  return options;
+}
+
+TEST(SlidingWindowTest, EmptyWindowSnapshotIsAllZeros) {
+  obs::SlidingWindowHistogram window(SmallWindow());
+  obs::SlidingWindowHistogram::Snapshot snap = window.SnapshotAt(123.0);
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.FractionAbove(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.RatePerSecond(), 0.0);
+  Json json = snap.ToJson();
+  EXPECT_EQ(json.Get("count").AsInt(), 0);
+  EXPECT_TRUE(json.Get("p50").is_null());  // no quantiles without samples
+}
+
+TEST(SlidingWindowTest, SamplesExpireAsTheWindowSlidesPast) {
+  obs::SlidingWindowHistogram window(SmallWindow());
+  window.RecordAt(0.010, /*now=*/5.0);   // slice epoch 0
+  window.RecordAt(0.020, /*now=*/25.0);  // slice epoch 2
+
+  // Both samples inside the trailing 60 s.
+  EXPECT_EQ(window.SnapshotAt(30.0).count, 2);
+  EXPECT_DOUBLE_EQ(window.SnapshotAt(30.0).sum, 0.030);
+
+  // At t=65 the window covers epochs [1, 6]: the epoch-0 sample is out.
+  obs::SlidingWindowHistogram::Snapshot later = window.SnapshotAt(65.0);
+  EXPECT_EQ(later.count, 1);
+  EXPECT_DOUBLE_EQ(later.min, 0.020);
+  EXPECT_DOUBLE_EQ(later.max, 0.020);
+
+  // Far future: everything expired. No Record needed to "advance" time —
+  // snapshots filter stale slices by epoch, there is no sweeper to wait
+  // for.
+  EXPECT_EQ(window.SnapshotAt(500.0).count, 0);
+}
+
+TEST(SlidingWindowTest, RecordRecyclesTheSliceItDisplaces) {
+  obs::SlidingWindowHistogram window(SmallWindow());
+  window.RecordAt(0.001, /*now=*/5.0);  // epoch 0 -> slot 0
+  // Six epochs later the same slot is reused; the old contents must be
+  // discarded, not merged.
+  window.RecordAt(0.256, /*now=*/365.0);  // epoch 36 -> slot 0
+  obs::SlidingWindowHistogram::Snapshot snap = window.SnapshotAt(365.0);
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.min, 0.256);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.256);
+}
+
+TEST(SlidingWindowTest, QuantilesInterpolateAndClampToObservedRange) {
+  obs::SlidingWindowHistogram window(SmallWindow());
+  for (int i = 0; i < 80; ++i) window.RecordAt(0.001, 10.0);
+  for (int i = 0; i < 20; ++i) window.RecordAt(1.0, 10.0);
+  obs::SlidingWindowHistogram::Snapshot snap = window.SnapshotAt(10.0);
+  ASSERT_EQ(snap.count, 100);
+
+  // p50 lands in the 1 ms population (bucketed, so allow one ×2 bucket
+  // of slack); p99 lands in the 1 s population; both stay inside the
+  // observed [min, max].
+  const double p50 = snap.Quantile(0.50);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_GE(p50, 0.0005);
+  EXPECT_LE(p50, 0.002);
+  EXPECT_GE(p99, 0.5);
+  EXPECT_LE(p99, 1.0);
+  EXPECT_GE(snap.Quantile(0.0), snap.min);
+  EXPECT_LE(snap.Quantile(1.0), snap.max);
+
+  // SLO-burn numerator: exactly the 1 s cohort sits above 100 ms.
+  EXPECT_NEAR(snap.FractionAbove(0.100), 0.20, 0.05);
+  EXPECT_DOUBLE_EQ(snap.FractionAbove(2.0), 0.0);
+  EXPECT_NEAR(snap.FractionAbove(1e-9), 1.0, 1e-9);
+}
+
+TEST(SlidingWindowTest, ConcurrentRecordsAndSnapshotsAreSafe) {
+  // 8 threads record while 2 snapshot — under TSan this is the data-race
+  // proof for the one-mutex design; everywhere it checks no sample is
+  // lost.
+  obs::SlidingWindowHistogram window(SmallWindow());
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&window, &stop] {
+      while (!stop.load()) {
+        obs::SlidingWindowHistogram::Snapshot snap = window.SnapshotAt(10.0);
+        ASSERT_GE(snap.count, 0);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&window] {
+      for (int i = 0; i < kSamples; ++i) window.RecordAt(1e-3, 10.0);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(window.SnapshotAt(10.0).count,
+            static_cast<int64_t>(kThreads) * kSamples);
+}
+
+TEST(SlidingWindowCounterTest, WindowedCountRotates) {
+  obs::SlidingWindowCounter::Options options;
+  options.window_seconds = 60.0;
+  options.num_slices = 6;
+  obs::SlidingWindowCounter counter(options);
+  counter.AddAt(3, 5.0);
+  counter.AddAt(2, 25.0);
+  EXPECT_EQ(counter.WindowedCountAt(30.0), 5);
+  EXPECT_EQ(counter.WindowedCountAt(70.0), 2);   // epoch-0 burst aged out
+  EXPECT_EQ(counter.WindowedCountAt(500.0), 0);  // everything aged out
+}
+
+TEST(MetricsRegistryTest, SlidingMetricsAreStableAndListedInJson) {
+  obs::MetricsRegistry registry;
+  obs::SlidingWindowHistogram* hist =
+      registry.GetSlidingHistogram("w.latency", 30.0, 3);
+  obs::SlidingWindowCounter* counter = registry.GetSlidingCounter("w.events");
+  EXPECT_EQ(registry.GetSlidingHistogram("w.latency"), hist)
+      << "geometry is fixed by the first caller; later lookups share it";
+  EXPECT_EQ(registry.GetSlidingCounter("w.events"), counter);
+  EXPECT_DOUBLE_EQ(hist->options().window_seconds, 30.0);
+
+  hist->Record(0.015);
+  counter->Add(4);
+  Json json = registry.ToJson();
+  EXPECT_EQ(json.Get("windows").Get("w.latency").Get("count").AsInt(), 1);
+  EXPECT_EQ(json.Get("windows").Get("w.events").Get("count").AsInt(), 4);
+
+  registry.Reset();
+  EXPECT_EQ(hist->GetSnapshot().count, 0);
+  EXPECT_EQ(counter->WindowedCount(), 0);
+}
+
+TEST(MetricsRegistryTest, WriteJsonFileIsAtomicAndParses) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      StrFormat("kgpip_obs_test_%d", static_cast<int>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/metrics.json";
+
+  obs::MetricsRegistry registry;
+  registry.GetCounter("file.count")->Increment(7);
+  ASSERT_TRUE(registry.WriteJsonFile(path).ok());
+  // Overwrite must also work (rename over an existing snapshot).
+  registry.GetCounter("file.count")->Increment();
+  ASSERT_TRUE(registry.WriteJsonFile(path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("counters").Get("file.count").AsInt(), 8);
+
+  // Temp-then-rename leaves no intermediate files behind.
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
 // Trace spans
 // ---------------------------------------------------------------------
 
@@ -245,15 +430,18 @@ TEST_F(TracerTest, ChromeJsonRoundTripsThroughUtilJson) {
   EXPECT_EQ(parsed->Get("displayTimeUnit").AsString(), "ms");
   const Json& events = parsed->Get("traceEvents");
   ASSERT_TRUE(events.is_array());
-  ASSERT_EQ(events.size(), 2u);
+  // Two complete ("X") span events plus process-name ("M") metadata.
   std::set<std::string> names;
+  size_t spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const Json& e = events.at(i);
-    EXPECT_EQ(e.Get("ph").AsString(), "X");
+    if (e.Get("ph").AsString() != "X") continue;
+    ++spans;
     EXPECT_EQ(e.Get("pid").AsInt(), 1);
     EXPECT_GE(e.Get("dur").AsDouble(), 0.0);
     names.insert(e.Get("name").AsString());
   }
+  EXPECT_EQ(spans, 2u);
   EXPECT_TRUE(names.count("kgpip.fit"));
   EXPECT_TRUE(names.count("hpo.trial"));
 }
@@ -268,6 +456,105 @@ TEST_F(TracerTest, CapacityDropsExcessEventsAndCountsThem) {
   EXPECT_EQ(obs::Tracer::Global().num_events(), 3u);
   EXPECT_EQ(obs::Tracer::Global().dropped_events(), 2u);
   obs::Tracer::Global().set_capacity(1u << 20);
+}
+
+TEST_F(TracerTest, DroppedSpansFeedTheCounterAndTheChromeFooter) {
+  obs::Counter* dropped =
+      obs::MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans");
+  const int64_t before = dropped->value();
+
+  obs::Tracer::Global().set_capacity(2);
+  obs::Tracer::Global().Enable();
+  for (int i = 0; i < 6; ++i) {
+    obs::TraceSpan span("overflow");
+  }
+  obs::Tracer::Global().Disable();
+
+  // Drops are visible in the lifetime metric (alerting surface) and in
+  // the export itself, so a truncated trace is never mistaken for a
+  // complete one.
+  EXPECT_EQ(dropped->value() - before, 4);
+  Json chrome = obs::Tracer::Global().ToChromeJson();
+  EXPECT_EQ(chrome.Get("kgpipDroppedEvents").AsInt(), 4);
+
+  obs::Tracer::Global().set_capacity(1u << 20);
+  obs::Tracer::Global().Clear();
+  // A clean trace exports an explicit zero, not a missing key.
+  EXPECT_EQ(obs::Tracer::Global().ToChromeJson().Get("kgpipDroppedEvents")
+                .AsInt(),
+            0);
+}
+
+TEST_F(TracerTest, SpansCaptureTheAmbientRequestContext) {
+  obs::Tracer::Global().Enable();
+  {
+    util::ScopedRequestContext ctx(42, "acme");
+    obs::TraceSpan span("ctx.tagged");
+  }
+  {
+    obs::TraceSpan span("ctx.untagged");
+  }
+  obs::Tracer::Global().Disable();
+
+  std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].request_id, 42u);
+  EXPECT_EQ(events[0].tenant, "acme");
+  EXPECT_EQ(events[1].request_id, 0u);
+
+  // Chrome export: tagged spans move to a per-request virtual process
+  // (named via an "M" metadata event); untagged spans stay on pid 1.
+  Json chrome = obs::Tracer::Global().ToChromeJson();
+  int64_t tagged_pid = -1;
+  int64_t untagged_pid = -1;
+  bool saw_request_process_name = false;
+  for (const Json& e : chrome.Get("traceEvents").items()) {
+    if (e.Get("name").AsString() == "ctx.tagged") {
+      tagged_pid = e.Get("pid").AsInt();
+      EXPECT_EQ(e.Get("args").Get("request_id").AsInt(), 42);
+      EXPECT_EQ(e.Get("args").Get("tenant").AsString(), "acme");
+    } else if (e.Get("name").AsString() == "ctx.untagged") {
+      untagged_pid = e.Get("pid").AsInt();
+    } else if (e.Get("ph").AsString() == "M" &&
+               e.Get("name").AsString() == "process_name") {
+      const std::string label = e.Get("args").Get("name").AsString();
+      if (label.find("request 42") != std::string::npos &&
+          label.find("acme") != std::string::npos) {
+        saw_request_process_name = true;
+        EXPECT_GT(e.Get("pid").AsInt(), 1);
+      }
+    }
+  }
+  EXPECT_GT(tagged_pid, 1);
+  EXPECT_EQ(untagged_pid, 1);
+  EXPECT_TRUE(saw_request_process_name);
+}
+
+TEST_F(TracerTest, PoolChunksInheritTheSubmittersRequestContext) {
+  // The propagation contract that makes request-scoped tracing work at
+  // all: spans opened inside ParallelFor bodies — which run on pool
+  // lanes, not the submitting thread — still carry the submitter's ids.
+  util::ThreadPool pool(2);
+  obs::Tracer::Global().Enable();
+  {
+    util::ScopedRequestContext ctx(77, "fanout");
+    pool.ParallelFor(8, [](size_t /*item*/) {
+      obs::TraceSpan span("pool.chunk_span");
+    });
+  }
+  obs::Tracer::Global().Disable();
+
+  int chunk_spans = 0;
+  for (const obs::TraceEvent& event : obs::Tracer::Global().Snapshot()) {
+    if (event.name != "pool.chunk_span") continue;
+    ++chunk_spans;
+    EXPECT_EQ(event.request_id, 77u) << "lost context on a pool lane";
+    EXPECT_EQ(event.tenant, "fanout");
+  }
+  EXPECT_EQ(chunk_spans, 8);
+
+  // The lane restored its own (empty) context afterwards.
+  EXPECT_FALSE(util::CurrentRequestContext().active());
 }
 
 // ---------------------------------------------------------------------

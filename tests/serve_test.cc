@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -625,6 +626,199 @@ TEST_F(ServeFixture, SoakIsCleanUnderLockRankChecking) {
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
   EXPECT_GT(summary->submitted, 0);
   EXPECT_EQ(g_soak_rank_violations.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane: audit log, request ids, DebugStatus
+
+TEST_F(ServeFixture, ResponseAndAuditShareTheRequestId) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  FitRequest request;
+  request.table = MakeTable(901);
+  ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GT(response.request_id, 0u);
+
+  // Respond emits the audit line before the future resolves, so the
+  // record is observable the moment .get() returns.
+  std::vector<Json> tail = server.audit_log().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  const Json& record = tail[0];
+  EXPECT_EQ(record.Get("request_id").AsInt(),
+            static_cast<int64_t>(response.request_id));
+  EXPECT_EQ(record.Get("tenant").AsString(), "default");
+  EXPECT_EQ(record.Get("outcome").AsString(), "OK");
+  EXPECT_EQ(record.Get("cache_tier").AsString(), "none");
+  EXPECT_GT(record.Get("total_micros").AsInt(), 0);
+  // Phase accounting tiles the total exactly (run = total - queue wait).
+  EXPECT_EQ(record.Get("queue_wait_micros").AsInt() +
+                record.Get("run_micros").AsInt(),
+            record.Get("total_micros").AsInt());
+  server.Stop();
+}
+
+TEST_F(ServeFixture, RefusalsAreAuditedToo) {
+  ServeOptions options = FastOptions();
+  options.max_queue_depth = 0;  // everything sheds at the door
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+  FitRequest request;
+  request.table = MakeTable(902);
+  ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+
+  std::vector<Json> tail = server.audit_log().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].Get("request_id").AsInt(),
+            static_cast<int64_t>(response.request_id));
+  EXPECT_EQ(tail[0].Get("outcome").AsString(),
+            StatusCodeName(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(tail[0].Get("detail").AsString().empty());
+  server.Stop();
+}
+
+TEST_F(ServeFixture, SoakWritesExactlyOneAuditLinePerSubmittedRequest) {
+  const std::string dir = TempDir("audit");
+  std::filesystem::create_directories(dir);
+  ServeOptions options = FastOptions();
+  options.audit_log_path = dir + "/audit.jsonl";
+  Server server(model_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  SoakOptions soak;
+  soak.num_tenants = 3;  // acceptance asks for >= 2 tenants + faults
+  soak.duration_seconds = 1.0;
+  soak.request_deadline_seconds = 10.0;
+  soak.poison_fraction = 0.1;
+  soak.inject_faults = true;
+  soak.fault_config.seed = 23;
+  soak.fault_config.evaluator_error_rate = 0.2;
+  soak.fault_config.nan_score_rate = 0.1;
+  SoakHarness harness(&server, soak);
+  auto summary = harness.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  ASSERT_GT(summary->submitted, 0);
+  server.Stop();
+
+  EXPECT_EQ(server.audit_log().records_written(), summary->submitted);
+  EXPECT_EQ(server.audit_log().write_errors(), 0);
+
+  // Every line on disk parses, ids are unique, and the file holds one
+  // line per submitted request — the wide-event contract.
+  std::ifstream in(options.audit_log_path);
+  ASSERT_TRUE(in.good());
+  std::set<int64_t> ids;
+  int64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << "line " << lines << ": "
+                             << parsed.status().ToString();
+    const int64_t id = parsed->Get("request_id").AsInt();
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate audit line for " << id;
+    EXPECT_TRUE(StartsWith(parsed->Get("tenant").AsString(), "tenant-"));
+    EXPECT_FALSE(parsed->Get("outcome").AsString().empty());
+    EXPECT_EQ(parsed->Get("table_digest").AsString().size(), 16u);
+  }
+  EXPECT_EQ(lines, summary->submitted);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeFixture, AuditRequestIdsMatchTraceSpanIds) {
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().Enable();
+  std::set<int64_t> response_ids;
+  for (uint64_t seed = 950; seed < 954; ++seed) {
+    FitRequest request;
+    request.table = MakeTable(seed);
+    request.tenant = "traced";
+    request.max_trials = 2;
+    ServeResponse response = server.Submit(std::move(request)).get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    response_ids.insert(static_cast<int64_t>(response.request_id));
+  }
+  obs::Tracer::Global().Disable();
+  server.Stop();
+
+  // Each request's serve.request span carries that request's id — the
+  // correlation key that joins traces to audit lines and log records.
+  std::set<int64_t> span_ids;
+  for (const obs::TraceEvent& event : obs::Tracer::Global().Snapshot()) {
+    if (event.request_id == 0) continue;
+    EXPECT_TRUE(response_ids.count(static_cast<int64_t>(event.request_id)))
+        << "span '" << event.name << "' carries unknown request id "
+        << event.request_id;
+    EXPECT_EQ(event.tenant, "traced");
+    if (event.name == "serve.request") {
+      span_ids.insert(static_cast<int64_t>(event.request_id));
+    }
+  }
+  EXPECT_EQ(span_ids, response_ids);
+
+  // And the audit tail agrees with both.
+  std::set<int64_t> audit_ids;
+  for (const Json& record : server.audit_log().Tail(16)) {
+    audit_ids.insert(record.Get("request_id").AsInt());
+  }
+  EXPECT_EQ(audit_ids, response_ids);
+  obs::Tracer::Global().Clear();
+}
+
+TEST_F(ServeFixture, DebugStatusMidSoakIsValidJsonAndRankClean) {
+  if (!util::LockRankCheckingCompiled()) {
+    GTEST_SKIP() << "built with KGPIP_NO_LOCK_RANK";
+  }
+  g_soak_rank_violations.store(0);
+  util::SetLockRankCheckingEnabled(true);
+  util::SetLockRankViolationHandler(&RecordSoakRankViolation);
+
+  Server server(model_, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  SoakOptions soak;
+  soak.num_tenants = 2;
+  soak.duration_seconds = 1.2;
+  soak.request_deadline_seconds = 10.0;
+  SoakHarness harness(&server, soak);
+
+  std::thread soak_thread([&harness] {
+    auto summary = harness.Run();
+    EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  });
+
+  // Hammer the introspection path while the daemon is under load: every
+  // snapshot must be parseable, structurally complete, and free of
+  // lock-order violations (i.e. statusz can never deadlock the server).
+  int snapshots = 0;
+  Stopwatch watch;
+  while (watch.ElapsedSeconds() < 1.0) {
+    Json status = server.DebugStatus();
+    auto parsed = Json::Parse(status.Dump(2));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    for (const char* key :
+         {"queue", "inflight", "tenants", "cache", "audit", "windows",
+          "counters", "pool", "locks", "options"}) {
+      EXPECT_TRUE(parsed->Has(key)) << "missing statusz key " << key;
+    }
+    EXPECT_FALSE(server.DebugStatusText().empty());
+    ++snapshots;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  soak_thread.join();
+  server.Stop();
+
+  util::SetLockRankViolationHandler(nullptr);
+  util::SetLockRankCheckingEnabled(false);
+
+  EXPECT_GT(snapshots, 0);
+  EXPECT_EQ(g_soak_rank_violations.load(), 0);
+  // Post-soak the snapshot reflects the audit volume.
+  EXPECT_GT(server.audit_log().records_written(), 0);
 }
 
 }  // namespace
