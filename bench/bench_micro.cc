@@ -23,6 +23,7 @@
 #include "graph4ml/filter.h"
 #include "graph4ml/graph4ml.h"
 #include "ml/learner.h"
+#include "nn/inference.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
@@ -210,20 +211,60 @@ void BM_LearnerFit(benchmark::State& state) {
 BENCHMARK(BM_LearnerFit)->DenseRange(0, 3);
 
 void BM_MatMul(benchmark::State& state) {
-  // Exercises the cache-blocked kernel at a generator-forward-pass shape
-  // (tall activations x weight panel).
-  const size_t n = static_cast<size_t>(state.range(0));
+  // Exercises the dispatched GEMM micro-kernel across MxK * KxN. The
+  // square points are the generator-forward-pass shapes (tall
+  // activations x weight panel); the ragged points (odd M/N/K, N below
+  // one vector width) hit the masked-tail columns and partial register
+  // panels, which the aligned shapes never touch.
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
   Rng rng(2);
-  nn::Matrix a = nn::Matrix::Randn(n, n, &rng);
-  nn::Matrix b = nn::Matrix::Randn(n, n, &rng);
+  nn::Matrix a = nn::Matrix::Randn(m, k, &rng);
+  nn::Matrix b = nn::Matrix::Randn(k, n, &rng);
   for (auto _ : state) {
     nn::Matrix c = nn::Matrix::MatMul(a, b);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(2 * n * n * n));
+                          static_cast<int64_t>(2 * m * n * k));
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->Args({64, 64, 64})
+    ->Args({128, 128, 128})
+    ->Args({256, 256, 256})
+    // Ragged: odd everything (every column is a masked tail at width 8).
+    ->Args({33, 31, 33})
+    // Tail-only panel: N smaller than one vector register.
+    ->Args({64, 3, 64})
+    // Odd K with a 2-vector-wide N and a lone trailing row block.
+    ->Args({5, 16, 17});
+
+void BM_FusedLinear(benchmark::State& state) {
+  // The serve-path fused affine+activation kernel (GEMM + bias
+  // broadcast + squash in one pass) at batched-decode shapes: range(0)
+  // rows of a range(1)-wide state through a range(1) x range(2) panel.
+  // The odd-width points keep the activation tail loop hot.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t in = static_cast<size_t>(state.range(1));
+  const size_t out_cols = static_cast<size_t>(state.range(2));
+  Rng rng(3);
+  nn::Matrix x = nn::Matrix::Randn(rows, in, &rng);
+  nn::Matrix w = nn::Matrix::Randn(in, out_cols, &rng);
+  nn::Matrix b = nn::Matrix::Randn(1, out_cols, &rng);
+  nn::Matrix out;
+  for (auto _ : state) {
+    nn::FusedLinear(x, w, b, nn::Activation::kTanh, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * rows * in * out_cols));
+}
+BENCHMARK(BM_FusedLinear)
+    ->Args({64, 32, 96})    // one group's GRU x-gate panel
+    ->Args({240, 32, 96})   // stacked multi-lane panel (30 nodes x 8 lanes)
+    ->Args({33, 31, 17})    // ragged: masked tails everywhere
+    ->Args({7, 24, 1});     // decision-head shape (scores column)
 
 void BM_ParallelForDispatch(benchmark::State& state) {
   // Pure dispatch overhead: a loop whose body is nearly free measures

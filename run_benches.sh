@@ -24,13 +24,23 @@ cmake --build build-sanitize -j "$(nproc)" \
 echo "" | tee -a "$out"
 
 # Focused decode benches: the tape-vs-tape-free pairs land in their own
-# JSON so the inference-engine speedup is a first-class artifact.
+# JSON so the inference-engine speedup is a first-class artifact. The
+# fresh report is then gated against the checked-in baseline — a decode
+# latency regression past 15% fails the whole run (and the CI
+# bench-regression job runs the same comparison).
+gate_failed=0
 if [ -x build/bench/bench_micro ]; then
   echo "===== gen decode benches (BENCH_gen.json) =====" | tee -a "$out"
   build/bench/bench_micro \
       --benchmark_filter='BM_GenGenerate' \
       --benchmark_out=/root/repo/BENCH_gen.json \
       --benchmark_out_format=json 2>>/tmp/bench_stderr.log | tee -a "$out"
+  echo "" | tee -a "$out"
+  echo "===== decode latency regression gate =====" | tee -a "$out"
+  python3 bench/compare_bench.py \
+      bench/baselines/BENCH_gen.baseline.json \
+      /root/repo/BENCH_gen.json --threshold 0.15 2>&1 | tee -a "$out"
+  [ "${PIPESTATUS[0]}" -eq 0 ] || gate_failed=1
   echo "" | tee -a "$out"
 fi
 for b in build/bench/*; do
@@ -63,3 +73,6 @@ for b in build/bench/*; do
   echo "" | tee -a "$out"
 done
 echo "ALL_BENCHES_DONE"
+# A tripped decode-latency gate fails the run, but only after every
+# bench has produced its artifacts.
+exit "$gate_failed"

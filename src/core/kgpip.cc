@@ -174,9 +174,11 @@ Result<std::vector<gen::ScoredSkeleton>> Kgpip::PredictSkeletonsFromNearest(
   gen::PipelineLinter linter(task);
   std::vector<gen::ScoredSkeleton> skeletons;
   std::set<std::string> seen;
-  // All candidates decode in one batched call (parallel over the thread
-  // pool, one RNG stream per candidate — deterministic at any thread
-  // count); lint, mapping, and dedupe then filter in candidate order.
+  // All candidates decode in one batched call: the multi-lane decoder
+  // shares GEMM panels and decision-head evaluations across candidates
+  // whose decision histories are still identical (one RNG stream per
+  // candidate — deterministic at any thread count and SIMD level);
+  // lint, mapping, and dedupe then filter in candidate order.
   std::vector<gen::GeneratedGraph> candidates = generator_->GenerateTopK(
       seed_graph, condition,
       static_cast<size_t>(std::max(config_.candidate_samples, 0)), &rng,

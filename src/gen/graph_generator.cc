@@ -369,6 +369,26 @@ void GraphGenerator::ReleaseEngine(
   engines_.push_back(std::move(engine));
 }
 
+std::unique_ptr<MultiLaneDecoder> GraphGenerator::AcquireMultiDecoder(
+    size_t lanes) const {
+  {
+    util::MutexLock lock(engines_mu_);
+    if (!multi_engines_.empty()) {
+      std::unique_ptr<MultiLaneDecoder> decoder =
+          std::move(multi_engines_.back());
+      multi_engines_.pop_back();
+      return decoder;
+    }
+  }
+  return std::make_unique<MultiLaneDecoder>(this, lanes);
+}
+
+void GraphGenerator::ReleaseMultiDecoder(
+    std::unique_ptr<MultiLaneDecoder> decoder) const {
+  util::MutexLock lock(engines_mu_);
+  multi_engines_.push_back(std::move(decoder));
+}
+
 GeneratedGraph GraphGenerator::GenerateWithEngine(
     InferenceEngine& engine, const graph4ml::TypedGraph& seed,
     const std::vector<double>& condition, Rng* rng,
@@ -427,22 +447,43 @@ std::vector<GeneratedGraph> GraphGenerator::GenerateTopK(
   Stopwatch watch;
   util::ThreadPool& pool = util::ThreadPool::Global();
   // Fork one stream per candidate *before* dispatch, and write results
-  // by candidate index: output is then a function of (seed rng, k) only,
-  // byte-identical at any thread count. Engine identity does not affect
-  // the decode (engines are scratch over shared weights), so checkout
-  // order — which *does* vary with scheduling — is output-invariant.
+  // by candidate index: output is then a function of (seed rng, k) only.
+  // The k lanes are cut into one contiguous shard per pool lane; each
+  // shard decodes on a MultiLaneDecoder that batches the network
+  // evaluations of lanes whose decision histories are still identical.
+  // Batching is bitwise output-neutral and lane i consumes only rngs[i]
+  // in single-lane draw order, so the shard boundaries — which change
+  // with the pool size — cannot change any byte of the output.
   std::vector<Rng> rngs = util::ForkRngs(rng, k);
+  std::vector<Rng> tape_rngs;
+  if (config_.cross_check) tape_rngs = rngs;  // pre-decode copies
   std::vector<GeneratedGraph> results(k);
   std::atomic<size_t> alloc_delta{0};
-  pool.ParallelFor(k, [&](size_t i) {
-    std::unique_ptr<InferenceEngine> engine = AcquireEngine();
-    const size_t allocs_before = engine->alloc_events();
-    results[i] = GenerateWithEngine(*engine, seed, condition, &rngs[i],
-                                    temperature);
-    alloc_delta.fetch_add(engine->alloc_events() - allocs_before,
+  const size_t shards = std::min(k, static_cast<size_t>(pool.num_lanes()));
+  pool.ParallelFor(shards, [&](size_t s) {
+    const size_t begin = s * k / shards;
+    const size_t end = (s + 1) * k / shards;
+    std::unique_ptr<MultiLaneDecoder> decoder =
+        AcquireMultiDecoder(end - begin);
+    const size_t allocs_before = decoder->alloc_events();
+    decoder->DecodeLanes(seed, condition, &rngs[begin], &results[begin],
+                         end - begin, temperature);
+    alloc_delta.fetch_add(decoder->alloc_events() - allocs_before,
                           std::memory_order_relaxed);
-    ReleaseEngine(std::move(engine));
+    ReleaseMultiDecoder(std::move(decoder));
   });
+  if (config_.cross_check) {
+    pool.ParallelFor(k, [&](size_t i) {
+      GeneratedGraph ref =
+          GenerateTape(seed, condition, &tape_rngs[i], temperature);
+      KGPIP_CHECK(results[i].graph.node_types == ref.graph.node_types)
+          << "batched decode diverged from tape (node types)";
+      KGPIP_CHECK(results[i].graph.edges == ref.graph.edges)
+          << "batched decode diverged from tape (edges)";
+      KGPIP_CHECK(results[i].log_prob == ref.log_prob)
+          << "batched decode diverged from tape (log-prob)";
+    });
+  }
   generate_allocs->Increment(
       static_cast<int64_t>(alloc_delta.load(std::memory_order_relaxed)));
   topk_seconds->Record(watch.ElapsedSeconds());

@@ -13,6 +13,7 @@
 namespace kgpip::gen {
 
 class InferenceEngine;
+class MultiLaneDecoder;
 
 /// Configuration of the deep graph generative model (Li et al. 2018,
 /// adapted for conditional generation from a seed subgraph — KGpip's
@@ -84,11 +85,16 @@ class GraphGenerator {
                               const std::vector<double>& condition,
                               Rng* rng, double temperature = 1.0) const;
 
-  /// Batched generation: decodes `k` candidates in parallel over the
-  /// global thread pool, one checked-out engine per in-flight
-  /// candidate. RNG streams are forked
-  /// from `rng` by candidate index before dispatch and results land by
-  /// index, so output is byte-identical at any thread count.
+  /// Batched generation: decodes `k` candidates cooperatively. The k
+  /// lanes are split into one contiguous shard per thread-pool lane;
+  /// each shard runs a MultiLaneDecoder that batches the GRU panels and
+  /// decision heads of every lane whose decision history is still
+  /// identical (lanes peel off into their own groups as they diverge).
+  /// RNG streams are forked from `rng` by candidate index before
+  /// dispatch, each lane consumes only its own stream in single-lane
+  /// order, and cross-lane batching is bitwise output-neutral, so the
+  /// result is byte-identical to k independent Generate calls at any
+  /// thread count and ISA level.
   std::vector<GeneratedGraph> GenerateTopK(
       const graph4ml::TypedGraph& seed,
       const std::vector<double>& condition, size_t k, Rng* rng,
@@ -122,6 +128,7 @@ class GraphGenerator {
  private:
   struct StepState;
   friend class InferenceEngine;  // reads weights for tape-free forwards
+  friend class MultiLaneDecoder;  // same, for the batched top-k decode
 
   /// Runs propagation rounds over node states given current edges.
   nn::Var Propagate(const nn::Var& states,
@@ -150,6 +157,10 @@ class GraphGenerator {
   /// concurrent Generate/GenerateTopK calls are in flight.
   std::unique_ptr<InferenceEngine> AcquireEngine() const;
   void ReleaseEngine(std::unique_ptr<InferenceEngine> engine) const;
+  /// Same free-list checkout for the batched top-k decoders. `lanes`
+  /// only sizes a freshly built decoder; a reused one grows on demand.
+  std::unique_ptr<MultiLaneDecoder> AcquireMultiDecoder(size_t lanes) const;
+  void ReleaseMultiDecoder(std::unique_ptr<MultiLaneDecoder> decoder) const;
   /// Decode via `engine`, optionally cross-checked against the tape.
   GeneratedGraph GenerateWithEngine(InferenceEngine& engine,
                                     const graph4ml::TypedGraph& seed,
@@ -168,6 +179,8 @@ class GraphGenerator {
   mutable util::Mutex engines_mu_{util::LockRank::kGenEngines,
                                   "gen.engines"};
   mutable std::vector<std::unique_ptr<InferenceEngine>> engines_
+      KGPIP_GUARDED_BY(engines_mu_);
+  mutable std::vector<std::unique_ptr<MultiLaneDecoder>> multi_engines_
       KGPIP_GUARDED_BY(engines_mu_);
 
   nn::Var type_embedding_;  // (vocab) x hidden

@@ -3,105 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/simd_kernels.h"
 #include "util/logging.h"
 
 namespace kgpip::nn {
 
-// The serve kernels runtime-dispatch an AVX2 clone where the host
-// supports it (glibc IFUNC resolution keeps the binary portable).
-// Wider lanes do not change a single bit: packed IEEE mul/add/div round
-// exactly like their scalar forms lane by lane, every accumulation
-// chain stays per-element, and -ffp-contract=off (set for this file)
-// forbids the FMA contraction that would change results. Disabled under
-// ThreadSanitizer: TSan's runtime is not IFUNC-safe (the resolver runs
-// before the sanitizer initializes and crashes at startup).
-#if defined(__x86_64__) && defined(__has_attribute) && \
-    !defined(__SANITIZE_THREAD__)
-#if __has_attribute(target_clones)
-#define KGPIP_SERVE_CLONES __attribute__((target_clones("avx2", "default")))
-#endif
-#endif
-#ifndef KGPIP_SERVE_CLONES
-#define KGPIP_SERVE_CLONES
-#endif
+// The serve kernels route through the dispatched SIMD layer
+// (simd_kernels.h): explicit AVX-512F/AVX2 intrinsic micro-kernels with
+// a scalar reference, selected once at runtime from CPUID (KGPIP_ISA
+// overrides). Every level produces byte-identical output — the kernels
+// keep one ascending-k accumulation chain per output element and the
+// activation expressions of fastmath.h, and packed IEEE ops round
+// exactly like their scalar forms lane by lane — so the gen equivalence
+// suite's tape-vs-engine byte identity holds at every dispatch level.
+// (This replaced the PR 5 target_clones IFUNC approach: manual dispatch
+// is TSan-safe and lets one binary carry an AVX-512 path.)
 
 namespace {
 
-// Serve-path GEMM. Bit-identical to Matrix::MatMulInto — same cache
-// tiling constants, same ascending-k accumulation per output element,
-// same aik == 0.0 skip — but restructured so the compiler can vectorize
-// and register-block it: k is unrolled in quads whose adds issue
-// sequentially per element, so each c(i,j) chain is still
-// (((c + a0*b0) + a1*b1) + a2*b2) + a3*b3, exactly what four separate
-// k passes produce. `__restrict` lets the j-loop vectorize (each j owns
-// an independent accumulation chain, and packed IEEE ops round exactly
-// like their scalar forms, so SIMD here cannot change a single bit).
-// This file builds with -ffp-contract=off (see src/nn/CMakeLists.txt),
-// which forbids the FMA contraction that *would* change results.
-KGPIP_SERVE_CLONES
 void GemmInto(const Matrix& a, const Matrix& b, Matrix* out) {
   KGPIP_CHECK(a.cols() == b.rows())
       << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
       << b.rows() << "x" << b.cols();
   out->Reshape(a.rows(), b.cols());
   out->Fill(0.0);
-  const size_t ar = a.rows();
-  const size_t ac = a.cols();
-  const size_t bc = b.cols();
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* pc = out->data();
-  constexpr size_t kTileK = 64;
-  constexpr size_t kTileJ = 256;
-  for (size_t kk = 0; kk < ac; kk += kTileK) {
-    const size_t k_end = std::min(kk + kTileK, ac);
-    for (size_t jj = 0; jj < bc; jj += kTileJ) {
-      const size_t j_end = std::min(jj + kTileJ, bc);
-      for (size_t i = 0; i < ar; ++i) {
-        double* __restrict crow = pc + i * bc;
-        const double* arow = pa + i * ac;
-        size_t k = kk;
-        for (; k + 3 < k_end; k += 4) {
-          const double a0 = arow[k];
-          const double a1 = arow[k + 1];
-          const double a2 = arow[k + 2];
-          const double a3 = arow[k + 3];
-          const double* __restrict b0 = pb + k * bc;
-          const double* __restrict b1 = b0 + bc;
-          const double* __restrict b2 = b1 + bc;
-          const double* __restrict b3 = b2 + bc;
-          if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
-            for (size_t j = jj; j < j_end; ++j) {
-              crow[j] = (((crow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
-                        a3 * b3[j];
-            }
-          } else {
-            // A zero coefficient must be *skipped*, not added: c += 0.0
-            // would flip a -0.0 accumulator to +0.0. Falling back to one
-            // pass per nonzero k keeps chains and skips identical.
-            if (a0 != 0.0) {
-              for (size_t j = jj; j < j_end; ++j) crow[j] += a0 * b0[j];
-            }
-            if (a1 != 0.0) {
-              for (size_t j = jj; j < j_end; ++j) crow[j] += a1 * b1[j];
-            }
-            if (a2 != 0.0) {
-              for (size_t j = jj; j < j_end; ++j) crow[j] += a2 * b2[j];
-            }
-            if (a3 != 0.0) {
-              for (size_t j = jj; j < j_end; ++j) crow[j] += a3 * b3[j];
-            }
-          }
-        }
-        for (; k < k_end; ++k) {
-          const double aik = arow[k];
-          if (aik == 0.0) continue;
-          const double* __restrict brow = pb + k * bc;
-          for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    }
-  }
+  simd::GemmRows(simd::ActiveIsa(), a.data(), b.data(), out->data(), a.rows(),
+                 a.cols(), b.cols());
 }
 
 }  // namespace
@@ -109,47 +36,36 @@ void GemmInto(const Matrix& a, const Matrix& b, Matrix* out) {
 void FusedLinear(const Matrix& x, const Matrix& w, const Matrix& b,
                  Activation act, Matrix* out) {
   KGPIP_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  const simd::Isa isa = simd::ActiveIsa();
   GemmInto(x, w, out);
   // Bias broadcast in the same row-major order as AddRowBroadcast.
-  const double* bias = b.data();
-  for (size_t i = 0; i < out->rows(); ++i) {
-    double* row = out->data() + i * out->cols();
-    for (size_t j = 0; j < out->cols(); ++j) row[j] += bias[j];
-  }
+  simd::BiasRows(isa, out->data(), b.data(), out->rows(), out->cols());
   switch (act) {
     case Activation::kNone:
       break;
     case Activation::kTanh:
-      TanhInPlace(out);
+      simd::TanhN(isa, out->data(), out->size());
       break;
     case Activation::kSigmoid:
-      SigmoidInPlace(out);
+      simd::SigmoidN(isa, out->data(), out->size());
       break;
   }
 }
 
-KGPIP_SERVE_CLONES
 void SigmoidInPlace(Matrix* m) {
-  double* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) d[i] = FastSigmoid(d[i]);
+  simd::SigmoidN(simd::ActiveIsa(), m->data(), m->size());
 }
 
-KGPIP_SERVE_CLONES
 void TanhInPlace(Matrix* m) {
-  double* d = m->data();
-  for (size_t i = 0; i < m->size(); ++i) d[i] = FastTanh(d[i]);
+  simd::TanhN(simd::ActiveIsa(), m->data(), m->size());
 }
 
 void MulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   KGPIP_CHECK(a.SameShape(b));
   out->Reshape(a.rows(), a.cols());
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out->data();
-  for (size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  simd::MulN(simd::ActiveIsa(), a.data(), b.data(), out->data(), a.size());
 }
 
-KGPIP_SERVE_CLONES
 void GruFusedForward(const Matrix& x, const Matrix& h, const Matrix& wx,
                      const Matrix& bx, const Matrix& wh2, const Matrix& bh2,
                      const Matrix& whn, const Matrix& bhn, Matrix* xg,
@@ -157,6 +73,7 @@ void GruFusedForward(const Matrix& x, const Matrix& h, const Matrix& wx,
                      Matrix* tmp, Matrix* cand, Matrix* out) {
   const size_t n = h.rows();
   const size_t hd = h.cols();
+  const simd::Isa isa = simd::ActiveIsa();
   FusedLinear(x, wx, bx, Activation::kNone, xg);    // [xz|xr|xn] + bias
   FusedLinear(h, wh2, bh2, Activation::kNone, hg);  // [hz|hr] + bias
   z->Reshape(n, hd);
@@ -166,34 +83,21 @@ void GruFusedForward(const Matrix& x, const Matrix& h, const Matrix& wx,
   for (size_t i = 0; i < n; ++i) {
     const double* xrow = xg->data() + i * 3 * hd;
     const double* hrow = hg->data() + i * 2 * hd;
-    double* zrow = z->data() + i * hd;
-    double* rrow = r->data() + i * hd;
-    for (size_t j = 0; j < hd; ++j) zrow[j] = FastSigmoid(xrow[j] + hrow[j]);
-    for (size_t j = 0; j < hd; ++j) {
-      rrow[j] = FastSigmoid(xrow[hd + j] + hrow[hd + j]);
-    }
+    simd::AddSigmoidN(isa, xrow, hrow, z->data() + i * hd, hd);
+    simd::AddSigmoidN(isa, xrow + hd, hrow + hd, r->data() + i * hd, hd);
   }
   MulInto(*r, h, rh);
   FusedLinear(*rh, whn, bhn, Activation::kNone, tmp);
   cand->Reshape(n, hd);
   for (size_t i = 0; i < n; ++i) {
     const double* xrow = xg->data() + i * 3 * hd + 2 * hd;
-    const double* trow = tmp->data() + i * hd;
-    double* crow = cand->data() + i * hd;
-    for (size_t j = 0; j < hd; ++j) crow[j] = FastTanh(xrow[j] + trow[j]);
+    simd::AddTanhN(isa, xrow, tmp->data() + i * hd, cand->data() + i * hd, hd);
   }
   out->Reshape(n, hd);
-  const double* zp = z->data();
-  const double* np = cand->data();
-  const double* hp = h.data();
-  double* op = out->data();
   // Same association as the tape expression Add(Sub(n, Mul(z, n)),
   // Mul(z, h)): (n + (-1)*(z*n)) + z*h.
-  for (size_t k = 0; k < n * hd; ++k) {
-    const double zn = zp[k] * np[k];
-    const double a = np[k] + (-1.0) * zn;
-    op[k] = a + zp[k] * hp[k];
-  }
+  simd::GruCombineN(isa, z->data(), cand->data(), h.data(), out->data(),
+                    n * hd);
 }
 
 void SoftmaxRow(const double* logits, size_t n, double* out) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/simd_kernels.h"
 #include "util/logging.h"
 
 namespace kgpip::nn {
@@ -50,29 +51,13 @@ void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
       << b.rows_ << "x" << b.cols_;
   out->Reshape(a.rows_, b.cols_);
   out->Fill(0.0);
-  Matrix& c = *out;
-  // Cache-blocked ikj: tile k and j so a panel of B stays resident in
-  // L1/L2 while every row of A streams over it. Within each c(i,j) the
-  // k-accumulation still runs in ascending order (tiles are visited in
-  // order and k ascends inside a tile), so results are bit-identical to
-  // the untiled loop.
-  constexpr size_t kTileK = 64;
-  constexpr size_t kTileJ = 256;
-  for (size_t kk = 0; kk < a.cols_; kk += kTileK) {
-    const size_t k_end = std::min(kk + kTileK, a.cols_);
-    for (size_t jj = 0; jj < b.cols_; jj += kTileJ) {
-      const size_t j_end = std::min(jj + kTileJ, b.cols_);
-      for (size_t i = 0; i < a.rows_; ++i) {
-        double* crow = c.data() + i * c.cols_;
-        for (size_t k = kk; k < k_end; ++k) {
-          const double aik = a(i, k);
-          if (aik == 0.0) continue;
-          const double* brow = b.data() + k * b.cols_;
-          for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    }
-  }
+  // Dispatched micro-kernel (simd_kernels.h). Every level — scalar
+  // reference, AVX2, AVX-512 — reproduces the cache-blocked ikj loop's
+  // exact per-element chain (k ascending within 64x256 tiles, zero
+  // coefficients skipped), so training and serving stay bit-identical
+  // across hosts and KGPIP_ISA settings.
+  simd::GemmRows(simd::ActiveIsa(), a.data(), b.data(), out->data(), a.rows_,
+                 a.cols_, b.cols_);
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& a, const Matrix& b) {

@@ -1,0 +1,374 @@
+#include "nn/simd_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/fastmath.h"
+#include "nn/simd_kernels_isa.h"
+#include "obs/metrics.h"
+
+namespace kgpip::nn::simd {
+
+namespace {
+
+// ---- Scalar reference kernels ------------------------------------------
+// Same chains as Matrix::MatMulInto / the fastmath inline functions; the
+// quad-unrolled k loop is the auto-vectorizable form PR 5 shipped (four
+// sequential adds per element == four separate k passes).
+
+void GemmScalar(const double* a, const double* b, double* c, size_t rows,
+                size_t ac, size_t bc) {
+  constexpr size_t kTileK = 64;
+  constexpr size_t kTileJ = 256;
+  for (size_t kk = 0; kk < ac; kk += kTileK) {
+    const size_t k_end = kk + kTileK < ac ? kk + kTileK : ac;
+    for (size_t jj = 0; jj < bc; jj += kTileJ) {
+      const size_t j_end = jj + kTileJ < bc ? jj + kTileJ : bc;
+      for (size_t i = 0; i < rows; ++i) {
+        double* __restrict crow = c + i * bc;
+        const double* arow = a + i * ac;
+        size_t k = kk;
+        for (; k + 3 < k_end; k += 4) {
+          const double a0 = arow[k];
+          const double a1 = arow[k + 1];
+          const double a2 = arow[k + 2];
+          const double a3 = arow[k + 3];
+          const double* __restrict b0 = b + k * bc;
+          const double* __restrict b1 = b0 + bc;
+          const double* __restrict b2 = b1 + bc;
+          const double* __restrict b3 = b2 + bc;
+          if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+            for (size_t j = jj; j < j_end; ++j) {
+              crow[j] = (((crow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
+                        a3 * b3[j];
+            }
+          } else {
+            // A zero coefficient must be *skipped*, not added: c += 0.0
+            // would flip a -0.0 accumulator to +0.0.
+            if (a0 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a0 * b0[j];
+            }
+            if (a1 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a1 * b1[j];
+            }
+            if (a2 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a2 * b2[j];
+            }
+            if (a3 != 0.0) {
+              for (size_t j = jj; j < j_end; ++j) crow[j] += a3 * b3[j];
+            }
+          }
+        }
+        for (; k < k_end; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* __restrict brow = b + k * bc;
+          for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void BiasScalar(double* c, const double* bias, size_t rows, size_t cols) {
+  for (size_t i = 0; i < rows; ++i) {
+    double* row = c + i * cols;
+    for (size_t j = 0; j < cols; ++j) row[j] += bias[j];
+  }
+}
+
+void SigmoidScalar(double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] = FastSigmoid(d[i]);
+}
+
+void TanhScalar(double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] = FastTanh(d[i]);
+}
+
+void AddSigmoidScalar(const double* a, const double* b, double* out,
+                      size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = FastSigmoid(a[i] + b[i]);
+}
+
+void AddTanhScalar(const double* a, const double* b, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = FastTanh(a[i] + b[i]);
+}
+
+void MulScalar(const double* a, const double* b, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void GruCombineScalar(const double* z, const double* n, const double* h,
+                      double* out, size_t count) {
+  for (size_t k = 0; k < count; ++k) {
+    const double zn = z[k] * n[k];
+    const double a = n[k] + (-1.0) * zn;
+    out[k] = a + z[k] * h[k];
+  }
+}
+
+// ---- Dispatch state ----------------------------------------------------
+
+// -1 = unresolved; resolved values are the Isa enum. Resolution is
+// idempotent (pure function of env + CPUID), so a startup race just
+// publishes the same value twice.
+std::atomic<int> g_active{-1};
+
+Isa ClampToSupported(Isa isa) {
+  if (isa == Isa::kAvx512 && !IsaSupported(Isa::kAvx512)) isa = Isa::kAvx2;
+  if (isa == Isa::kAvx2 && !IsaSupported(Isa::kAvx2)) isa = Isa::kScalar;
+  return isa;
+}
+
+Isa ResolveFromEnv() {
+  Isa isa = BestSupportedIsa();
+  if (const char* env = std::getenv("KGPIP_ISA")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      isa = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      isa = Isa::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      isa = Isa::kAvx512;
+    }
+    // Unknown values keep the CPUID pick; a request for a level the host
+    // lacks clamps down rather than crashing on illegal instructions.
+    isa = ClampToSupported(isa);
+  }
+  return isa;
+}
+
+Isa Publish(Isa isa) {
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetGauge("nn.isa_level")
+      ->Set(static_cast<double>(static_cast<int>(isa)));
+  return isa;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool IsaCompiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool IsaSupported(Isa isa) {
+  if (!IsaCompiled(isa)) return false;
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      // __builtin_cpu_supports folds in the XGETBV/OS-state checks.
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa BestSupportedIsa() {
+  if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+Isa ActiveIsa() {
+  const int v = g_active.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Isa>(v);
+  return Publish(ResolveFromEnv());
+}
+
+Isa ForceIsa(Isa isa) { return Publish(ClampToSupported(isa)); }
+
+Isa RefreshIsaFromEnv() { return Publish(ResolveFromEnv()); }
+
+// ---- Dispatched kernels ------------------------------------------------
+// The per-level cases collapse to scalar when the variant was not
+// compiled in (non-x86 targets), keeping every call site portable.
+
+void GemmRows(Isa isa, const double* a, const double* b, double* c,
+              size_t rows, size_t ac, size_t bc) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::GemmAvx512(a, b, c, rows, ac, bc);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::GemmAvx2(a, b, c, rows, ac, bc);
+      return;
+#endif
+    default:
+      GemmScalar(a, b, c, rows, ac, bc);
+      return;
+  }
+}
+
+void BiasRows(Isa isa, double* c, const double* bias, size_t rows,
+              size_t cols) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::BiasAvx512(c, bias, rows, cols);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::BiasAvx2(c, bias, rows, cols);
+      return;
+#endif
+    default:
+      BiasScalar(c, bias, rows, cols);
+      return;
+  }
+}
+
+void SigmoidN(Isa isa, double* d, size_t n) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::SigmoidAvx512(d, n);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::SigmoidAvx2(d, n);
+      return;
+#endif
+    default:
+      SigmoidScalar(d, n);
+      return;
+  }
+}
+
+void TanhN(Isa isa, double* d, size_t n) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::TanhAvx512(d, n);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::TanhAvx2(d, n);
+      return;
+#endif
+    default:
+      TanhScalar(d, n);
+      return;
+  }
+}
+
+void AddSigmoidN(Isa isa, const double* a, const double* b, double* out,
+                 size_t n) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::AddSigmoidAvx512(a, b, out, n);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::AddSigmoidAvx2(a, b, out, n);
+      return;
+#endif
+    default:
+      AddSigmoidScalar(a, b, out, n);
+      return;
+  }
+}
+
+void AddTanhN(Isa isa, const double* a, const double* b, double* out,
+              size_t n) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::AddTanhAvx512(a, b, out, n);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::AddTanhAvx2(a, b, out, n);
+      return;
+#endif
+    default:
+      AddTanhScalar(a, b, out, n);
+      return;
+  }
+}
+
+void MulN(Isa isa, const double* a, const double* b, double* out, size_t n) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::MulAvx512(a, b, out, n);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::MulAvx2(a, b, out, n);
+      return;
+#endif
+    default:
+      MulScalar(a, b, out, n);
+      return;
+  }
+}
+
+void GruCombineN(Isa isa, const double* z, const double* n, const double* h,
+                 double* out, size_t count) {
+  switch (isa) {
+#if defined(KGPIP_SIMD_HAVE_AVX512)
+    case Isa::kAvx512:
+      detail::GruCombineAvx512(z, n, h, out, count);
+      return;
+#endif
+#if defined(KGPIP_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      detail::GruCombineAvx2(z, n, h, out, count);
+      return;
+#endif
+    default:
+      GruCombineScalar(z, n, h, out, count);
+      return;
+  }
+}
+
+}  // namespace kgpip::nn::simd

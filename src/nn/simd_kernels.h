@@ -1,0 +1,101 @@
+#ifndef KGPIP_NN_SIMD_KERNELS_H_
+#define KGPIP_NN_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace kgpip::nn::simd {
+
+/// Hand-written SIMD micro-kernels for the serve-path linear algebra.
+///
+/// Three implementations of every kernel — scalar reference, AVX2
+/// intrinsics, AVX-512F intrinsics — all producing **byte-identical**
+/// output:
+///   - GEMM keeps one independent accumulation chain per output element,
+///     walking k in ascending order and skipping zero A coefficients
+///     exactly like Matrix::MatMulInto (the training-path reference).
+///     SIMD lanes map to distinct output columns, and packed IEEE
+///     mul/add round exactly like their scalar forms lane by lane, so
+///     width cannot change a single bit. FMA contraction is forbidden
+///     (these files build with -ffp-contract=off; the kernels issue
+///     separate multiply and add).
+///   - The activation kernels evaluate the *same* straight-line
+///     expression as FastExp/FastSigmoid/FastTanh (fastmath.h), sharing
+///     its constants, one lane per element; ragged tails fall back to
+///     the scalar inline functions themselves.
+///
+/// Dispatch: the active level resolves once from CPUID, overridable via
+/// the KGPIP_ISA environment variable ("scalar" / "avx2" / "avx512" —
+/// clamped down to what the host supports) or ForceIsa() from tests.
+/// "scalar" means the reference C++ kernels (the compiler may still
+/// auto-vectorize them; output is bit-identical either way).
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Stable lowercase name ("scalar", "avx2", "avx512").
+const char* IsaName(Isa isa);
+
+/// Whether the kernel variant was compiled into this binary (x86-64 +
+/// GCC/Clang builds carry all three; other targets scalar only).
+bool IsaCompiled(Isa isa);
+
+/// Compiled AND executable on this host (CPUID + OS state checked).
+bool IsaSupported(Isa isa);
+
+/// The widest supported level.
+Isa BestSupportedIsa();
+
+/// The level the dispatched kernels currently run at. Resolves lazily on
+/// first use: KGPIP_ISA override if set, else BestSupportedIsa(). Also
+/// exported as the `nn.isa_level` gauge (0/1/2) for statusz/audit
+/// attribution.
+Isa ActiveIsa();
+
+/// Overrides the active level (clamped down to IsaSupported); returns
+/// the level actually applied. Not synchronized with in-flight kernel
+/// calls — switch between decodes only (tests, startup).
+Isa ForceIsa(Isa isa);
+
+/// Re-resolves the active level from KGPIP_ISA + CPUID (used at startup
+/// and by the dispatch-override tests after setenv).
+Isa RefreshIsaFromEnv();
+
+// --- Kernels. Every function takes the ISA level explicitly so tests
+// can sweep levels in one process; callers wanting dispatch pass
+// ActiveIsa(). Calling a level for which IsaSupported() is false is
+// undefined behavior (illegal instruction on older hosts).
+
+/// C(rows x bc) += A(rows x ac) * B(ac x bc), row-major, C pre-zeroed by
+/// the caller (or carrying prior accumulation — the kernel only ever
+/// adds). Bit-identical to Matrix::MatMulInto's accumulation. C must not
+/// alias A or B.
+void GemmRows(Isa isa, const double* a, const double* b, double* c,
+              size_t rows, size_t ac, size_t bc);
+
+/// row[j] += bias[j] for every row of C (the AddRowBroadcast tail of a
+/// fused linear layer).
+void BiasRows(Isa isa, double* c, const double* bias, size_t rows,
+              size_t cols);
+
+/// In-place elementwise activations over a flat buffer.
+void SigmoidN(Isa isa, double* d, size_t n);
+void TanhN(Isa isa, double* d, size_t n);
+
+/// out[i] = FastSigmoid(a[i] + b[i]) / FastTanh(a[i] + b[i]) — the GRU
+/// gate squash over pre-summed x/h affine panels. out may alias a or b.
+void AddSigmoidN(Isa isa, const double* a, const double* b, double* out,
+                 size_t n);
+void AddTanhN(Isa isa, const double* a, const double* b, double* out,
+              size_t n);
+
+/// out[i] = a[i] * b[i]; out may alias b but not a (matches MulInto).
+void MulN(Isa isa, const double* a, const double* b, double* out, size_t n);
+
+/// The GRU output combine, association preserved from the tape
+/// expression Add(Sub(n, Mul(z, n)), Mul(z, h)):
+///   out[i] = (n[i] + (-1) * (z[i] * n[i])) + z[i] * h[i].
+void GruCombineN(Isa isa, const double* z, const double* n, const double* h,
+                 double* out, size_t count);
+
+}  // namespace kgpip::nn::simd
+
+#endif  // KGPIP_NN_SIMD_KERNELS_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "nn/simd_kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -53,6 +54,31 @@ void AuditLog::OpenLocked() {
   }
   const long at = std::ftell(file_);
   bytes_ = at > 0 ? static_cast<size_t>(at) : 0;
+  if (bytes_ == 0) WriteHeaderLocked();
+}
+
+void AuditLog::WriteHeaderLocked() {
+  // One self-describing line at the top of every fresh file (initial
+  // open and each post-rotate generation). It pins the serving
+  // environment the records were produced under — today the dispatched
+  // SIMD level, which decides which kernel paths executed — so a log
+  // can be attributed to a kernel configuration after the fact. The
+  // header is metadata, not a wide event: it stays out of the ring and
+  // out of records_written, and readers skip lines with
+  // "type":"header".
+  const nn::simd::Isa isa = nn::simd::ActiveIsa();
+  Json header = Json::Object();
+  header.Set("type", "header");
+  header.Set("isa_level", nn::simd::IsaName(isa));
+  header.Set("isa_level_value", static_cast<int64_t>(isa));
+  std::string line = header.Dump();
+  line.push_back('\n');
+  const size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
+  if (wrote != line.size() || std::fflush(file_) != 0) {
+    ++errors_;
+    return;
+  }
+  bytes_ += line.size();
 }
 
 void AuditLog::RotateLocked() {

@@ -85,6 +85,10 @@ class AuditLog {
 
  private:
   void OpenLocked() KGPIP_REQUIRES(mu_);
+  /// Writes the "type":"header" metadata line (serving environment:
+  /// dispatched SIMD level) at the top of a fresh file. Not a wide
+  /// event: excluded from the ring and records_written.
+  void WriteHeaderLocked() KGPIP_REQUIRES(mu_);
   void RotateLocked() KGPIP_REQUIRES(mu_);
 
   Options options_;

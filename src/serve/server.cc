@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "nn/simd_kernels.h"
 #include "obs/metrics.h"
 #include "obs/sliding_window.h"
 #include "obs/trace.h"
@@ -798,6 +799,10 @@ Json Server::DebugStatus() const {
   Json out = Json::Object();
   out.Set("draining", draining);
   out.Set("stopping", stopping);
+  // Which SIMD kernel tier every decode in this process dispatches to
+  // (also exported as the nn.isa_level gauge and stamped into the audit
+  // log's header line).
+  out.Set("isa_level", nn::simd::IsaName(nn::simd::ActiveIsa()));
 
   Json queue = Json::Array();
   for (const QueueEntry& entry : queued) {

@@ -705,25 +705,36 @@ TEST_F(ServeFixture, SoakWritesExactlyOneAuditLinePerSubmittedRequest) {
   EXPECT_EQ(server.audit_log().records_written(), summary->submitted);
   EXPECT_EQ(server.audit_log().write_errors(), 0);
 
-  // Every line on disk parses, ids are unique, and the file holds one
-  // line per submitted request — the wide-event contract.
+  // Every line on disk parses. The first line is the metadata header
+  // (serving environment: dispatched SIMD level); after it, ids are
+  // unique and the file holds one line per submitted request — the
+  // wide-event contract.
   std::ifstream in(options.audit_log_path);
   ASSERT_TRUE(in.good());
   std::set<int64_t> ids;
   int64_t lines = 0;
+  int64_t headers = 0;
   std::string line;
   while (std::getline(in, line)) {
     ++lines;
     auto parsed = Json::Parse(line);
     ASSERT_TRUE(parsed.ok()) << "line " << lines << ": "
                              << parsed.status().ToString();
+    if (parsed->Has("type") &&
+        parsed->Get("type").AsString() == "header") {
+      ++headers;
+      EXPECT_EQ(lines, 1) << "header must be the first line";
+      EXPECT_FALSE(parsed->Get("isa_level").AsString().empty());
+      continue;
+    }
     const int64_t id = parsed->Get("request_id").AsInt();
     EXPECT_TRUE(ids.insert(id).second) << "duplicate audit line for " << id;
     EXPECT_TRUE(StartsWith(parsed->Get("tenant").AsString(), "tenant-"));
     EXPECT_FALSE(parsed->Get("outcome").AsString().empty());
     EXPECT_EQ(parsed->Get("table_digest").AsString().size(), 16u);
   }
-  EXPECT_EQ(lines, summary->submitted);
+  EXPECT_EQ(headers, 1);
+  EXPECT_EQ(lines - headers, summary->submitted);
   std::filesystem::remove_all(dir);
 }
 
@@ -802,7 +813,7 @@ TEST_F(ServeFixture, DebugStatusMidSoakIsValidJsonAndRankClean) {
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     for (const char* key :
          {"queue", "inflight", "tenants", "cache", "audit", "windows",
-          "counters", "pool", "locks", "options"}) {
+          "counters", "pool", "locks", "options", "isa_level"}) {
       EXPECT_TRUE(parsed->Has(key)) << "missing statusz key " << key;
     }
     EXPECT_FALSE(server.DebugStatusText().empty());

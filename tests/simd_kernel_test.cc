@@ -1,0 +1,314 @@
+// SIMD kernel equivalence suite: the dispatched AVX2/AVX-512 micro-
+// kernels (nn/simd_kernels.h) must be BIT-identical to the scalar
+// reference at every shape — including every masked-tail and partial-
+// register-panel case — because the whole training/serving equivalence
+// story (gen_equivalence_test.cc) rests on kernel output being a pure
+// function of the math, not of the instruction set. Comparisons are
+// memcmp over the raw doubles: "close" is a bug here.
+//
+// Levels the host cannot execute are skipped (the suite still proves
+// scalar==AVX2 on an AVX2-only machine); KGPIP_ISA / ForceIsa dispatch
+// plumbing is covered separately, and a final test pins the batched
+// GenerateTopK decode to k independent Generate calls byte-for-byte.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_generator.h"
+#include "graph4ml/vocab.h"
+#include "nn/fastmath.h"
+#include "nn/simd_kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace kgpip {
+namespace {
+
+using nn::simd::Isa;
+
+std::vector<Isa> TestableSimdLevels() {
+  std::vector<Isa> levels;
+  if (nn::simd::IsaSupported(Isa::kAvx2)) levels.push_back(Isa::kAvx2);
+  if (nn::simd::IsaSupported(Isa::kAvx512)) levels.push_back(Isa::kAvx512);
+  return levels;
+}
+
+// Fills with a mix of normals, exact zeros (the GEMM zero-skip path),
+// and negative zeros (which the skip must NOT normalize away on the
+// SIMD side any differently than the scalar side).
+std::vector<double> RandomBuffer(size_t n, Rng* rng) {
+  std::vector<double> out(n);
+  for (double& v : out) {
+    const uint64_t roll = rng->UniformInt(uint64_t{10});
+    if (roll == 0) {
+      v = 0.0;
+    } else if (roll == 1) {
+      v = -0.0;
+    } else {
+      v = rng->Normal();
+    }
+  }
+  return out;
+}
+
+void ExpectBitEqual(const std::vector<double>& ref,
+                    const std::vector<double>& got, Isa isa,
+                    const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size());
+  if (std::memcmp(ref.data(), got.data(), ref.size() * sizeof(double)) ==
+      0) {
+    return;
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    uint64_t rb = 0;
+    uint64_t gb = 0;
+    std::memcpy(&rb, &ref[i], sizeof(rb));
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    ASSERT_EQ(rb, gb) << what << " diverges from scalar at element " << i
+                      << " under " << nn::simd::IsaName(isa) << ": "
+                      << ref[i] << " vs " << got[i];
+  }
+}
+
+// Every M, N, K small enough to enumerate plus the first shapes on
+// either side of the vector widths (4 for AVX2, 8 for AVX-512) and of
+// the kernel's 2-vector column blocks — so full panels, lone-vector
+// columns, masked tails, and single-row remainders all occur.
+const size_t kShapeSweep[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17,
+                              31, 32, 33, 64};
+
+TEST(SimdKernelTest, GemmMatchesScalarBitwiseAcrossShapeSweep) {
+  const std::vector<Isa> levels = TestableSimdLevels();
+  if (levels.empty()) GTEST_SKIP() << "host has no SIMD kernel support";
+  Rng rng(11);
+  for (size_t m : kShapeSweep) {
+    for (size_t n : kShapeSweep) {
+      for (size_t k : kShapeSweep) {
+        const std::vector<double> a = RandomBuffer(m * k, &rng);
+        const std::vector<double> b = RandomBuffer(k * n, &rng);
+        std::vector<double> ref(m * n, 0.0);
+        nn::simd::GemmRows(Isa::kScalar, a.data(), b.data(), ref.data(), m,
+                           k, n);
+        for (Isa isa : levels) {
+          std::vector<double> got(m * n, 0.0);
+          nn::simd::GemmRows(isa, a.data(), b.data(), got.data(), m, k, n);
+          ExpectBitEqual(ref, got, isa,
+                         "gemm " + std::to_string(m) + "x" +
+                             std::to_string(k) + "*" + std::to_string(n));
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BiasRowsMatchesScalarBitwise) {
+  const std::vector<Isa> levels = TestableSimdLevels();
+  if (levels.empty()) GTEST_SKIP() << "host has no SIMD kernel support";
+  Rng rng(12);
+  for (size_t rows : {size_t{1}, size_t{3}, size_t{8}}) {
+    for (size_t cols : kShapeSweep) {
+      const std::vector<double> base = RandomBuffer(rows * cols, &rng);
+      const std::vector<double> bias = RandomBuffer(cols, &rng);
+      std::vector<double> ref = base;
+      nn::simd::BiasRows(Isa::kScalar, ref.data(), bias.data(), rows, cols);
+      for (Isa isa : levels) {
+        std::vector<double> got = base;
+        nn::simd::BiasRows(isa, got.data(), bias.data(), rows, cols);
+        ExpectBitEqual(ref, got, isa, "bias cols=" + std::to_string(cols));
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ActivationKernelsMatchScalarBitwise) {
+  const std::vector<Isa> levels = TestableSimdLevels();
+  if (levels.empty()) GTEST_SKIP() << "host has no SIMD kernel support";
+  Rng rng(13);
+  for (size_t n : kShapeSweep) {
+    // Values spanning the interesting activation regions: the FastExp
+    // clamp boundaries, the tanh saturation clamp, zeros of both signs,
+    // and ordinary magnitudes.
+    std::vector<double> a = RandomBuffer(n, &rng);
+    std::vector<double> b = RandomBuffer(n, &rng);
+    const double specials[] = {708.5,  -708.5, 707.9, -707.9, 20.5,
+                               -20.5,  19.9,   -19.9, 0.0,    -0.0,
+                               1e-300, -1e-300};
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.UniformInt(uint64_t{4}) == 0) {
+        a[i] = specials[rng.UniformInt(
+            uint64_t{sizeof(specials) / sizeof(specials[0])})];
+      }
+    }
+    const std::vector<double> z = RandomBuffer(n, &rng);
+
+    std::vector<double> ref = a;
+    nn::simd::SigmoidN(Isa::kScalar, ref.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got = a;
+      nn::simd::SigmoidN(isa, got.data(), n);
+      ExpectBitEqual(ref, got, isa, "sigmoid n=" + std::to_string(n));
+    }
+
+    ref = a;
+    nn::simd::TanhN(Isa::kScalar, ref.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got = a;
+      nn::simd::TanhN(isa, got.data(), n);
+      ExpectBitEqual(ref, got, isa, "tanh n=" + std::to_string(n));
+    }
+
+    std::vector<double> ref2(n);
+    nn::simd::AddSigmoidN(Isa::kScalar, a.data(), b.data(), ref2.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got(n);
+      nn::simd::AddSigmoidN(isa, a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(ref2, got, isa, "add+sigmoid n=" + std::to_string(n));
+    }
+
+    nn::simd::AddTanhN(Isa::kScalar, a.data(), b.data(), ref2.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got(n);
+      nn::simd::AddTanhN(isa, a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(ref2, got, isa, "add+tanh n=" + std::to_string(n));
+    }
+
+    nn::simd::MulN(Isa::kScalar, a.data(), b.data(), ref2.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got(n);
+      nn::simd::MulN(isa, a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(ref2, got, isa, "mul n=" + std::to_string(n));
+    }
+
+    nn::simd::GruCombineN(Isa::kScalar, z.data(), a.data(), b.data(),
+                          ref2.data(), n);
+    for (Isa isa : levels) {
+      std::vector<double> got(n);
+      nn::simd::GruCombineN(isa, z.data(), a.data(), b.data(), got.data(),
+                            n);
+      ExpectBitEqual(ref2, got, isa, "gru combine n=" + std::to_string(n));
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(SimdKernelTest, ActivationsMatchFastmathReference) {
+  // The vector activations must reproduce the *scalar inline* fastmath
+  // functions (the tape path) — not merely each other.
+  Rng rng(14);
+  std::vector<double> x = RandomBuffer(97, &rng);
+  x.insert(x.end(), {708.5, -708.5, 20.5, -20.5, 0.0, -0.0});
+  for (Isa isa : TestableSimdLevels()) {
+    std::vector<double> sig = x;
+    nn::simd::SigmoidN(isa, sig.data(), sig.size());
+    std::vector<double> th = x;
+    nn::simd::TanhN(isa, th.data(), th.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      uint64_t got = 0;
+      uint64_t want = 0;
+      const double s = nn::FastSigmoid(x[i]);
+      std::memcpy(&got, &sig[i], sizeof(got));
+      std::memcpy(&want, &s, sizeof(want));
+      ASSERT_EQ(got, want) << "sigmoid(" << x[i] << ") under "
+                           << nn::simd::IsaName(isa);
+      const double t = nn::FastTanh(x[i]);
+      std::memcpy(&got, &th[i], sizeof(got));
+      std::memcpy(&want, &t, sizeof(want));
+      ASSERT_EQ(got, want) << "tanh(" << x[i] << ") under "
+                           << nn::simd::IsaName(isa);
+    }
+  }
+}
+
+TEST(SimdKernelTest, KgpipIsaEnvOverridesDispatch) {
+  // Remember the ambient state to restore (other suites in this process
+  // would otherwise observe the override).
+  const char* prior = std::getenv("KGPIP_ISA");
+  const std::string saved = prior != nullptr ? prior : "";
+  const Isa before = nn::simd::ActiveIsa();
+
+  ASSERT_EQ(setenv("KGPIP_ISA", "scalar", 1), 0);
+  EXPECT_EQ(nn::simd::RefreshIsaFromEnv(), Isa::kScalar);
+  EXPECT_EQ(nn::simd::ActiveIsa(), Isa::kScalar);
+
+  if (nn::simd::IsaSupported(Isa::kAvx2)) {
+    ASSERT_EQ(setenv("KGPIP_ISA", "avx2", 1), 0);
+    EXPECT_EQ(nn::simd::RefreshIsaFromEnv(), Isa::kAvx2);
+  }
+  // An unsupported or unknown request clamps to something the host can
+  // run instead of crashing on an illegal instruction later.
+  ASSERT_EQ(setenv("KGPIP_ISA", "avx9000", 1), 0);
+  const Isa clamped = nn::simd::RefreshIsaFromEnv();
+  EXPECT_TRUE(nn::simd::IsaSupported(clamped));
+
+  ASSERT_EQ(setenv("KGPIP_ISA", "avx512", 1), 0);
+  const Isa wide = nn::simd::RefreshIsaFromEnv();
+  EXPECT_TRUE(nn::simd::IsaSupported(wide));
+  if (nn::simd::IsaSupported(Isa::kAvx512)) {
+    EXPECT_EQ(wide, Isa::kAvx512);
+  }
+
+  // ForceIsa applies the same clamp.
+  EXPECT_EQ(nn::simd::ForceIsa(Isa::kScalar), Isa::kScalar);
+  EXPECT_TRUE(nn::simd::IsaSupported(nn::simd::ForceIsa(Isa::kAvx512)));
+
+  if (saved.empty()) {
+    unsetenv("KGPIP_ISA");
+    nn::simd::ForceIsa(before);
+  } else {
+    setenv("KGPIP_ISA", saved.c_str(), 1);
+    nn::simd::RefreshIsaFromEnv();
+  }
+}
+
+TEST(SimdKernelTest, BatchedTopKMatchesIndependentGenerates) {
+  // The cross-lane batched decode must be invisible: GenerateTopK(k)
+  // and k independent Generate calls on the same forked streams produce
+  // byte-identical graphs and log-probs. This is the contract that lets
+  // the shard boundaries (and therefore the thread count) vary freely.
+  gen::GeneratorConfig config;
+  config.vocab_size = graph4ml::PipelineVocab::Get().size();
+  config.hidden = 24;
+  config.prop_rounds = 2;
+  config.max_nodes = 8;
+  config.condition_dims = 2;
+  gen::GraphGenerator generator(config, 7);
+
+  graph4ml::TypedGraph seed;
+  seed.node_types = {graph4ml::PipelineVocab::kDatasetType,
+                     graph4ml::PipelineVocab::kReadCsvType};
+  seed.edges = {{0, 1}};
+  const std::vector<double> condition = {0.25, -1.5};
+
+  for (double temperature : {0.9, 0.0}) {
+    const size_t k = 9;
+    Rng topk_rng(42);
+    const std::vector<gen::GeneratedGraph> batched = generator.GenerateTopK(
+        seed, condition, k, &topk_rng, temperature);
+    ASSERT_EQ(batched.size(), k);
+
+    Rng single_rng(42);
+    std::vector<Rng> lanes = util::ForkRngs(&single_rng, k);
+    for (size_t i = 0; i < k; ++i) {
+      const gen::GeneratedGraph solo =
+          generator.Generate(seed, condition, &lanes[i], temperature);
+      EXPECT_EQ(batched[i].graph.node_types, solo.graph.node_types)
+          << "lane " << i << " t=" << temperature;
+      EXPECT_EQ(batched[i].graph.edges, solo.graph.edges)
+          << "lane " << i << " t=" << temperature;
+      uint64_t bb = 0;
+      uint64_t sb = 0;
+      std::memcpy(&bb, &batched[i].log_prob, sizeof(bb));
+      std::memcpy(&sb, &solo.log_prob, sizeof(sb));
+      EXPECT_EQ(bb, sb) << "lane " << i << " log-prob t=" << temperature;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgpip
