@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
+#include "nn/simd_kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace kgpip::embed {
@@ -22,6 +29,10 @@ constexpr size_t kParallelScanThreshold = 2048;
 /// large enough that the relaxed atomic load is amortized away.
 constexpr size_t kCancelPollStride = 512;
 
+/// Segment files lead with "KGSEG1 <version> <fnv1a> <size>\n".
+constexpr char kSegmentMagic[] = "KGSEG1";
+constexpr unsigned kSegmentVersion = 1;
+
 Status CancelledStatus() {
   return Status::ResourceExhausted(
       "similarity search cancelled (deadline exceeded)");
@@ -29,13 +40,100 @@ Status CancelledStatus() {
 
 /// Ranking comparator: similarity descending, insertion index ascending.
 /// The index tie-break pins an order std::sort left unspecified, so the
-/// top-k selection, the full-sort reference, and any platform agree.
+/// top-k selection, the full-sort reference, and any platform agree. It
+/// also makes the comparator a total order, so the *set* nth_element
+/// partitions off is unique no matter how the implementation permutes —
+/// which is what keeps the IVF rerank candidate set deterministic.
 struct RankedSim {
   double sim;
   size_t index;
   bool operator<(const RankedSim& other) const {
     if (sim != other.sim) return sim > other.sim;
     return index < other.index;
+  }
+};
+
+obs::Counter* SearchAllocCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "embed.index.search_allocs");
+  return counter;
+}
+
+/// Grow-only resize that counts allocation events, the
+/// gen.generate_allocs idiom: steady-state queries must drive this
+/// counter flat (tests pin a zero delta after warm-up).
+template <typename T>
+void EnsureSize(std::vector<T>* v, size_t n) {
+  if (v->capacity() < n) {
+    SearchAllocCounter()->Increment();
+    v->reserve(n);
+  }
+  v->resize(n);
+}
+
+/// Per-thread query workspace, reused across searches (the fix for the
+/// per-call cell_sims allocation). Thread-local so SearchBatch lanes
+/// never share one.
+struct SearchScratch {
+  std::vector<RankedSim> cell_ranked;  // centroid ranking
+  std::vector<RankedSim> approx;       // quantized candidate scores
+  std::vector<RankedSim> exact;        // exact scoring / rerank
+  std::vector<double> weights;         // q[d] * step[d] per probed cell
+  std::vector<double> scores;          // SQ8 kernel accumulators
+  std::vector<size_t> candidates;      // exact-scan id list
+};
+
+SearchScratch& GetScratch() {
+  static thread_local SearchScratch scratch;
+  return scratch;
+}
+
+size_t RoundUp8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendF64s(std::string* out, const double* p, size_t n) {
+  out->append(reinterpret_cast<const char*>(p), n * sizeof(double));
+}
+
+/// Bounds-checked cursor over a verified payload. Offsets in errors are
+/// absolute file offsets (header included) so a hexdump lands on the
+/// reported byte.
+struct SegmentReader {
+  const std::string& payload;
+  const std::string& path;
+  size_t header_bytes;
+  size_t pos = 0;
+
+  Status Truncated(size_t need) const {
+    return Status::ParseError(StrFormat(
+        "segment '%s': truncated payload — need %llu bytes at byte "
+        "offset %llu but only %llu remain",
+        path.c_str(), static_cast<unsigned long long>(need),
+        static_cast<unsigned long long>(header_bytes + pos),
+        static_cast<unsigned long long>(payload.size() - pos)));
+  }
+
+  Status ReadBytes(void* dst, size_t n) {
+    if (payload.size() - pos < n) return Truncated(n);
+    std::memcpy(dst, payload.data() + pos, n);
+    pos += n;
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+
+  Status ReadF64s(std::vector<double>* out, size_t n) {
+    const size_t bytes = n * sizeof(double);
+    if (payload.size() - pos < bytes) return Truncated(bytes);
+    out->resize(n);
+    std::memcpy(out->data(), payload.data() + pos, bytes);
+    pos += bytes;
+    return Status::Ok();
   }
 };
 
@@ -68,6 +166,36 @@ double BlockedCosine(const double* a, const double* b, size_t dims) {
   const double dot = (d0 + d1) + (d2 + d3);
   const double na = (na0 + na1) + (na2 + na3);
   const double nb = (nb0 + nb1) + (nb2 + nb3);
+  return CosineFromParts(dot, na, nb);
+}
+
+double BlockedDot(const double* a, const double* b, size_t dims) {
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    d2 += a[i + 2] * b[i + 2];
+    d3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dims; ++i) d0 += a[i] * b[i];
+  return (d0 + d1) + (d2 + d3);
+}
+
+double BlockedSquaredNorm(const double* a, size_t dims) {
+  double n0 = 0.0, n1 = 0.0, n2 = 0.0, n3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dims; i += 4) {
+    n0 += a[i] * a[i];
+    n1 += a[i + 1] * a[i + 1];
+    n2 += a[i + 2] * a[i + 2];
+    n3 += a[i + 3] * a[i + 3];
+  }
+  for (; i < dims; ++i) n0 += a[i] * a[i];
+  return (n0 + n1) + (n2 + n3);
+}
+
+double CosineFromParts(double dot, double na, double nb) {
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / std::sqrt(na * nb);
 }
@@ -84,65 +212,110 @@ Status SimIndex::Add(const std::string& key, std::vector<double> vector) {
   }
   keys_.push_back(key);
   data_.insert(data_.end(), vector.begin(), vector.end());
+  const double sq = BlockedSquaredNorm(vector.data(), dims_);
+  row_sq_norms_.push_back(sq);
+  row_inv_norms_.push_back(sq > 0.0 ? 1.0 / std::sqrt(sq) : 0.0);
   built_ = false;
   return Status::Ok();
+}
+
+size_t SimIndex::EffectiveCells(size_t n) const {
+  if (n == 0 || options_.num_cells == 0) return 0;
+  if (options_.num_cells > 0) {
+    return std::min<size_t>(static_cast<size_t>(options_.num_cells), n);
+  }
+  // Auto: the exact scan is unbeatable at paper scale; past the
+  // threshold, ~sqrt(N) cells balance the centroid ranking against the
+  // probed-cell scans.
+  if (n < kAutoIvfMinRows) return 0;
+  return std::min<size_t>(
+      static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(n)))), n);
 }
 
 Status SimIndex::Build() {
   KGPIP_TRACE_SPAN("embed.index_build");
   static obs::Histogram* build_seconds =
       obs::MetricsRegistry::Global().GetHistogram("embed.index_build_seconds");
+  static obs::Gauge* size_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.size");
+  static obs::Gauge* cells_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.cells");
+  static obs::Gauge* quantized_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.quantized");
   Stopwatch watch;
   const size_t n = keys_.size();
-  if (options_.num_cells <= 0 || n == 0) {
+  centroids_.clear();
+  centroid_sq_norms_.clear();
+  cells_.clear();
+  segments_.clear();
+  quantized_ = false;
+  const size_t k = EffectiveCells(n);
+  size_gauge->Set(static_cast<double>(n));
+  if (k == 0) {
     built_ = true;
+    cells_gauge->Set(0.0);
+    quantized_gauge->Set(0.0);
     build_seconds->Record(watch.ElapsedSeconds());
     return Status::Ok();
   }
-  const size_t k =
-      std::min<size_t>(static_cast<size_t>(options_.num_cells), n);
   Rng rng(options_.seed);
-  // k-means++ style init: random distinct picks.
-  std::vector<size_t> picks = rng.Permutation(n);
+  // k-means++ style init: random distinct picks. Past paper scale the
+  // refinement runs on a permuted sample — centroids from a few thousand
+  // points are statistically the same and the build stays sub-linear in
+  // iterations — then one full parallel pass assigns every row. All of
+  // it is a pure function of (rows, seed): bit-identical at any thread
+  // count.
+  std::vector<size_t> perm = rng.Permutation(n);
+  const size_t sample_n = std::min(n, std::max<size_t>(k * 64, 4096));
+  const int iters = sample_n > 8192 ? 6 : 12;
   centroids_.assign(k * dims_, 0.0);
   for (size_t c = 0; c < k; ++c) {
-    std::copy(RowData(picks[c]), RowData(picks[c]) + dims_,
+    std::copy(RowData(perm[c]), RowData(perm[c]) + dims_,
               centroids_.data() + c * dims_);
   }
-  std::vector<size_t> assignment(n, 0);
+  std::vector<size_t> assignment(sample_n, 0);
+  std::vector<double> centroid_sq(k, 0.0);
   util::ThreadPool& pool = util::ThreadPool::Global();
-  for (int iter = 0; iter < 12; ++iter) {
+  for (int iter = 0; iter < iters; ++iter) {
+    for (size_t c = 0; c < k; ++c) {
+      centroid_sq[c] = BlockedSquaredNorm(centroids_.data() + c * dims_,
+                                          dims_);
+    }
     // Assignment is embarrassingly parallel: each item writes only its
     // own slot, and the best-centroid argmax is a pure function of the
-    // (fixed) centroid buffer — bit-identical at any thread count.
-    pool.ParallelFor(n, [&](size_t i) {
-      const double* row = RowData(i);
+    // (fixed) centroid buffer — bit-identical at any thread count. The
+    // row and centroid norms are precomputed, and the dot/norm split
+    // rounds exactly like the fused BlockedCosine.
+    pool.ParallelFor(sample_n, [&](size_t s) {
+      const double* row = RowData(perm[s]);
+      const double row_sq = row_sq_norms_[perm[s]];
       double best = -2.0;
       size_t best_c = 0;
       for (size_t c = 0; c < k; ++c) {
-        double sim = BlockedCosine(row, centroids_.data() + c * dims_,
-                                   dims_);
+        const double sim = CosineFromParts(
+            BlockedDot(row, centroids_.data() + c * dims_, dims_), row_sq,
+            centroid_sq[c]);
         if (sim > best) {
           best = sim;
           best_c = c;
         }
       }
-      assignment[i] = best_c;
+      assignment[s] = best_c;
     });
-    // Centroid update stays serial and index-ordered so the summation
+    // Centroid update stays serial and sample-ordered so the summation
     // order (and therefore the rounded centroids) is fixed.
     std::fill(centroids_.begin(), centroids_.end(), 0.0);
     std::vector<size_t> counts(k, 0);
-    for (size_t i = 0; i < n; ++i) {
-      ++counts[assignment[i]];
-      const double* row = RowData(i);
-      double* centroid = centroids_.data() + assignment[i] * dims_;
+    for (size_t s = 0; s < sample_n; ++s) {
+      ++counts[assignment[s]];
+      const double* row = RowData(perm[s]);
+      double* centroid = centroids_.data() + assignment[s] * dims_;
       for (size_t d = 0; d < dims_; ++d) centroid[d] += row[d];
     }
     for (size_t c = 0; c < k; ++c) {
       double* centroid = centroids_.data() + c * dims_;
       if (counts[c] == 0) {
-        const double* row = RowData(rng.UniformInt(n));
+        const double* row = RowData(perm[rng.UniformInt(sample_n)]);
         std::copy(row, row + dims_, centroid);
         continue;
       }
@@ -151,21 +324,111 @@ Status SimIndex::Build() {
       }
     }
   }
+  centroid_sq_norms_.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    centroid_sq_norms_[c] =
+        BlockedSquaredNorm(centroids_.data() + c * dims_, dims_);
+  }
+  // Full assignment over every row against the final centroids.
+  std::vector<size_t> full_assignment(n, 0);
+  pool.ParallelFor(n, [&](size_t i) {
+    const double* row = RowData(i);
+    const double row_sq = row_sq_norms_[i];
+    double best = -2.0;
+    size_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const double sim = CosineFromParts(
+          BlockedDot(row, centroids_.data() + c * dims_, dims_), row_sq,
+          centroid_sq_norms_[c]);
+      if (sim > best) {
+        best = sim;
+        best_c = c;
+      }
+    }
+    full_assignment[i] = best_c;
+  });
   cells_.assign(k, {});
-  for (size_t i = 0; i < n; ++i) cells_[assignment[i]].push_back(i);
+  for (size_t i = 0; i < n; ++i) cells_[full_assignment[i]].push_back(i);
+  if (options_.quantize) BuildSegments();
   built_ = true;
+  cells_gauge->Set(static_cast<double>(cells_.size()));
+  quantized_gauge->Set(quantized_ ? 1.0 : 0.0);
   build_seconds->Record(watch.ElapsedSeconds());
   return Status::Ok();
 }
 
+void SimIndex::BuildSegments() {
+  static obs::Gauge* err_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "embed.index.sq8_max_abs_error");
+  segments_.assign(cells_.size(), CellSegment{});
+  std::vector<double> cell_errs(cells_.size(), 0.0);
+  // Cells quantize independently; the per-cell codec is a pure function
+  // of its rows, so the fan-out is bit-identical at any thread count.
+  util::ThreadPool::Global().ParallelFor(cells_.size(), [&](size_t c) {
+    const std::vector<size_t>& ids = cells_[c];
+    CellSegment& seg = segments_[c];
+    seg.mins.assign(dims_, 0.0);
+    seg.steps.assign(dims_, 0.0);
+    if (ids.empty()) return;
+    const double* centroid = centroids_.data() + c * dims_;
+    std::vector<double> lo(dims_, 0.0);
+    std::vector<double> hi(dims_, 0.0);
+    for (size_t r = 0; r < ids.size(); ++r) {
+      const double* row = RowData(ids[r]);
+      for (size_t d = 0; d < dims_; ++d) {
+        const double res = row[d] - centroid[d];
+        if (r == 0 || res < lo[d]) lo[d] = res;
+        if (r == 0 || res > hi[d]) hi[d] = res;
+      }
+    }
+    for (size_t d = 0; d < dims_; ++d) {
+      seg.mins[d] = lo[d];
+      const double step = (hi[d] - lo[d]) / 255.0;
+      seg.steps[d] = step > 0.0 ? step : 0.0;
+    }
+    seg.padded = RoundUp8(ids.size());
+    seg.codes.assign(dims_ * seg.padded, 0);
+    double max_err = 0.0;
+    for (size_t r = 0; r < ids.size(); ++r) {
+      const double* row = RowData(ids[r]);
+      for (size_t d = 0; d < dims_; ++d) {
+        const double res = row[d] - centroid[d];
+        uint8_t code = 0;
+        if (seg.steps[d] > 0.0) {
+          long q = std::lround((res - seg.mins[d]) / seg.steps[d]);
+          if (q < 0) q = 0;
+          if (q > 255) q = 255;
+          code = static_cast<uint8_t>(q);
+        }
+        seg.codes[d * seg.padded + r] = code;
+        const double err = std::fabs(
+            (seg.mins[d] + seg.steps[d] * static_cast<double>(code)) - res);
+        if (err > max_err) max_err = err;
+      }
+    }
+    cell_errs[c] = max_err;
+  });
+  double max_err = 0.0;
+  for (double e : cell_errs) max_err = std::max(max_err, e);
+  quantized_ = true;
+  err_gauge->Set(max_err);
+}
+
 Result<std::vector<SearchHit>> SimIndex::TopK(
-    const std::vector<double>& query,
+    const std::vector<double>& query, double query_sq_norm,
     const std::vector<size_t>& candidates, size_t k,
     const util::CancelToken* cancel) const {
-  std::vector<RankedSim> ranked(candidates.size());
+  SearchScratch& scratch = GetScratch();
+  std::vector<RankedSim>& ranked = scratch.exact;
+  EnsureSize(&ranked, candidates.size());
+  // Row norms were precomputed at Add time; the dot/norm split rounds
+  // exactly like the fused BlockedCosine, so scores (and therefore hit
+  // order) are unchanged from the full recompute.
   auto score = [&](size_t c) {
-    ranked[c] = {BlockedCosine(query.data(), RowData(candidates[c]), dims_),
-                 candidates[c]};
+    const size_t id = candidates[c];
+    ranked[c] = {CosineFromParts(BlockedDot(query.data(), RowData(id), dims_),
+                                 query_sq_norm, row_sq_norms_[id]),
+                 id};
   };
   if (candidates.size() >= kParallelScanThreshold) {
     // Pool lanes poll at block boundaries too: a cancelled block skips
@@ -206,6 +469,13 @@ Result<std::vector<SearchHit>> SimIndex::Search(
   KGPIP_TRACE_SPAN("embed.index_search");
   static obs::Histogram* query_seconds =
       obs::MetricsRegistry::Global().GetHistogram("embed.index_query_seconds");
+  static obs::Counter* cells_probed =
+      obs::MetricsRegistry::Global().GetCounter("embed.index.cells_probed");
+  static obs::Counter* candidates_scanned =
+      obs::MetricsRegistry::Global().GetCounter(
+          "embed.index.candidates_scanned");
+  static obs::Counter* reranked =
+      obs::MetricsRegistry::Global().GetCounter("embed.index.reranked");
   Stopwatch watch;
   struct RecordOnExit {
     obs::Histogram* hist;
@@ -217,30 +487,113 @@ Result<std::vector<SearchHit>> SimIndex::Search(
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (util::Cancelled(cancel)) return CancelledStatus();
-  std::vector<size_t> candidates;
-  if (options_.num_cells > 0 && built_ && !cells_.empty()) {
-    // Probe the closest coarse cells.
-    const size_t num_centroids = cells_.size();
-    std::vector<RankedSim> cell_sims(num_centroids);
-    for (size_t c = 0; c < num_centroids; ++c) {
-      cell_sims[c] = {
-          BlockedCosine(query.data(), centroids_.data() + c * dims_, dims_),
-          c};
-    }
-    std::sort(cell_sims.begin(), cell_sims.end());
-    size_t probes = std::min<size_t>(
-        static_cast<size_t>(std::max(1, options_.num_probes)),
-        cell_sims.size());
-    for (size_t p = 0; p < probes; ++p) {
-      for (size_t i : cells_[cell_sims[p].index]) {
-        candidates.push_back(i);
-      }
-    }
-  } else {
-    candidates.resize(keys_.size());
-    for (size_t i = 0; i < keys_.size(); ++i) candidates[i] = i;
+  const double q_sq = BlockedSquaredNorm(query.data(), dims_);
+  SearchScratch& scratch = GetScratch();
+  if (!built_ || cells_.empty()) {
+    // Exact flat scan (also the fallback while un-built after Add).
+    EnsureSize(&scratch.candidates, keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) scratch.candidates[i] = i;
+    candidates_scanned->Increment(static_cast<int64_t>(keys_.size()));
+    return TopK(query, q_sq, scratch.candidates, k, cancel);
   }
-  return TopK(query, candidates, k, cancel);
+  // Probe the closest coarse cells. Centroid ranking is exact and reuses
+  // the per-thread scratch instead of allocating per call.
+  const size_t num_centroids = cells_.size();
+  EnsureSize(&scratch.cell_ranked, num_centroids);
+  for (size_t c = 0; c < num_centroids; ++c) {
+    scratch.cell_ranked[c] = {
+        CosineFromParts(
+            BlockedDot(query.data(), centroids_.data() + c * dims_, dims_),
+            q_sq, centroid_sq_norms_[c]),
+        c};
+  }
+  std::sort(scratch.cell_ranked.begin(), scratch.cell_ranked.end());
+  const size_t probes = std::min<size_t>(
+      static_cast<size_t>(std::max(1, options_.num_probes)), num_centroids);
+  cells_probed->Increment(static_cast<int64_t>(probes));
+  if (!quantized_) {
+    EnsureSize(&scratch.candidates, 0);
+    size_t out_n = 0;
+    for (size_t p = 0; p < probes; ++p) {
+      const std::vector<size_t>& ids = cells_[scratch.cell_ranked[p].index];
+      EnsureSize(&scratch.candidates, out_n + ids.size());
+      for (size_t i : ids) scratch.candidates[out_n++] = i;
+    }
+    candidates_scanned->Increment(static_cast<int64_t>(out_n));
+    return TopK(query, q_sq, scratch.candidates, k, cancel);
+  }
+  // Quantized scan: per probed cell, the approximate dot against row r
+  // decomposes over the residual codec —
+  //   dot(q, row) ~= dot(q, centroid) + dot(q, mins)
+  //                  + sum_d (q[d] * step[d]) * code[d][r]
+  // — and the code sum is the SQ8 kernel. Scores are a pure function of
+  // (query, segment) and the kernel is bitwise ISA-invariant, so the
+  // candidate set is identical everywhere; the exact rerank then pins
+  // the final order.
+  const double q_inv = q_sq > 0.0 ? 1.0 / std::sqrt(q_sq) : 0.0;
+  EnsureSize(&scratch.weights, dims_);
+  EnsureSize(&scratch.approx, 0);
+  const nn::simd::Isa isa = nn::simd::ActiveIsa();
+  size_t out_n = 0;
+  for (size_t p = 0; p < probes; ++p) {
+    if (util::Cancelled(cancel)) return CancelledStatus();
+    const size_t cell = scratch.cell_ranked[p].index;
+    const std::vector<size_t>& ids = cells_[cell];
+    const CellSegment& seg = segments_[cell];
+    if (ids.empty()) continue;
+    const double* centroid = centroids_.data() + cell * dims_;
+    const double base = BlockedDot(query.data(), centroid, dims_) +
+                        BlockedDot(query.data(), seg.mins.data(), dims_);
+    for (size_t d = 0; d < dims_; ++d) {
+      scratch.weights[d] = query[d] * seg.steps[d];
+    }
+    EnsureSize(&scratch.scores, seg.padded);
+    std::fill(scratch.scores.begin(), scratch.scores.begin() + seg.padded,
+              0.0);
+    nn::simd::Sq8DotAccum(isa, seg.codes.data(), seg.padded,
+                          scratch.weights.data(), dims_,
+                          scratch.scores.data());
+    EnsureSize(&scratch.approx, out_n + ids.size());
+    for (size_t r = 0; r < ids.size(); ++r) {
+      const size_t id = ids[r];
+      scratch.approx[out_n++] = {
+          (base + scratch.scores[r]) * row_inv_norms_[id] * q_inv, id};
+    }
+  }
+  candidates_scanned->Increment(static_cast<int64_t>(out_n));
+  if (out_n == 0) return std::vector<SearchHit>{};
+  const size_t rerank = std::min<size_t>(
+      std::max<size_t>(static_cast<size_t>(std::max(1, options_.rerank_k)),
+                       k),
+      out_n);
+  if (out_n > rerank) {
+    std::nth_element(scratch.approx.begin(),
+                     scratch.approx.begin() + static_cast<ptrdiff_t>(rerank) -
+                         1,
+                     scratch.approx.begin() + static_cast<ptrdiff_t>(out_n));
+  }
+  reranked->Increment(static_cast<int64_t>(rerank));
+  // Exact rerank over the retained f64 rows; sorting by (exact sim, id)
+  // erases whatever order nth_element left the candidates in.
+  std::vector<RankedSim>& exact = scratch.exact;
+  EnsureSize(&exact, rerank);
+  for (size_t i = 0; i < rerank; ++i) {
+    if (i % kCancelPollStride == 0 && util::Cancelled(cancel)) {
+      return CancelledStatus();
+    }
+    const size_t id = scratch.approx[i].index;
+    exact[i] = {CosineFromParts(BlockedDot(query.data(), RowData(id), dims_),
+                                q_sq, row_sq_norms_[id]),
+                id};
+  }
+  std::sort(exact.begin(), exact.end());
+  const size_t out_k = std::min(k, rerank);
+  std::vector<SearchHit> hits;
+  hits.reserve(out_k);
+  for (size_t i = 0; i < out_k; ++i) {
+    hits.push_back({keys_[exact[i].index], exact[i].sim});
+  }
+  return hits;
 }
 
 Result<std::vector<std::vector<SearchHit>>> SimIndex::SearchBatch(
@@ -265,6 +618,254 @@ Result<std::vector<std::vector<SearchHit>>> SimIndex::SearchBatch(
     if (!s.ok()) return s;
   }
   return out;
+}
+
+Status SimIndex::SaveSegments(const std::string& path) const {
+  static obs::Histogram* save_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "embed.index.segment_save_seconds");
+  Stopwatch watch;
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "SaveSegments requires a built index (call Build first)");
+  }
+  std::string payload;
+  const size_t n = keys_.size();
+  AppendU64(&payload, dims_);
+  AppendU64(&payload, n);
+  AppendU64(&payload, cells_.size());
+  AppendU64(&payload, quantized_ ? 1 : 0);
+  for (const std::string& key : keys_) {
+    AppendU64(&payload, key.size());
+    payload.append(key);
+  }
+  AppendF64s(&payload, data_.data(), data_.size());
+  AppendF64s(&payload, row_sq_norms_.data(), row_sq_norms_.size());
+  if (!cells_.empty()) {
+    AppendF64s(&payload, centroids_.data(), centroids_.size());
+    AppendF64s(&payload, centroid_sq_norms_.data(),
+               centroid_sq_norms_.size());
+    for (const std::vector<size_t>& ids : cells_) {
+      AppendU64(&payload, ids.size());
+      for (size_t id : ids) AppendU64(&payload, id);
+    }
+    if (quantized_) {
+      for (const CellSegment& seg : segments_) {
+        AppendF64s(&payload, seg.mins.data(), seg.mins.size());
+        AppendF64s(&payload, seg.steps.data(), seg.steps.size());
+        AppendU64(&payload, seg.padded);
+        payload.append(reinterpret_cast<const char*>(seg.codes.data()),
+                       seg.codes.size());
+      }
+    }
+  }
+  const std::string header =
+      StrFormat("%s %u %016llx %llu\n", kSegmentMagic, kSegmentVersion,
+                static_cast<unsigned long long>(Fnv1a64(payload)),
+                static_cast<unsigned long long>(payload.size()));
+  // Temp-then-rename: a crash mid-write leaves the previous segment (or
+  // nothing) on disk, never a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "' for write");
+    out << header << payload;
+    out.flush();
+    if (!out) return Status::IoError("write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  save_seconds->Record(watch.ElapsedSeconds());
+  return Status::Ok();
+}
+
+Status SimIndex::LoadSegments(const std::string& path) {
+  static obs::Histogram* load_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "embed.index.segment_load_seconds");
+  static obs::Gauge* size_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.size");
+  static obs::Gauge* cells_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.cells");
+  static obs::Gauge* quantized_gauge =
+      obs::MetricsRegistry::Global().GetGauge("embed.index.quantized");
+  Stopwatch watch;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  if (!StartsWith(contents, std::string(kSegmentMagic) + " ")) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': bad magic in bytes [0, %llu)", path.c_str(),
+        static_cast<unsigned long long>(
+            std::min<size_t>(contents.size(), sizeof(kSegmentMagic)))));
+  }
+  const size_t eol = contents.find('\n');
+  if (eol == std::string::npos) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': unterminated header in the first %llu bytes",
+        path.c_str(), static_cast<unsigned long long>(contents.size())));
+  }
+  unsigned version = 0;
+  unsigned long long checksum = 0, declared = 0;
+  if (std::sscanf(contents.c_str(), "KGSEG1 %u %16llx %llu", &version,
+                  &checksum, &declared) != 3) {
+    return Status::ParseError(
+        StrFormat("segment '%s': malformed header in bytes [0, %llu)",
+                  path.c_str(), static_cast<unsigned long long>(eol)));
+  }
+  if (version != kSegmentVersion) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': unsupported format version %u (supported: %u)",
+        path.c_str(), version, kSegmentVersion));
+  }
+  const size_t payload_offset = eol + 1;
+  const std::string payload = contents.substr(payload_offset);
+  if (payload.size() != declared) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': truncated or padded payload — header declares %llu "
+        "bytes but %llu are present after byte offset %llu",
+        path.c_str(), declared,
+        static_cast<unsigned long long>(payload.size()),
+        static_cast<unsigned long long>(payload_offset)));
+  }
+  const uint64_t actual = Fnv1a64(payload);
+  if (actual != checksum) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': checksum mismatch over payload bytes [%llu, %llu) — "
+        "expected %016llx, got %016llx",
+        path.c_str(), static_cast<unsigned long long>(payload_offset),
+        static_cast<unsigned long long>(payload_offset + payload.size()),
+        checksum, static_cast<unsigned long long>(actual)));
+  }
+
+  // Parse into a fresh index; *this is replaced only on full success, so
+  // a corrupt file can never leave a half-loaded index serving queries.
+  SimIndex fresh(options_);
+  SegmentReader r{payload, path, payload_offset};
+  uint64_t dims = 0, n = 0, num_cells = 0, quantized = 0;
+  KGPIP_RETURN_IF_ERROR(r.ReadU64(&dims));
+  KGPIP_RETURN_IF_ERROR(r.ReadU64(&n));
+  KGPIP_RETURN_IF_ERROR(r.ReadU64(&num_cells));
+  KGPIP_RETURN_IF_ERROR(r.ReadU64(&quantized));
+  if ((n > 0 && dims == 0) || quantized > 1 || num_cells > n ||
+      (dims > 0 && n > payload.size() / dims)) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': implausible geometry (dims=%llu rows=%llu "
+        "cells=%llu quantized=%llu) in bytes [%llu, %llu)",
+        path.c_str(), static_cast<unsigned long long>(dims),
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(num_cells),
+        static_cast<unsigned long long>(quantized),
+        static_cast<unsigned long long>(payload_offset),
+        static_cast<unsigned long long>(payload_offset + 32)));
+  }
+  fresh.dims_ = dims;
+  fresh.keys_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len = 0;
+    KGPIP_RETURN_IF_ERROR(r.ReadU64(&len));
+    if (payload.size() - r.pos < len) return r.Truncated(len);
+    fresh.keys_.emplace_back(payload.data() + r.pos, len);
+    r.pos += len;
+  }
+  KGPIP_RETURN_IF_ERROR(r.ReadF64s(&fresh.data_, n * dims));
+  KGPIP_RETURN_IF_ERROR(r.ReadF64s(&fresh.row_sq_norms_, n));
+  fresh.row_inv_norms_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double sq = fresh.row_sq_norms_[i];
+    fresh.row_inv_norms_[i] = sq > 0.0 ? 1.0 / std::sqrt(sq) : 0.0;
+  }
+  if (num_cells > 0) {
+    KGPIP_RETURN_IF_ERROR(r.ReadF64s(&fresh.centroids_, num_cells * dims));
+    KGPIP_RETURN_IF_ERROR(
+        r.ReadF64s(&fresh.centroid_sq_norms_, num_cells));
+    fresh.cells_.resize(num_cells);
+    std::vector<uint8_t> seen(n, 0);
+    uint64_t assigned = 0;
+    for (uint64_t c = 0; c < num_cells; ++c) {
+      uint64_t count = 0;
+      KGPIP_RETURN_IF_ERROR(r.ReadU64(&count));
+      if (count > n - assigned) {
+        return Status::ParseError(StrFormat(
+            "segment '%s': cell %llu declares %llu rows at byte offset "
+            "%llu but only %llu remain unassigned",
+            path.c_str(), static_cast<unsigned long long>(c),
+            static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(payload_offset + r.pos),
+            static_cast<unsigned long long>(n - assigned)));
+      }
+      fresh.cells_[c].resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t id = 0;
+        KGPIP_RETURN_IF_ERROR(r.ReadU64(&id));
+        if (id >= n || seen[id]) {
+          return Status::ParseError(StrFormat(
+              "segment '%s': cell %llu holds invalid or duplicate row id "
+              "%llu near byte offset %llu",
+              path.c_str(), static_cast<unsigned long long>(c),
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(payload_offset + r.pos)));
+        }
+        seen[id] = 1;
+        fresh.cells_[c][i] = id;
+      }
+      assigned += count;
+    }
+    if (assigned != n) {
+      return Status::ParseError(StrFormat(
+          "segment '%s': cells assign %llu of %llu rows (not a partition)",
+          path.c_str(), static_cast<unsigned long long>(assigned),
+          static_cast<unsigned long long>(n)));
+    }
+    if (quantized != 0) {
+      fresh.segments_.resize(num_cells);
+      for (uint64_t c = 0; c < num_cells; ++c) {
+        CellSegment& seg = fresh.segments_[c];
+        KGPIP_RETURN_IF_ERROR(r.ReadF64s(&seg.mins, dims));
+        KGPIP_RETURN_IF_ERROR(r.ReadF64s(&seg.steps, dims));
+        uint64_t padded = 0;
+        KGPIP_RETURN_IF_ERROR(r.ReadU64(&padded));
+        const uint64_t expect =
+            fresh.cells_[c].empty() ? 0 : RoundUp8(fresh.cells_[c].size());
+        if (padded != expect) {
+          return Status::ParseError(StrFormat(
+              "segment '%s': cell %llu declares padded row count %llu at "
+              "byte offset %llu (expected %llu)",
+              path.c_str(), static_cast<unsigned long long>(c),
+              static_cast<unsigned long long>(padded),
+              static_cast<unsigned long long>(payload_offset + r.pos - 8),
+              static_cast<unsigned long long>(expect)));
+        }
+        seg.padded = padded;
+        const size_t code_bytes = static_cast<size_t>(dims) * padded;
+        if (payload.size() - r.pos < code_bytes) {
+          return r.Truncated(code_bytes);
+        }
+        seg.codes.resize(code_bytes);
+        std::memcpy(seg.codes.data(), payload.data() + r.pos, code_bytes);
+        r.pos += code_bytes;
+      }
+      fresh.quantized_ = true;
+    }
+  }
+  if (r.pos != payload.size()) {
+    return Status::ParseError(StrFormat(
+        "segment '%s': %llu trailing bytes after byte offset %llu",
+        path.c_str(),
+        static_cast<unsigned long long>(payload.size() - r.pos),
+        static_cast<unsigned long long>(payload_offset + r.pos)));
+  }
+  fresh.built_ = true;
+  *this = std::move(fresh);
+  size_gauge->Set(static_cast<double>(keys_.size()));
+  cells_gauge->Set(static_cast<double>(cells_.size()));
+  quantized_gauge->Set(quantized_ ? 1.0 : 0.0);
+  load_seconds->Record(watch.ElapsedSeconds());
+  return Status::Ok();
 }
 
 }  // namespace kgpip::embed

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/simd_kernels.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -71,6 +72,18 @@ void AuditLog::WriteHeaderLocked() {
   header.Set("type", "header");
   header.Set("isa_level", nn::simd::IsaName(isa));
   header.Set("isa_level_value", static_cast<int64_t>(isa));
+  // Similarity-index shape at open time (gauges set when the index is
+  // built or loaded): whether retrieval-backed records in this file ran
+  // against a flat exact scan or probed IVF-SQ8 segments.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  header.Set("embed_index_size", static_cast<int64_t>(
+                                     metrics.GetGauge("embed.index.size")
+                                         ->value()));
+  header.Set("embed_index_cells", static_cast<int64_t>(
+                                      metrics.GetGauge("embed.index.cells")
+                                          ->value()));
+  header.Set("embed_index_quantized",
+             metrics.GetGauge("embed.index.quantized")->value() != 0.0);
   std::string line = header.Dump();
   line.push_back('\n');
   const size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -125,6 +127,44 @@ TEST(SimIndexTest, IvfModeFindsNearNeighbours) {
   for (const auto& hit : *hits) {
     EXPECT_EQ(hit.key.substr(0, 2), "c1") << hit.key;
   }
+}
+
+TEST(SimIndexTest, CosineDecompositionMatchesFusedKernelBitwise) {
+  // The index precomputes row norms at Add time and re-assembles cosine
+  // from BlockedDot + BlockedSquaredNorm at query time. That split must
+  // reproduce the fused BlockedCosine BIT for bit (each accumulator
+  // chain is untouched by the split), or precomputing norms would change
+  // hit order relative to the pre-IVF flat scan.
+  kgpip::Rng rng(7);
+  for (size_t dims : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                      size_t{7}, size_t{8}, size_t{16}, size_t{17},
+                      size_t{32}, size_t{100}}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<double> a(dims);
+      std::vector<double> b(dims);
+      for (double& x : a) x = rng.Normal();
+      for (double& x : b) x = rng.Normal();
+      const double fused = BlockedCosine(a.data(), b.data(), dims);
+      const double split =
+          CosineFromParts(BlockedDot(a.data(), b.data(), dims),
+                          BlockedSquaredNorm(a.data(), dims),
+                          BlockedSquaredNorm(b.data(), dims));
+      uint64_t fused_bits = 0;
+      uint64_t split_bits = 0;
+      std::memcpy(&fused_bits, &fused, sizeof(fused_bits));
+      std::memcpy(&split_bits, &split, sizeof(split_bits));
+      EXPECT_EQ(fused_bits, split_bits)
+          << "dims=" << dims << " rep=" << rep;
+    }
+  }
+  // Zero vectors take the non-positive-norm guard in both forms.
+  std::vector<double> zero(8, 0.0);
+  std::vector<double> ones(8, 1.0);
+  EXPECT_EQ(BlockedCosine(zero.data(), ones.data(), 8), 0.0);
+  EXPECT_EQ(CosineFromParts(BlockedDot(zero.data(), ones.data(), 8),
+                            BlockedSquaredNorm(zero.data(), 8),
+                            BlockedSquaredNorm(ones.data(), 8)),
+            0.0);
 }
 
 TEST(SimIndexTest, TopKMatchesFullSortReference) {
